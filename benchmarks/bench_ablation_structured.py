@@ -1,0 +1,118 @@
+"""Ablation: structured vs unstructured sparsity (paper Section II-C).
+
+The paper chooses *unstructured* pruning + dense compute (SAMO) because
+unstructured sparse kernels lose to cuBLAS (Figure 1). Structured
+(block / column-vector) sparsity is the published alternative — Chen et
+al. beat cuBLAS from ~70% sparsity — but constrains the mask. This bench
+puts the three execution strategies side by side at the paper's p=0.9:
+
+* dense cuBLAS on an unstructured mask (SAMO's choice),
+* Sputnik-class unstructured sparse kernels,
+* Chen-class block-sparse tensor-core kernels on a structured mask,
+
+using the calibrated kernel models, plus measured CPU timings of the real
+NumPy/SciPy kernels (dense GEMM vs CSR vs BSR) as hardware corroboration.
+"""
+
+import numpy as np
+import pytest
+
+from repro.reporting import render_table
+from repro.sparse import (
+    BlockSparseMatrix,
+    FlatCOO,
+    block_crossover_sparsity,
+    block_sparse_time,
+    fc_layer_time,
+)
+
+BATCH = 576
+SIZES = (512, 1024, 2048, 4096)
+SPARSITY = 0.9
+
+
+def test_ablation_structured_vs_unstructured(report):
+    rows = []
+    for n in SIZES:
+        t_dense = fc_layer_time("cublas", BATCH, n, SPARSITY)
+        t_sputnik = fc_layer_time("sputnik", BATCH, n, SPARSITY)
+        t_block = block_sparse_time(BATCH, n, n, SPARSITY)
+        rows.append({
+            "weight": f"{n}^2",
+            "dense cuBLAS (SAMO)": f"{t_dense * 1e3:.3f} ms",
+            "Sputnik unstructured": f"{t_sputnik * 1e3:.3f} ms",
+            "block-sparse (Chen)": f"{t_block * 1e3:.3f} ms",
+            "block vs dense": f"{t_dense / t_block:.2f}x",
+        })
+        # Dense always beats unstructured (Figure 1); the structured
+        # kernel wins once the GEMM is large enough to amortise its
+        # indexing overhead (Chen et al. evaluate 2k-class GEMMs).
+        assert t_dense < t_sputnik
+        if n >= 2048:
+            assert t_block < t_dense
+    crossover = block_crossover_sparsity()
+    rows.append({
+        "weight": "crossover",
+        "dense cuBLAS (SAMO)": "-",
+        "Sputnik unstructured": "-",
+        "block-sparse (Chen)": f"beats cuBLAS from p = {crossover:.2f}",
+        "block vs dense": "paper cites ~0.70",
+    })
+    assert 0.6 <= crossover <= 0.8
+    report(
+        "ablation_structured_sparsity",
+        render_table(rows, title="Ablation: execution strategy at 90% sparsity (modelled)"),
+    )
+
+
+def test_ablation_structured_cpu_corroboration(report):
+    """Real kernels on this CPU show the same ordering driver: contiguous
+    block compute recovers most of dense BLAS's advantage."""
+    rng = np.random.default_rng(0)
+    n = 1024
+    import time
+
+    def best_of(f, reps=3):
+        ts = []
+        for _ in range(reps):
+            t0 = time.perf_counter()
+            f()
+            ts.append(time.perf_counter() - t0)
+        return min(ts)
+
+    x = rng.standard_normal((n, BATCH)).astype(np.float32)
+    dense_w = rng.standard_normal((n, n)).astype(np.float32)
+    unstructured = FlatCOO.random((n, n), SPARSITY, rng).to_csr()
+    block = BlockSparseMatrix.random((n, n), (32, 32), SPARSITY, rng).to_scipy_bsr()
+
+    t_dense = best_of(lambda: dense_w @ x)
+    t_csr = best_of(lambda: unstructured @ x)
+    t_bsr = best_of(lambda: block @ x)
+    dense_rate = 2.0 * n * n * BATCH / t_dense
+    csr_rate = 0.1 * 2.0 * n * n * BATCH / t_csr
+    rows = [
+        {"kernel": "dense BLAS GEMM", "time": f"{t_dense * 1e3:.2f} ms",
+         "effective flop rate": f"{dense_rate / 1e9:.1f} Gflop/s"},
+        {"kernel": "CSR spMM (unstructured)", "time": f"{t_csr * 1e3:.2f} ms",
+         "effective flop rate": f"{csr_rate / 1e9:.1f} Gflop/s"},
+        {"kernel": "BSR spMM (32x32 blocks)", "time": f"{t_bsr * 1e3:.2f} ms",
+         "effective flop rate": f"{0.1 * 2.0 * n * n * BATCH / t_bsr / 1e9:.1f} Gflop/s"},
+    ]
+    report(
+        "ablation_structured_cpu",
+        render_table(rows, title=f"Measured CPU kernels, n={n}, batch={BATCH}, p={SPARSITY}"),
+    )
+    # The Figure 1 driver, measured for real: the dense kernel's flop rate
+    # dwarfs the sparse kernel's, so computing 10x the flops still wins or
+    # ties. (SciPy's BSR is reported for completeness; unlike GPU block
+    # kernels it is not a tuned code path, so no ordering is asserted.)
+    assert dense_rate > 2.0 * csr_rate
+
+
+@pytest.mark.parametrize("n", [1024])
+def test_bench_block_spmm(benchmark, n):
+    rng = np.random.default_rng(1)
+    bs = BlockSparseMatrix.random((n, n), (32, 32), SPARSITY, rng)
+    bsr = bs.to_scipy_bsr()
+    x = rng.standard_normal((n, 64)).astype(np.float32)
+    benchmark(lambda: bsr @ x)

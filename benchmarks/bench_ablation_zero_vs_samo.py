@@ -1,0 +1,124 @@
+"""Ablation: SAMO vs ZeRO — two answers to the same 20φ problem.
+
+DeepSpeed's ZeRO divides the replicated model state by the data-parallel
+group size; SAMO multiplies every term except θ16 by the kept fraction
+``(1-p)``. They attack different axes (parallel width vs parameter
+sparsity), so their regimes differ:
+
+* ZeRO-1 keeps 4φ unsharded (θ16 + ∇θ16): at p = 0.9 SAMO's ~4.4φ_p + 2φ
+  beats it at *any* group size;
+* ZeRO-3 shards everything: beyond ~N = 5 data-parallel ranks its 20φ/N
+  undercuts SAMO — but every forward now pays an all-gather of θ16,
+  which is exactly the communication SAMO's design avoids;
+* they compose: nothing stops a ZeRO-style shard of SAMO's *compressed*
+  optimizer partition.
+
+This bench tabulates per-GPU model-state bytes across the regimes and
+the consequence the paper actually cares about: the feasible ``G_inter``
+each mode buys on 16 GB V100s (Section IV-B).
+"""
+
+import pytest
+
+from repro.core import samo_model_state_bytes
+from repro.models import get_spec
+from repro.parallel import StorageMode, choose_g_inter, zero_memory_bytes
+from repro.reporting import format_bytes, render_table
+
+SPARSITY = 0.9
+
+
+def _samo_bytes(spec) -> int:
+    from repro.core import dense_model_state_bytes
+
+    return samo_model_state_bytes(spec.prunable_count, SPARSITY) + dense_model_state_bytes(
+        spec.param_count - spec.prunable_count
+    )
+
+
+def test_ablation_zero_vs_samo_bytes(report):
+    spec = get_spec("gpt3-2.7b")
+    phi = spec.param_count
+    samo = _samo_bytes(spec)
+    rows = []
+    crossover_n = None
+    for n in (1, 2, 4, 8, 16, 64, 256):
+        z1 = zero_memory_bytes(phi, n, stage=1)
+        z3 = zero_memory_bytes(phi, n, stage=3)
+        if crossover_n is None and z3 < samo:
+            crossover_n = n
+        rows.append({
+            "G_data": n,
+            "dense": format_bytes(20 * phi),
+            "ZeRO-1": format_bytes(z1),
+            "ZeRO-3": format_bytes(z3),
+            "SAMO (p=0.9)": format_bytes(samo),
+            "winner": "SAMO" if samo <= min(z1, z3) else "ZeRO-3",
+        })
+    report(
+        "ablation_zero_vs_samo",
+        render_table(rows, title="Model-state bytes per replica/GPU: ZeRO vs SAMO (GPT-3 2.7B)"),
+    )
+    # At deployable data-parallel widths SAMO beats ZeRO-1 outright; only
+    # in the N -> inf limit does ZeRO-1's 4φ floor slip (just) below
+    # SAMO's ~4.4φ, and by then ZeRO has spent the communication SAMO
+    # saves.
+    for n in (1, 4, 16):
+        assert samo < zero_memory_bytes(phi, n, stage=1)
+    assert zero_memory_bytes(phi, 10**6, stage=1) == pytest.approx(4 * phi, rel=0.01)
+    # ZeRO-3 crosses below SAMO at moderate width (20/N < ~4.4 -> N >= 8
+    # given 2.7B's non-prunable fraction) — but pays per-forward gathers.
+    assert crossover_n is not None and 4 <= crossover_n <= 16
+
+
+def test_ablation_zero_vs_samo_composition(report):
+    """Sharding SAMO's compressed optimizer partition composes the wins."""
+    spec = get_spec("gpt3-2.7b")
+    phi_p = spec.prunable_count
+    f = 1.0 - SPARSITY
+    nnz = round(f * phi_p)
+    rows = []
+    for n in (1, 4, 16):
+        # SAMO keeps θ16 (2φ_p) + ∇θ16 (2fφ_p) resident; the fp32 masters,
+        # moments and index (20fφ_p + downcast temp 2fφ_p) shard over n.
+        resident = 2 * phi_p + 2 * nnz
+        sharded = (4 + 4 + 8 + 4 + 2) * nnz // n
+        rows.append({
+            "G_data": n,
+            "SAMO": format_bytes(samo_model_state_bytes(phi_p, SPARSITY)),
+            "SAMO + ZeRO-1-style shard": format_bytes(resident + sharded),
+        })
+    report(
+        "ablation_zero_samo_composed",
+        render_table(rows, title="Composing SAMO with optimizer-shard (prunable params only)"),
+    )
+    base = samo_model_state_bytes(phi_p, SPARSITY)
+    composed_16 = 2 * phi_p + 2 * nnz + (22 * nnz) // 16
+    assert composed_16 < base
+
+
+def test_ablation_g_inter_consequence(report):
+    """The paper's real currency: smaller state -> smaller G_inter."""
+    spec = get_spec("gpt3-2.7b")
+    n_gpus = 512
+    rows = []
+    gs = {}
+    for label, mode, kw in (
+        ("AxoNN (dense)", StorageMode.DENSE, {}),
+        ("DeepSpeed ZeRO-1", StorageMode.ZERO1, {}),
+        ("AxoNN+SAMO", StorageMode.SAMO, {"sparsity": SPARSITY}),
+    ):
+        g = choose_g_inter(spec, n_gpus, mode, **kw)
+        gs[label] = g
+        rows.append({
+            "framework": label,
+            "G_inter": g,
+            "G_data": n_gpus // g,
+        })
+    report(
+        "ablation_g_inter_by_mode",
+        render_table(rows, title=f"Feasible G_inter on {n_gpus} x 16 GB V100s (GPT-3 2.7B)"),
+    )
+    assert gs["AxoNN+SAMO"] < gs["AxoNN (dense)"]
+    assert gs["DeepSpeed ZeRO-1"] <= gs["AxoNN (dense)"]
+    assert gs["AxoNN+SAMO"] <= gs["DeepSpeed ZeRO-1"]

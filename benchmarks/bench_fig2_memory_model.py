@@ -1,0 +1,58 @@
+"""Figure 2 — analytical memory savings of SAMO vs sparsity.
+
+Regenerates the curve (break-even at p=0.25, 66-78% savings in the
+0.8-0.9 region of interest) and benchmarks the measured byte accounting of
+a real compressed model state against the closed form.
+"""
+
+import numpy as np
+
+from repro.core import (
+    BREAK_EVEN_SPARSITY,
+    SAMOConfig,
+    SAMOTrainingState,
+    memory_savings_percent,
+    samo_breakdown,
+)
+from repro.models import GPT, GPT_CONFIGS
+from repro.pruning import magnitude_prune
+from repro.reporting import render_table, series_plot
+
+
+def test_figure2_curve(report):
+    ps = [i / 20 for i in range(21)]
+    savings = [memory_savings_percent(p) for p in ps]
+    rows = [
+        {"sparsity": p, "memory savings (%)": round(s, 1)}
+        for p, s in zip(ps, savings)
+        if p in (0.0, 0.25, 0.5, 0.8, 0.85, 0.9, 1.0)
+    ]
+    table = render_table(rows, title="Figure 2: SAMO memory savings vs sparsity")
+    plot = series_plot({"savings_%": savings}, ps, title="Figure 2 curve")
+    roi = f"region of interest p in [0.8, 0.9]: {memory_savings_percent(0.8):.0f}%..{memory_savings_percent(0.9):.0f}% (paper: 66-78%)"
+    be = f"break-even sparsity: {BREAK_EVEN_SPARSITY} (savings there: {memory_savings_percent(0.25):.2f}%)"
+    report("fig2_memory_model", table + "\n\n" + plot + "\n\n" + roi + "\n" + be)
+    assert round(memory_savings_percent(0.8)) == 66
+    assert round(memory_savings_percent(0.9)) == 78
+
+
+def test_bench_measured_accounting(benchmark, report):
+    """Build a real SAMO state on a tiny GPT and reconcile measured bytes
+    with the Eq. 1-5 breakdown."""
+    cfg = GPT_CONFIGS["gpt3-tiny"]
+
+    def build():
+        model = GPT(cfg, seed=0)
+        mask = magnitude_prune(model, 0.9)
+        return SAMOTrainingState(model, mask, SAMOConfig(optimizer="adam"))
+
+    state = benchmark(build)
+    measured = state.measured_bytes()
+    phi_p = sum(int(np.prod(e.shape)) for e in state.compressed)
+    nnz = sum(e.nnz for e in state.compressed)
+    analytic = samo_breakdown(phi_p, 1 - nnz / phi_p).as_dict()
+    rows = [
+        {"component": k, "measured (B)": measured.get(k, 0), "analytic prunable-only (B)": analytic.get(k, 0)}
+        for k in ("theta16", "grad16", "theta32", "grad32", "optimizer_states", "index", "downcast_temp")
+    ]
+    report("fig2_measured_accounting", render_table(rows, title="Measured vs analytic SAMO bytes (tiny GPT, p=0.9)"))

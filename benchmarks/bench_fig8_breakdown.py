@@ -1,0 +1,70 @@
+"""Figure 8 — batch-time breakdown of GPT-3 2.7B at 128/256/512 GPUs.
+
+Phases: compute, point-to-point, pipeline bubble, collective, other — for
+AxoNN (A) and AxoNN+SAMO (B), as stacked in the paper's figure. Also
+reproduces the narrative numbers: at 128 GPUs the p2p improvement is the
+largest term (paper: 18% of AxoNN's batch time); at 512 the bubble and
+collective improvements dominate (15% and 21%) while p2p fades (4%); the
+compression overhead is 8-12%.
+"""
+
+from repro.models import get_spec
+from repro.parallel import simulate_batch
+from repro.reporting import render_table
+
+
+def test_figure8_breakdown(report):
+    spec = get_spec("gpt3-2.7b")
+    rows, narrative = [], []
+    for g in (128, 256, 512):
+        a = simulate_batch(spec, g, "axonn")
+        s = simulate_batch(spec, g, "axonn+samo")
+        for label, b in (("A=AxoNN", a), ("B=AxoNN+SAMO", s)):
+            rows.append(
+                {
+                    "GPUs": g,
+                    "run": label,
+                    "compute (s)": round(b.compute, 2),
+                    "p2p (s)": round(b.p2p, 2),
+                    "bubble (s)": round(b.bubble, 2),
+                    "collective (s)": round(b.collective, 2),
+                    "other (s)": round(b.other, 2),
+                    "total (s)": round(b.total, 2),
+                }
+            )
+        narrative.append(
+            f"G={g}: savings as % of AxoNN batch time -> "
+            f"p2p {100 * (a.p2p - s.p2p) / a.total:.0f}%, "
+            f"bubble {100 * (a.bubble - s.bubble) / a.total:.0f}%, "
+            f"collective {100 * (a.collective - s.collective) / a.total:.0f}%, "
+            f"compress overhead {100 * s.notes['overhead'] / a.total:.0f}% "
+            f"(paper@128: 18/9/6/12; @256: 16/13/11/10; @512: 4/15/21/8)"
+        )
+    table = render_table(rows, title="Figure 8: GPT-3 2.7B batch-time breakdown")
+    report("fig8_breakdown", table + "\n\n" + "\n".join(narrative))
+
+    # Qualitative assertions from the paper's Section VI-C.
+    a128 = simulate_batch(spec, 128, "axonn")
+    s128 = simulate_batch(spec, 128, "axonn+samo")
+    p2p_sav = (a128.p2p - s128.p2p) / a128.total
+    other_sav = (a128.bubble - s128.bubble + a128.collective - s128.collective) / a128.total
+    assert p2p_sav > other_sav  # p2p dominates at 128 GPUs
+
+    a512 = simulate_batch(spec, 512, "axonn")
+    s512 = simulate_batch(spec, 512, "axonn+samo")
+    assert (a512.p2p - s512.p2p) / a512.total < 0.10  # p2p fades at 512
+    total_comm_red = (a512.communication - s512.communication) / a512.total
+    assert 0.15 < total_comm_red < 0.45  # paper: 40%
+
+
+def test_bench_breakdown_sweep(benchmark):
+    spec = get_spec("gpt3-2.7b")
+
+    def sweep():
+        return [
+            simulate_batch(spec, g, fw)
+            for g in (128, 256, 512)
+            for fw in ("axonn", "axonn+samo")
+        ]
+
+    benchmark(sweep)

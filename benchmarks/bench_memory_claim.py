@@ -1,0 +1,66 @@
+"""Section I / VI memory claim — GPT-3 2.7B: 80.16 GB -> 20.28 GB (-74%).
+
+Total memory = model state (Eqs. 1-5) + per-GPU framework overhead x the
+number of GPUs holding one model replica (G_inter chosen by the memory
+model: 8 dense, 2 with SAMO).
+"""
+
+from repro.cluster import SUMMIT
+from repro.models import get_spec
+from repro.parallel import StorageMode, choose_g_inter, model_state_bytes
+from repro.reporting import format_bytes, render_table
+
+
+def test_memory_claim(report):
+    spec = get_spec("gpt3-2.7b")
+    gi_dense = choose_g_inter(spec, 128, StorageMode.DENSE)
+    gi_samo = choose_g_inter(spec, 128, StorageMode.SAMO, 0.9)
+    ov = SUMMIT.framework_overhead_bytes
+    dense_state = model_state_bytes(spec, StorageMode.DENSE)
+    samo_state = model_state_bytes(spec, StorageMode.SAMO, 0.9)
+    dense_total = dense_state + ov * gi_dense
+    samo_total = samo_state + ov * gi_samo
+    reduction = 100 * (dense_total - samo_total) / dense_total
+    rows = [
+        {
+            "configuration": "AxoNN (dense)",
+            "model state": format_bytes(dense_state),
+            "G_inter": gi_dense,
+            "total": format_bytes(dense_total),
+            "paper": "80.16 GB",
+        },
+        {
+            "configuration": "AxoNN+SAMO (p=0.9)",
+            "model state": format_bytes(samo_state),
+            "G_inter": gi_samo,
+            "total": format_bytes(samo_total),
+            "paper": "20.28 GB",
+        },
+    ]
+    table = render_table(rows, title="GPT-3 2.7B memory (model state + per-GPU overhead x G_inter)")
+    report("memory_claim_2p7b", table + f"\n\nreduction: {reduction:.1f}% (paper: 74%)")
+    assert 70 < reduction < 80
+
+
+def test_memory_claim_all_models(report):
+    """Extension: the same accounting across every Table I model."""
+    rows = []
+    for name in ("gpt3-xl", "gpt3-2.7b", "gpt3-6.7b", "gpt3-13b"):
+        spec = get_spec(name)
+        d = model_state_bytes(spec, StorageMode.DENSE)
+        s = model_state_bytes(spec, StorageMode.SAMO, 0.9)
+        rows.append(
+            {
+                "model": name,
+                "dense state": format_bytes(d),
+                "SAMO state": format_bytes(s),
+                "state reduction (%)": round(100 * (d - s) / d, 1),
+            }
+        )
+        assert 75 < 100 * (d - s) / d < 79  # Eq. 5 at p=0.9 ~ 78%
+    report("memory_claim_all_models", render_table(rows, title="SAMO model-state reduction, p=0.9"))
+
+
+def test_bench_g_inter_selection(benchmark):
+    spec = get_spec("gpt3-13b")
+    benchmark(choose_g_inter, spec, 2048, StorageMode.SAMO, 0.9)

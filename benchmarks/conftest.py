@@ -1,0 +1,27 @@
+"""Shared helpers for the benchmark harness.
+
+Every bench regenerates one of the paper's tables or figures, printing the
+same rows/series the paper reports and writing them to
+``benchmarks/results/<name>.txt`` so output survives pytest's capture.
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+import pytest
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+
+@pytest.fixture
+def report():
+    """Callable writing a named report to disk and stdout."""
+
+    def _write(name: str, text: str) -> None:
+        RESULTS_DIR.mkdir(exist_ok=True)
+        path = RESULTS_DIR / f"{name}.txt"
+        path.write_text(text + "\n")
+        print(f"\n===== {name} =====\n{text}\n(saved to {path})")
+
+    return _write

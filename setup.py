@@ -1,0 +1,9 @@
+"""Legacy setuptools shim.
+
+The offline environment lacks the `wheel` package, so PEP-517 editable
+installs (`pip install -e .`) cannot build. `python setup.py develop`
+works with the preinstalled setuptools and is what CI uses here.
+"""
+from setuptools import setup
+
+setup()

@@ -1,0 +1,73 @@
+"""repro — reproduction of *Exploiting Sparsity in Pruned Neural Networks
+to Optimize Large Model Training* (Singh & Bhatele, IPDPS 2023).
+
+Subpackages
+-----------
+``repro.core``
+    SAMO: compressed shared-index model state, compression/expansion,
+    the analytical memory model (Eqs. 1-5), and the SAMO optimizer step.
+``repro.tensor``
+    NumPy autograd engine (the dense-compute substrate).
+``repro.models``
+    GPT-3 family / VGG-19 / WideResnet-101 — analytical specs at paper
+    scale, runnable tiny variants.
+``repro.pruning``
+    Early-Bird Tickets, magnitude, iterative (LTH), random masks.
+``repro.optim``
+    Adam/AdamW/SGD with shared in-place kernels, schedules, clipping.
+``repro.sparse``
+    spMM/sDDMM kernels + calibrated cuBLAS/cuSPARSE/Sputnik models (Fig 1).
+``repro.cluster``
+    Simulated Summit: topology, device, events, collectives (calibrated).
+``repro.comm``
+    Thread-rank communicator with MPI semantics (functional parallelism).
+``repro.parallel``
+    AxoNN / AxoNN+SAMO / DeepSpeed-3D / Sputnik batch simulators,
+    pipeline schedules, partitioner, Eqs. 6-11.
+``repro.train``
+    Mixed-precision trainer, synthetic corpora, metrics (Fig 4).
+``repro.reporting``
+    ASCII tables/plots used by the benchmark harness.
+"""
+
+from . import cluster, comm, core, models, optim, parallel, pruning, reporting, sparse, tensor, train
+from .core import (
+    SAMOConfig,
+    SAMOOptimizer,
+    SAMOTrainingState,
+    compress,
+    expand,
+    load_state,
+    save_state,
+)
+from .pruning import EarlyBirdPruner, MaskSet, magnitude_prune, random_prune
+from .train import Trainer
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "core",
+    "tensor",
+    "models",
+    "pruning",
+    "optim",
+    "sparse",
+    "cluster",
+    "comm",
+    "parallel",
+    "train",
+    "reporting",
+    "SAMOConfig",
+    "SAMOOptimizer",
+    "SAMOTrainingState",
+    "compress",
+    "expand",
+    "MaskSet",
+    "EarlyBirdPruner",
+    "magnitude_prune",
+    "random_prune",
+    "Trainer",
+    "save_state",
+    "load_state",
+    "__version__",
+]

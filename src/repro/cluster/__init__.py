@@ -1,0 +1,44 @@
+"""Simulated Summit cluster: topology, devices, links, events, collectives.
+
+This substrate replaces the paper's 16 GB V100 nodes (NVLink 50 GB/s, IB
+12.5 GB/s, 125 Tflop/s fp16). All calibrated constants and their
+provenance live in :mod:`repro.cluster.calibration`.
+"""
+
+from .calibration import SUMMIT, SummitCalibration
+from .collectives import (
+    broadcast_time,
+    ring_allgather_time,
+    ring_allreduce_time,
+    ring_reduce_scatter_time,
+)
+from .device import ComputeKind, DeviceModel
+from .events import EventLoop
+from .hierarchical import (
+    best_allreduce_time,
+    hierarchical_allreduce,
+    hierarchical_allreduce_time,
+    tree_broadcast_time,
+)
+from .p2p import p2p_message_time, pipeline_message_bytes
+from .topology import LinkClass, Topology
+
+__all__ = [
+    "SUMMIT",
+    "SummitCalibration",
+    "Topology",
+    "LinkClass",
+    "DeviceModel",
+    "ComputeKind",
+    "EventLoop",
+    "ring_allreduce_time",
+    "ring_allgather_time",
+    "ring_reduce_scatter_time",
+    "broadcast_time",
+    "p2p_message_time",
+    "pipeline_message_bytes",
+    "hierarchical_allreduce_time",
+    "hierarchical_allreduce",
+    "tree_broadcast_time",
+    "best_allreduce_time",
+]

@@ -1,0 +1,82 @@
+"""Cost models for collective operations (ring algorithms).
+
+Ring all-reduce of ``n`` bytes over ``G`` ranks moves ``2(G-1)/G * n``
+bytes per rank in ``2(G-1)`` latency steps — the NCCL baseline both AxoNN
+and DeepSpeed rely on. Effective bandwidth comes from the calibration
+(measured NCCL efficiency on Summit is well below link peak).
+"""
+
+from __future__ import annotations
+
+from .calibration import SUMMIT, SummitCalibration
+from .topology import Topology
+
+__all__ = [
+    "ring_allreduce_time",
+    "ring_allgather_time",
+    "ring_reduce_scatter_time",
+    "broadcast_time",
+]
+
+
+def _effective_beta(topology: Topology | None, ranks: list[int] | None, cal: SummitCalibration) -> float:
+    """Per-rank ring bandwidth: NVLink-class when the group stays inside a
+    node, calibrated NCCL cross-node bandwidth otherwise."""
+    if topology is not None and ranks is not None and not topology.group_spans_nodes(ranks):
+        return cal.nvlink_bw * 0.6  # intra-node NCCL efficiency
+    return cal.coll_beta
+
+
+def ring_allreduce_time(
+    nbytes: int,
+    group_size: int,
+    cal: SummitCalibration = SUMMIT,
+    topology: Topology | None = None,
+    ranks: list[int] | None = None,
+) -> float:
+    """Seconds for a ring all-reduce of ``nbytes`` per rank."""
+    if group_size < 1:
+        raise ValueError("group_size must be >= 1")
+    if group_size == 1 or nbytes == 0:
+        return 0.0
+    beta = _effective_beta(topology, ranks, cal)
+    g = group_size
+    steps = 2 * (g - 1)
+    return steps * cal.coll_alpha + (2 * (g - 1) / g) * nbytes / beta
+
+
+def ring_reduce_scatter_time(
+    nbytes: int,
+    group_size: int,
+    cal: SummitCalibration = SUMMIT,
+    topology: Topology | None = None,
+    ranks: list[int] | None = None,
+) -> float:
+    """Seconds for a ring reduce-scatter (half an all-reduce)."""
+    if group_size <= 1 or nbytes == 0:
+        return 0.0
+    beta = _effective_beta(topology, ranks, cal)
+    g = group_size
+    return (g - 1) * cal.coll_alpha + ((g - 1) / g) * nbytes / beta
+
+
+def ring_allgather_time(
+    nbytes: int,
+    group_size: int,
+    cal: SummitCalibration = SUMMIT,
+    topology: Topology | None = None,
+    ranks: list[int] | None = None,
+) -> float:
+    """Seconds for a ring all-gather (half an all-reduce)."""
+    return ring_reduce_scatter_time(nbytes, group_size, cal, topology, ranks)
+
+
+def broadcast_time(
+    nbytes: int,
+    group_size: int,
+    cal: SummitCalibration = SUMMIT,
+) -> float:
+    """Seconds for a (pipelined ring) broadcast."""
+    if group_size <= 1 or nbytes == 0:
+        return 0.0
+    return (group_size - 1) * cal.coll_alpha + nbytes / cal.coll_beta

@@ -1,0 +1,73 @@
+"""Simulated GPU device: compute-time and memory-capacity model."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .calibration import SUMMIT, SummitCalibration
+
+__all__ = ["DeviceModel", "ComputeKind"]
+
+
+class ComputeKind:
+    """Workload classes with distinct achieved efficiencies."""
+
+    DENSE_GEMM = "dense_gemm"  # transformer layers on tensor cores
+    CONV = "conv"  # CNN convolutions (memory-bound on V100)
+    SPARSE_SPUTNIK = "sputnik"  # Sputnik sparse kernels
+
+
+@dataclass(frozen=True)
+class DeviceModel:
+    """A V100-like device.
+
+    ``time(flops, kind)`` converts *dense-equivalent* flops into seconds.
+    For the Sputnik kind, the caller passes the same dense flops the other
+    frameworks would compute (the paper's fair-comparison convention in
+    Section V-C) and the device model applies the end-to-end sparse
+    slowdown.
+    """
+
+    cal: SummitCalibration = SUMMIT
+
+    @property
+    def memory_bytes(self) -> int:
+        return self.cal.gpu_memory_bytes
+
+    @property
+    def peak_flops(self) -> float:
+        return self.cal.peak_fp16_flops
+
+    def efficiency(self, kind: str, samples_per_gpu: int | None = None) -> float:
+        """Achieved fraction of peak for a workload class.
+
+        For convolutions the efficiency also ramps with the per-GPU batch
+        (small batches underutilise the device), which is what flattens
+        the CNN strong-scaling curves in the paper's Figure 5.
+        """
+        if kind == ComputeKind.DENSE_GEMM:
+            return self.cal.gemm_efficiency
+        if kind == ComputeKind.CONV:
+            eff = self.cal.conv_efficiency
+            if samples_per_gpu is not None:
+                n = max(samples_per_gpu, 1)
+                eff *= n / (n + self.cal.conv_half_batch)
+            return eff
+        if kind == ComputeKind.SPARSE_SPUTNIK:
+            return self.cal.gemm_efficiency / self.cal.sputnik_compute_slowdown
+        raise KeyError(f"unknown compute kind {kind!r}")
+
+    def time(
+        self,
+        flops: float,
+        kind: str = ComputeKind.DENSE_GEMM,
+        samples_per_gpu: int | None = None,
+    ) -> float:
+        """Seconds to execute ``flops`` dense-equivalent flops."""
+        if flops < 0:
+            raise ValueError("flops must be non-negative")
+        return flops / (self.peak_flops * self.efficiency(kind, samples_per_gpu))
+
+    def fits(self, nbytes: int) -> bool:
+        """Whether a memory footprint fits in device DRAM."""
+        return nbytes <= self.memory_bytes

@@ -1,0 +1,54 @@
+"""A minimal discrete-event simulation engine.
+
+Drives the pipeline simulator: events are (time, seq, callback) triples in
+a binary heap; callbacks may schedule further events. Deterministic given
+deterministic callbacks (ties broken by insertion order).
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Callable
+
+__all__ = ["EventLoop"]
+
+
+class EventLoop:
+    """Priority-queue event loop with virtual time."""
+
+    def __init__(self):
+        self.now: float = 0.0
+        self._heap: list[tuple[float, int, Callable[[], None]]] = []
+        self._seq = 0
+        self.events_processed = 0
+
+    def schedule(self, delay: float, fn: Callable[[], None]) -> None:
+        """Run ``fn`` at ``now + delay`` (delay may be zero, not negative)."""
+        if delay < 0:
+            raise ValueError(f"cannot schedule into the past (delay={delay})")
+        self.at(self.now + delay, fn)
+
+    def at(self, t: float, fn: Callable[[], None]) -> None:
+        """Run ``fn`` at absolute virtual time ``t >= now``."""
+        if t < self.now - 1e-12:
+            raise ValueError(f"cannot schedule into the past (t={t} < now={self.now})")
+        heapq.heappush(self._heap, (t, self._seq, fn))
+        self._seq += 1
+
+    def run(self, max_events: int = 10_000_000) -> float:
+        """Process events until the queue drains; returns final time."""
+        n = 0
+        while self._heap:
+            t, _, fn = heapq.heappop(self._heap)
+            self.now = t
+            fn()
+            n += 1
+            if n > max_events:
+                raise RuntimeError(
+                    f"event budget exceeded ({max_events}); likely a scheduling loop"
+                )
+        self.events_processed += n
+        return self.now
+
+    def __repr__(self) -> str:
+        return f"EventLoop(now={self.now:.6f}, pending={len(self._heap)})"

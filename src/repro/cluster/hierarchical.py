@@ -1,0 +1,167 @@
+"""Hierarchical (topology-aware) collectives.
+
+Summit's bandwidth is two-tiered: 50 GB/s NVLink inside a node, 12.5 GB/s
+InfiniBand per GPU across nodes. A flat NCCL ring over ``G`` ranks is
+bottlenecked by its slowest link, so production NCCL switches to a
+hierarchical algorithm: reduce-scatter inside each node over NVLink,
+all-reduce the node-local shards across nodes over IB (one logical ring
+of node leaders per shard), then all-gather inside the node. The
+cross-node traffic drops by the node arity (6 on Summit) — exactly why
+the data-parallel all-reduce in Figures 5-8 is not simply ``n/β_IB``.
+
+This module provides both the α-β *cost models* (used by the ablation
+bench to quantify the gain over the flat ring) and an *executable*
+hierarchical all-reduce over the thread communicator, built purely from
+send/recv so it validates the algorithm itself rather than delegating to
+the backend's built-in all-reduce.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..comm.backend import Communicator
+from .calibration import SUMMIT, SummitCalibration
+from .collectives import ring_allreduce_time
+
+__all__ = [
+    "hierarchical_allreduce_time",
+    "tree_broadcast_time",
+    "best_allreduce_time",
+    "hierarchical_allreduce",
+]
+
+#: NVLink-class efficiency of intra-node NCCL rings (same derating the
+#: flat-ring model applies to single-node groups).
+_INTRA_NODE_EFF = 0.6
+
+
+def hierarchical_allreduce_time(
+    nbytes: int,
+    group_size: int,
+    cal: SummitCalibration = SUMMIT,
+) -> float:
+    """Seconds for a node-aware hierarchical all-reduce of ``nbytes``.
+
+    Three phases (the NCCL "tree/hierarchical" layout):
+
+    1. intra-node ring reduce-scatter of ``nbytes`` over NVLink;
+    2. inter-node ring all-reduce of the ``nbytes / local`` shard each
+       GPU owns, over IB (every GPU participates in the ring of its
+       shard-peers, so IB injection bandwidth is fully used);
+    3. intra-node ring all-gather of ``nbytes`` over NVLink.
+    """
+    if group_size < 1:
+        raise ValueError("group_size must be >= 1")
+    if group_size == 1 or nbytes == 0:
+        return 0.0
+    local = min(group_size, cal.gpus_per_node)
+    n_nodes = -(-group_size // cal.gpus_per_node)
+    beta_nv = cal.nvlink_bw * _INTRA_NODE_EFF
+
+    t = 0.0
+    if local > 1:
+        # reduce-scatter + allgather, each (local-1)/local * n over NVLink
+        t += 2 * ((local - 1) * cal.coll_alpha + ((local - 1) / local) * nbytes / beta_nv)
+    if n_nodes > 1:
+        shard = nbytes / local
+        t += ring_allreduce_time(int(np.ceil(shard)), n_nodes, cal)
+    return t
+
+
+def tree_broadcast_time(
+    nbytes: int,
+    group_size: int,
+    cal: SummitCalibration = SUMMIT,
+) -> float:
+    """Seconds for a binomial-tree broadcast: ``ceil(log2 G)`` rounds.
+
+    Latency-optimal for small payloads (the ring broadcast's ``(G-1)α``
+    term dominates it at scale); bandwidth-suboptimal for large ones.
+    """
+    if group_size <= 1 or nbytes == 0:
+        return 0.0
+    rounds = int(np.ceil(np.log2(group_size)))
+    return rounds * (cal.coll_alpha + nbytes / cal.coll_beta)
+
+
+def best_allreduce_time(
+    nbytes: int,
+    group_size: int,
+    cal: SummitCalibration = SUMMIT,
+) -> float:
+    """min(flat ring, hierarchical) — what a tuned NCCL would pick."""
+    return min(
+        ring_allreduce_time(nbytes, group_size, cal),
+        hierarchical_allreduce_time(nbytes, group_size, cal),
+    )
+
+
+# ---------------------------------------------------------------------------
+# executable algorithm (thread ranks, send/recv only)
+# ---------------------------------------------------------------------------
+
+_TAG_RS = 31  # reduce-scatter phase
+_TAG_XN = 33  # cross-node phase
+_TAG_AG = 37  # all-gather phase
+
+
+def hierarchical_allreduce(
+    comm: Communicator,
+    array: np.ndarray,
+    gpus_per_node: int,
+    op: str = "sum",
+) -> np.ndarray:
+    """All-reduce built from p2p messages along the hierarchical schedule.
+
+    Ranks ``[k * gpus_per_node, (k+1) * gpus_per_node)`` form node ``k``
+    (the world size must be a whole number of nodes). Result equals the
+    backend's ``allreduce`` bitwise for ``op='sum'`` up to float addition
+    order within a node (reduction is performed leader-side in rank order,
+    so results are deterministic across runs).
+    """
+    if op not in ("sum", "mean"):
+        raise ValueError(f"op must be 'sum' or 'mean', got {op!r}")
+    if comm.size % gpus_per_node:
+        raise ValueError(
+            f"world size {comm.size} is not a whole number of {gpus_per_node}-GPU nodes"
+        )
+    x = np.asarray(array, dtype=np.float64).reshape(-1)
+    node = comm.rank // gpus_per_node
+    local_rank = comm.rank % gpus_per_node
+    leader = node * gpus_per_node
+    n_nodes = comm.size // gpus_per_node
+
+    # Phase 1: node leader reduces its node's contributions (in rank order).
+    if local_rank == 0:
+        acc = x.copy()
+        for r in range(1, gpus_per_node):
+            acc += comm.recv(leader + r, tag=_TAG_RS)
+    else:
+        comm.send(leader, x, tag=_TAG_RS)
+        acc = None
+
+    # Phase 2: leaders all-reduce via a ring of partial sums.
+    if local_rank == 0 and n_nodes > 1:
+        ring = [k * gpus_per_node for k in range(n_nodes)]
+        pos = ring.index(leader)
+        nxt = ring[(pos + 1) % n_nodes]
+        prv = ring[(pos - 1) % n_nodes]
+        total = acc.copy()
+        carry = acc.copy()
+        for _ in range(n_nodes - 1):
+            carry = comm.sendrecv(nxt, prv, carry, tag=_TAG_XN)
+            total += carry
+        acc = total
+
+    # Phase 3: leaders broadcast within their node.
+    if local_rank == 0:
+        for r in range(1, gpus_per_node):
+            comm.send(leader + r, acc, tag=_TAG_AG)
+        out = acc
+    else:
+        out = comm.recv(leader, tag=_TAG_AG)
+
+    if op == "mean":
+        out = out / comm.size
+    return out.reshape(np.asarray(array).shape).astype(np.asarray(array).dtype)

@@ -1,0 +1,35 @@
+"""Point-to-point message cost model for inter-layer (pipeline) traffic."""
+
+from __future__ import annotations
+
+from .calibration import SUMMIT, SummitCalibration
+from .topology import Topology
+
+__all__ = ["p2p_message_time", "pipeline_message_bytes"]
+
+
+def p2p_message_time(
+    nbytes: int,
+    src: int = 0,
+    dst: int = 1,
+    topology: Topology | None = None,
+    cal: SummitCalibration = SUMMIT,
+) -> float:
+    """Exposed seconds for one pipeline message of ``nbytes``.
+
+    With a topology, the link class (NVLink vs InfiniBand) is chosen from
+    the endpoints; otherwise the calibrated cross-node α-β is used — the
+    conservative default since AxoNN's pipeline neighbours usually land on
+    different nodes once ``G_inter`` exceeds the node size.
+    """
+    if nbytes == 0 or src == dst:
+        return 0.0
+    if topology is not None:
+        return topology.p2p_time(src, dst, nbytes)
+    return cal.p2p_alpha + nbytes / cal.p2p_beta
+
+
+def pipeline_message_bytes(mbs: int, activation_elems_per_sample: int, bytes_per_elem: int = 2) -> int:
+    """Payload of one activation/gradient message: ``mbs`` samples of the
+    stage-boundary activation in half precision."""
+    return mbs * activation_elems_per_sample * bytes_per_elem

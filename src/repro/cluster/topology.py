@@ -1,0 +1,76 @@
+"""Cluster topology: nodes, GPUs, and link classes between ranks."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .calibration import SUMMIT, SummitCalibration
+
+__all__ = ["Topology", "LinkClass"]
+
+
+@dataclass(frozen=True)
+class LinkClass:
+    """An α-β link: latency (s) plus bandwidth (B/s)."""
+
+    name: str
+    alpha: float
+    beta: float
+
+    def transfer_time(self, nbytes: int) -> float:
+        """Seconds to move ``nbytes`` over this link."""
+        if nbytes < 0:
+            raise ValueError("nbytes must be non-negative")
+        return self.alpha + nbytes / self.beta
+
+
+class Topology:
+    """Summit-like fat-tree: ``gpus_per_node`` GPUs with NVLink inside a
+    node, InfiniBand between nodes.
+
+    Ranks are dense integers; rank r lives on node ``r // gpus_per_node``.
+    """
+
+    def __init__(self, n_gpus: int, calibration: SummitCalibration = SUMMIT):
+        if n_gpus < 1:
+            raise ValueError("need at least one GPU")
+        self.n_gpus = n_gpus
+        self.cal = calibration
+        self.intra = LinkClass("nvlink", calibration.p2p_alpha / 4, calibration.nvlink_bw)
+        self.inter = LinkClass("infiniband", calibration.p2p_alpha, calibration.p2p_beta)
+
+    @property
+    def n_nodes(self) -> int:
+        g = self.cal.gpus_per_node
+        return (self.n_gpus + g - 1) // g
+
+    def node_of(self, rank: int) -> int:
+        self._check_rank(rank)
+        return rank // self.cal.gpus_per_node
+
+    def same_node(self, a: int, b: int) -> bool:
+        return self.node_of(a) == self.node_of(b)
+
+    def link(self, src: int, dst: int) -> LinkClass:
+        """Link class used by a message from ``src`` to ``dst``."""
+        self._check_rank(src)
+        self._check_rank(dst)
+        return self.intra if self.same_node(src, dst) else self.inter
+
+    def p2p_time(self, src: int, dst: int, nbytes: int) -> float:
+        """Exposed seconds for one point-to-point message."""
+        if src == dst:
+            return 0.0
+        return self.link(src, dst).transfer_time(nbytes)
+
+    def group_spans_nodes(self, ranks: list[int]) -> bool:
+        """True when a communicator group crosses a node boundary."""
+        nodes = {self.node_of(r) for r in ranks}
+        return len(nodes) > 1
+
+    def _check_rank(self, rank: int) -> None:
+        if not 0 <= rank < self.n_gpus:
+            raise IndexError(f"rank {rank} out of range [0, {self.n_gpus})")
+
+    def __repr__(self) -> str:
+        return f"Topology(gpus={self.n_gpus}, nodes={self.n_nodes})"

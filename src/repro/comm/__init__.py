@@ -1,0 +1,26 @@
+"""In-process communication backend (the NCCL/MPI substitute).
+
+Thread ranks with MPI semantics for functional parallel-training tests;
+see :mod:`repro.cluster` for the *performance* model of the same ops.
+"""
+
+from .backend import CommError, Communicator, World, run_parallel
+from .process_group import GridLayout
+from .sparse_collectives import (
+    SparseGradientSynchronizer,
+    allreduce_compressed,
+    mask_digest,
+    sparse_allreduce_union,
+)
+
+__all__ = [
+    "World",
+    "Communicator",
+    "run_parallel",
+    "CommError",
+    "GridLayout",
+    "SparseGradientSynchronizer",
+    "allreduce_compressed",
+    "sparse_allreduce_union",
+    "mask_digest",
+]

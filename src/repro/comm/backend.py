@@ -1,0 +1,234 @@
+"""In-process, thread-based communicator with an mpi4py-flavoured API.
+
+This substitutes for NCCL/Spectrum-MPI on Summit: ``run_parallel`` spawns
+one thread per rank, each receiving a :class:`Communicator` bound to a
+shared :class:`World`. Semantics follow MPI:
+
+* point-to-point ``send``/``recv`` are matched by (source, dest, tag) with
+  FIFO ordering per channel;
+* collectives are *bulk-synchronous* and must be called by every rank in
+  the same order (enforced by a per-rank sequence number — a mismatch
+  deadlocks real MPI; here it raises);
+* reductions are computed in rank order by a single thread, so results are
+  bitwise deterministic regardless of scheduling.
+
+NumPy releases the GIL inside ufuncs/GEMMs, so rank threads genuinely
+overlap compute — the same reason mpi4py-style threading works for
+NumPy-heavy workloads (see the hpc-parallel guides).
+"""
+
+from __future__ import annotations
+
+import queue
+import threading
+from typing import Callable, Sequence
+
+import numpy as np
+
+__all__ = ["World", "Communicator", "run_parallel", "CommError"]
+
+
+class CommError(RuntimeError):
+    """Raised on misuse (rank mismatch, wrong collective order, ...)."""
+
+
+class World:
+    """Shared state for one group of ranks."""
+
+    def __init__(self, size: int):
+        if size < 1:
+            raise ValueError("world size must be >= 1")
+        self.size = size
+        self._barrier = threading.Barrier(size)
+        self._lock = threading.Lock()
+        self._mailboxes: dict[tuple[int, int, int], "queue.Queue"] = {}
+        self._slots: dict[tuple[str, int], list] = {}
+        self._results: dict[tuple[str, int], object] = {}
+
+    # -- plumbing ------------------------------------------------------------
+    def mailbox(self, src: int, dst: int, tag: int) -> "queue.Queue":
+        key = (src, dst, tag)
+        with self._lock:
+            if key not in self._mailboxes:
+                self._mailboxes[key] = queue.Queue()
+            return self._mailboxes[key]
+
+    def barrier(self) -> None:
+        self._barrier.wait()
+
+    def slot(self, op: str, seq: int) -> list:
+        key = (op, seq)
+        with self._lock:
+            if key not in self._slots:
+                self._slots[key] = [None] * self.size
+            return self._slots[key]
+
+    def publish(self, op: str, seq: int, value) -> None:
+        self._results[(op, seq)] = value
+
+    def result(self, op: str, seq: int):
+        return self._results[(op, seq)]
+
+    def cleanup(self, op: str, seq: int) -> None:
+        self._slots.pop((op, seq), None)
+        self._results.pop((op, seq), None)
+
+
+class Communicator:
+    """Rank-local handle; the MPI ``comm`` object equivalent."""
+
+    def __init__(self, world: World, rank: int):
+        if not 0 <= rank < world.size:
+            raise CommError(f"rank {rank} out of range for world size {world.size}")
+        self.world = world
+        self.rank = rank
+        self._seq = 0
+
+    @property
+    def size(self) -> int:
+        return self.world.size
+
+    # -- point-to-point --------------------------------------------------------
+    def send(self, dst: int, array: np.ndarray, tag: int = 0) -> None:
+        """Post a message; the payload is copied (MPI buffer semantics)."""
+        if dst == self.rank:
+            raise CommError("send to self is not supported (use a local copy)")
+        self.world.mailbox(self.rank, dst, tag).put(np.array(array, copy=True))
+
+    def recv(self, src: int, tag: int = 0, timeout: float = 30.0) -> np.ndarray:
+        """Block until the matching message arrives."""
+        if src == self.rank:
+            raise CommError("recv from self is not supported")
+        try:
+            return self.world.mailbox(src, self.rank, tag).get(timeout=timeout)
+        except queue.Empty as e:
+            raise CommError(
+                f"recv timeout: rank {self.rank} waiting on src={src} tag={tag}"
+            ) from e
+
+    def sendrecv(self, dst: int, src: int, array: np.ndarray, tag: int = 0) -> np.ndarray:
+        """Concurrent send+recv (deadlock-free neighbour exchange)."""
+        self.send(dst, array, tag)
+        return self.recv(src, tag)
+
+    # -- collectives -------------------------------------------------------------
+    def _next_seq(self) -> int:
+        s = self._seq
+        self._seq += 1
+        return s
+
+    def barrier(self) -> None:
+        self.world.barrier()
+
+    def allreduce(self, array: np.ndarray, op: str = "sum") -> np.ndarray:
+        """All-reduce; returns a fresh array on every rank.
+
+        Reduction runs on rank 0 in ascending rank order -> deterministic.
+        """
+        seq = self._next_seq()
+        slot = self.world.slot("allreduce", seq)
+        slot[self.rank] = np.asarray(array)
+        self.world.barrier()
+        if self.rank == 0:
+            shapes = {a.shape for a in slot}
+            if len(shapes) != 1:
+                raise CommError(f"allreduce shape mismatch across ranks: {shapes}")
+            acc = slot[0].astype(np.float64, copy=True) if op in ("sum", "mean") else np.array(slot[0], copy=True)
+            for contrib in slot[1:]:
+                if op in ("sum", "mean"):
+                    acc += contrib
+                elif op == "max":
+                    np.maximum(acc, contrib, out=acc)
+                elif op == "min":
+                    np.minimum(acc, contrib, out=acc)
+                else:
+                    raise CommError(f"unknown reduction op {op!r}")
+            if op == "mean":
+                acc /= self.size
+            self.world.publish("allreduce", seq, acc.astype(slot[0].dtype))
+        self.world.barrier()
+        out = np.array(self.world.result("allreduce", seq), copy=True)
+        self.world.barrier()
+        if self.rank == 0:
+            self.world.cleanup("allreduce", seq)
+        return out
+
+    def bcast(self, array: np.ndarray | None, root: int = 0) -> np.ndarray:
+        """Broadcast ``array`` from ``root`` to every rank."""
+        seq = self._next_seq()
+        if self.rank == root:
+            if array is None:
+                raise CommError("root must provide an array to bcast")
+            self.world.publish("bcast", seq, np.array(array, copy=True))
+        self.world.barrier()
+        out = np.array(self.world.result("bcast", seq), copy=True)
+        self.world.barrier()
+        if self.rank == root:
+            self.world.cleanup("bcast", seq)
+        return out
+
+    def gather(self, array: np.ndarray, root: int = 0) -> list[np.ndarray] | None:
+        """Gather per-rank arrays to ``root`` (None elsewhere)."""
+        seq = self._next_seq()
+        slot = self.world.slot("gather", seq)
+        slot[self.rank] = np.array(array, copy=True)
+        self.world.barrier()
+        out = [np.array(a, copy=True) for a in slot] if self.rank == root else None
+        self.world.barrier()
+        if self.rank == root:
+            self.world.cleanup("gather", seq)
+        return out
+
+    def allgather(self, array: np.ndarray) -> list[np.ndarray]:
+        """Gather per-rank arrays to every rank."""
+        seq = self._next_seq()
+        slot = self.world.slot("allgather", seq)
+        slot[self.rank] = np.array(array, copy=True)
+        self.world.barrier()
+        out = [np.array(a, copy=True) for a in slot]
+        self.world.barrier()
+        if self.rank == 0:
+            self.world.cleanup("allgather", seq)
+        return out
+
+    def __repr__(self) -> str:
+        return f"Communicator(rank={self.rank}, size={self.size})"
+
+
+def run_parallel(size: int, fn: Callable, args_per_rank: Sequence[tuple] | None = None,
+                 timeout: float = 120.0) -> list:
+    """Run ``fn(comm, *args)`` on ``size`` rank threads; return rank results.
+
+    Any rank exception cancels the run and re-raises in the caller (with
+    the failing rank noted) — mirroring an MPI abort.
+    """
+    world = World(size)
+    results: list = [None] * size
+    errors: list = [None] * size
+
+    def worker(rank: int) -> None:
+        comm = Communicator(world, rank)
+        try:
+            extra = args_per_rank[rank] if args_per_rank is not None else ()
+            results[rank] = fn(comm, *extra)
+        except BaseException as e:  # noqa: BLE001 - must surface rank failures
+            errors[rank] = e
+            world._barrier.abort()
+
+    threads = [threading.Thread(target=worker, args=(r,), daemon=True) for r in range(size)]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join(timeout=timeout)
+        if t.is_alive():
+            world._barrier.abort()
+            raise CommError("parallel run timed out (likely deadlock)")
+    # A failing rank aborts the shared barrier, which makes innocent ranks
+    # die with BrokenBarrierError. Report the root cause, not the fallout.
+    failed = [(r, e) for r, e in enumerate(errors) if e is not None]
+    if failed:
+        primary = [(r, e) for r, e in failed
+                   if not isinstance(e, threading.BrokenBarrierError)]
+        rank, e = primary[0] if primary else failed[0]
+        raise CommError(f"rank {rank} failed: {e!r}") from e
+    return results

@@ -1,0 +1,65 @@
+"""Process groups: carve a world into a G_inter x G_data grid.
+
+AxoNN's hybrid decomposition (paper Section II-E) places rank ``r`` at
+pipeline stage ``r % G_inter`` of data-parallel replica ``r // G_inter``.
+Inter-layer (pipeline) groups share a replica; data-parallel groups
+connect the same stage across replicas — those are the ranks whose
+gradients all-reduce together.
+"""
+
+from __future__ import annotations
+
+__all__ = ["GridLayout"]
+
+
+class GridLayout:
+    """Pure rank arithmetic for the hybrid decomposition."""
+
+    def __init__(self, n_ranks: int, g_inter: int):
+        if n_ranks % g_inter:
+            raise ValueError(f"G_inter={g_inter} does not divide world size {n_ranks}")
+        self.n_ranks = n_ranks
+        self.g_inter = g_inter
+        self.g_data = n_ranks // g_inter
+
+    def stage_of(self, rank: int) -> int:
+        """Pipeline stage index of a rank."""
+        self._check(rank)
+        return rank % self.g_inter
+
+    def replica_of(self, rank: int) -> int:
+        """Data-parallel replica index of a rank."""
+        self._check(rank)
+        return rank // self.g_inter
+
+    def rank_at(self, stage: int, replica: int) -> int:
+        if not 0 <= stage < self.g_inter or not 0 <= replica < self.g_data:
+            raise IndexError(f"(stage={stage}, replica={replica}) out of range")
+        return replica * self.g_inter + stage
+
+    def pipeline_group(self, rank: int) -> list[int]:
+        """Ranks forming this rank's pipeline (same replica)."""
+        rep = self.replica_of(rank)
+        return [self.rank_at(s, rep) for s in range(self.g_inter)]
+
+    def data_group(self, rank: int) -> list[int]:
+        """Ranks holding the same stage across replicas (all-reduce peers)."""
+        stage = self.stage_of(rank)
+        return [self.rank_at(stage, d) for d in range(self.g_data)]
+
+    def prev_stage(self, rank: int) -> int | None:
+        """Upstream pipeline neighbour (None for the first stage)."""
+        s = self.stage_of(rank)
+        return None if s == 0 else rank - 1
+
+    def next_stage(self, rank: int) -> int | None:
+        """Downstream pipeline neighbour (None for the last stage)."""
+        s = self.stage_of(rank)
+        return None if s == self.g_inter - 1 else rank + 1
+
+    def _check(self, rank: int) -> None:
+        if not 0 <= rank < self.n_ranks:
+            raise IndexError(f"rank {rank} out of range [0, {self.n_ranks})")
+
+    def __repr__(self) -> str:
+        return f"GridLayout(G={self.n_ranks} = {self.g_inter} inter x {self.g_data} data)"

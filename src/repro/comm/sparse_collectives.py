@@ -1,0 +1,181 @@
+"""Sparse gradient collectives (paper Section IV-A).
+
+SAMO's data-parallel optimisation is to "directly invoke AxoNN's
+all-reduce calls on the compressed tensor": because every replica prunes
+with the *same* mask, the compressed value arrays are positionally
+aligned across ranks and a plain all-reduce over the values synchronises
+the gradients at ``(1-p)`` of the dense payload.
+
+This module provides that fast path plus the general one:
+
+* :func:`allreduce_compressed` — values-only all-reduce for mask-aligned
+  replicas (the paper's case). A cheap one-time digest check catches
+  accidental mask divergence, which would otherwise silently sum
+  gradients of *different* parameters.
+* :func:`sparse_allreduce_union` — index-union all-reduce for ranks whose
+  masks differ (e.g. locally re-pruned replicas): allgather the index
+  sets, reduce on the union support, return the union COO result.
+* :class:`SparseGradientSynchronizer` — binds a
+  :class:`~repro.core.model_state.SAMOTrainingState` to a communicator
+  and syncs all compressed + dense gradients with one call, tracking the
+  exact payload bytes that the performance model charges.
+"""
+
+from __future__ import annotations
+
+import hashlib
+
+import numpy as np
+
+from .backend import CommError, Communicator
+
+__all__ = [
+    "mask_digest",
+    "allreduce_compressed",
+    "sparse_allreduce_union",
+    "SparseGradientSynchronizer",
+]
+
+
+def mask_digest(ind: np.ndarray) -> np.ndarray:
+    """128-bit digest of an index array as a (2,) uint64 vector.
+
+    Cheap to all-reduce (max == min iff all ranks agree); collision
+    probability is negligible for accident detection.
+    """
+    h = hashlib.blake2b(np.ascontiguousarray(ind, dtype=np.int64).tobytes(), digest_size=16)
+    return np.frombuffer(h.digest(), dtype=np.uint64).copy()
+
+
+def _check_aligned(comm: Communicator, ind: np.ndarray) -> None:
+    d = mask_digest(ind)
+    hi = comm.allreduce(d, op="max")
+    lo = comm.allreduce(d, op="min")
+    if not np.array_equal(hi, lo):
+        raise CommError(
+            "compressed all-reduce requires identical masks on every rank; "
+            "index digests differ (use sparse_allreduce_union instead)"
+        )
+
+
+def allreduce_compressed(
+    comm: Communicator,
+    values: np.ndarray,
+    ind: np.ndarray | None = None,
+    op: str = "mean",
+    check_masks: bool = False,
+) -> np.ndarray:
+    """All-reduce compressed gradient *values* across replicas.
+
+    Parameters
+    ----------
+    values:
+        This rank's compressed gradient array (any float dtype; fp16 in
+        SAMO). Reduced in fp32 for accuracy, returned in the input dtype.
+    ind:
+        The shared index (only needed when ``check_masks`` is True).
+    op:
+        ``"mean"`` (gradient averaging, default) or ``"sum"``.
+    check_masks:
+        Verify via digest that every rank holds the same index set.
+        O(1) payload; enable on the first sync of a run.
+    """
+    if check_masks:
+        if ind is None:
+            raise ValueError("check_masks=True requires the index array")
+        _check_aligned(comm, ind)
+    out32 = comm.allreduce(values.astype(np.float32), op=op)
+    return out32.astype(values.dtype)
+
+
+def sparse_allreduce_union(
+    comm: Communicator,
+    ind: np.ndarray,
+    values: np.ndarray,
+    op: str = "mean",
+) -> tuple[np.ndarray, np.ndarray]:
+    """All-reduce COO gradients whose supports differ across ranks.
+
+    Every rank contributes ``(ind, values)`` over the same flattened
+    parameter space; the result on every rank is the reduction over the
+    *union* support: ``(union_ind, union_values)``, with absent positions
+    treated as zero. ``op='mean'`` divides by the world size (matching
+    dense all-reduce semantics, not per-support counts).
+
+    This is the fallback path for replicas that re-prune locally; the
+    paper's SAMO never needs it because pruning happens once, before
+    parallel training starts.
+    """
+    if ind.shape != values.shape:
+        raise ValueError(f"ind and values must align, got {ind.shape} vs {values.shape}")
+    index_sets = comm.allgather(np.asarray(ind, dtype=np.int64))
+    union = np.unique(np.concatenate(index_sets)) if index_sets else np.array([], np.int64)
+    # Scatter local values onto the union support, then reduce densely.
+    contrib = np.zeros(union.size, dtype=np.float32)
+    pos = np.searchsorted(union, np.asarray(ind, dtype=np.int64))
+    contrib[pos] = values.astype(np.float32)
+    total = comm.allreduce(contrib, op="sum")
+    if op == "mean":
+        total /= comm.size
+    elif op != "sum":
+        raise ValueError(f"op must be 'sum' or 'mean', got {op!r}")
+    return union, total.astype(values.dtype)
+
+
+class SparseGradientSynchronizer:
+    """Data-parallel gradient sync for a SAMO training state.
+
+    Drives the paper's Section IV-A path: after the backward pass has
+    compressed the gradients (``state.compress_gradients()``), one
+    :meth:`sync` call all-reduces every compressed entry's values and
+    every dense (non-prunable) entry's gradient among the replicas of a
+    data-parallel group.
+
+    Attributes
+    ----------
+    bytes_last_sync:
+        fp16 payload bytes this rank contributed in the last sync —
+        the quantity the paper's collective-time model charges.
+    """
+
+    def __init__(self, state, comm: Communicator, check_masks_once: bool = True):
+        self.state = state
+        self.comm = comm
+        self._must_check = bool(check_masks_once)
+        self.bytes_last_sync = 0
+
+    def dense_bytes(self) -> int:
+        """Payload a *dense* (non-SAMO) sync of the same model would send."""
+        n = 0
+        for e in self.state.compressed:
+            n += int(np.prod(e.shape))
+        for d in self.state.dense:
+            n += d.theta32.size
+        return 2 * n  # fp16
+
+    def sync(self, op: str = "mean") -> int:
+        """All-reduce all stored gradients in place; returns payload bytes."""
+        nbytes = 0
+        for e in self.state.compressed:
+            if e.grad16_c is None:
+                continue
+            e.grad16_c = allreduce_compressed(
+                self.comm, e.grad16_c, ind=e.ind, op=op, check_masks=self._must_check
+            )
+            self._must_check = False
+            nbytes += 2 * e.grad16_c.size
+        for d in self.state.dense:
+            if d.grad16 is None:
+                continue
+            d.grad16 = self.comm.allreduce(
+                d.grad16.astype(np.float32), op=op
+            ).astype(np.float16)
+            nbytes += 2 * d.grad16.size
+        self.bytes_last_sync = nbytes
+        return nbytes
+
+    def __repr__(self) -> str:
+        return (
+            f"SparseGradientSynchronizer(rank={self.comm.rank}/{self.comm.size}, "
+            f"entries={len(self.state.compressed)}+{len(self.state.dense)})"
+        )

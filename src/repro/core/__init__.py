@@ -1,0 +1,52 @@
+"""SAMO — Sparsity-aware Memory Optimization (the paper's contribution).
+
+Public surface:
+
+* :func:`compress` / :func:`expand` — the storage primitives;
+* :class:`SAMOTrainingState` — compressed model state + training phases;
+* :class:`SAMOOptimizer` — trainer-facing facade;
+* :mod:`repro.core.memory_model` — Eqs. 1-5 and the Figure 2 curve;
+* :class:`SAMOConfig` — configuration.
+"""
+
+from .compression import compress, compress_into, expand, expand_into
+from .config import SAMOConfig
+from .indexing import flatten_indices, index_bytes, unflatten_indices, validate_flat_indices
+from .memory_model import (
+    BREAK_EVEN_SPARSITY,
+    MemoryBreakdown,
+    dense_model_state_bytes,
+    memory_savings_bytes,
+    memory_savings_percent,
+    samo_breakdown,
+    samo_model_state_bytes,
+)
+from .model_state import CompressedEntry, DenseEntry, SAMOTrainingState
+from .samo_optimizer import SAMOOptimizer
+from .serialization import checkpoint_nbytes, load_state, save_state
+
+__all__ = [
+    "compress",
+    "compress_into",
+    "expand",
+    "expand_into",
+    "flatten_indices",
+    "unflatten_indices",
+    "validate_flat_indices",
+    "index_bytes",
+    "SAMOConfig",
+    "SAMOTrainingState",
+    "SAMOOptimizer",
+    "CompressedEntry",
+    "DenseEntry",
+    "BREAK_EVEN_SPARSITY",
+    "MemoryBreakdown",
+    "dense_model_state_bytes",
+    "samo_model_state_bytes",
+    "samo_breakdown",
+    "memory_savings_bytes",
+    "memory_savings_percent",
+    "save_state",
+    "load_state",
+    "checkpoint_nbytes",
+]

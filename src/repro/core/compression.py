@@ -1,0 +1,78 @@
+"""Compression and expansion primitives (paper Sections III-B, III-C).
+
+``compress`` gathers the kept values of a dense tensor into a contiguous
+1-D buffer using the shared flat index; ``expand`` is the paper's inverse
+"expansion" operation — scatter the compressed values back into a dense
+zero-filled tensor. Both are single fancy-indexing operations, i.e. the
+dense-kernel-friendly moves the paper's design requires.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .indexing import validate_flat_indices
+
+__all__ = ["compress", "expand", "expand_into", "compress_into"]
+
+
+def compress(dense: np.ndarray, ind: np.ndarray, out_dtype=None) -> np.ndarray:
+    """Gather kept values: ``dense.reshape(-1)[ind]``.
+
+    Parameters
+    ----------
+    dense:
+        Any N-d array.
+    ind:
+        Sorted, unique flat indices into the 1-D view of ``dense``.
+    out_dtype:
+        Optional dtype conversion fused into the gather (e.g. fp32 -> fp16
+        when producing ``∇θ16`` from a fresh dense gradient).
+    """
+    ind = validate_flat_indices(ind, dense.size)
+    vals = dense.reshape(-1)[ind]
+    if out_dtype is not None and vals.dtype != np.dtype(out_dtype):
+        # fp32 -> fp16 overflow to inf is *intended* mixed-precision
+        # behaviour: the loss scaler detects it and skips the step.
+        with np.errstate(over="ignore"):
+            vals = vals.astype(out_dtype)
+    return vals
+
+
+def compress_into(dense: np.ndarray, ind: np.ndarray, out: np.ndarray) -> np.ndarray:
+    """Gather into a preallocated buffer (avoids allocation in hot loops)."""
+    ind = validate_flat_indices(ind, dense.size)
+    np.take(dense.reshape(-1), ind, out=out if out.dtype == dense.dtype else None)
+    if out.dtype != dense.dtype:
+        out[...] = dense.reshape(-1)[ind]
+    return out
+
+
+def expand(
+    values: np.ndarray,
+    ind: np.ndarray,
+    shape: tuple[int, ...],
+    out_dtype=None,
+) -> np.ndarray:
+    """Scatter compressed values into a dense zero tensor of ``shape``.
+
+    The paper's "expansion" operator: the inverse of :func:`compress` on
+    the kept positions, with zeros at every pruned position.
+    """
+    size = int(np.prod(shape))
+    ind = validate_flat_indices(ind, size)
+    if values.shape != ind.shape:
+        raise ValueError(f"values shape {values.shape} != index shape {ind.shape}")
+    dtype = out_dtype or values.dtype
+    dense = np.zeros(size, dtype=dtype)
+    dense[ind] = values
+    return dense.reshape(shape)
+
+
+def expand_into(values: np.ndarray, ind: np.ndarray, out: np.ndarray) -> np.ndarray:
+    """Scatter into a preallocated dense tensor (zeroed first)."""
+    ind = validate_flat_indices(ind, out.size)
+    flat = out.reshape(-1)
+    flat[...] = 0
+    flat[ind] = values
+    return out

@@ -1,0 +1,54 @@
+"""SAMO configuration."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["SAMOConfig"]
+
+
+@dataclass(frozen=True)
+class SAMOConfig:
+    """Knobs of the SAMO training state.
+
+    Attributes
+    ----------
+    optimizer:
+        ``'adam' | 'adamw' | 'sgd'`` — which update kernel the compressed
+        optimizer step runs.
+    lr, betas, eps, weight_decay, momentum, nesterov:
+        Hyper-parameters forwarded to the kernel.
+    compress_nonprunable:
+        SAMO only compresses states of pruned (prunable) tensors; biases
+        and norm parameters always stay dense. Kept as an explicit flag to
+        document the behaviour.
+    warn_below_break_even:
+        Emit a warning when the mask sparsity is below 0.25, where SAMO
+        *increases* memory (paper Fig. 2).
+    """
+
+    optimizer: str = "adam"
+    lr: float = 1e-3
+    betas: tuple[float, float] = (0.9, 0.999)
+    eps: float = 1e-8
+    weight_decay: float = 0.0
+    momentum: float = 0.9
+    nesterov: bool = False
+    compress_nonprunable: bool = False
+    warn_below_break_even: bool = True
+
+    def __post_init__(self):
+        if self.optimizer not in ("adam", "adamw", "sgd"):
+            raise ValueError(f"unknown optimizer {self.optimizer!r}")
+        if self.lr <= 0:
+            raise ValueError("lr must be positive")
+        if self.compress_nonprunable:
+            raise ValueError(
+                "compress_nonprunable is documented-only: SAMO keeps "
+                "non-prunable tensors dense by design"
+            )
+
+    @property
+    def optimizer_state_slots(self) -> int:
+        """fp32 state arrays per parameter (2 for Adam/AdamW, 1 for SGD)."""
+        return 2 if self.optimizer in ("adam", "adamw") else 1

@@ -1,0 +1,74 @@
+"""Flattened one-dimensional index views (paper Section III-B).
+
+SAMO stores the non-zero indices of every N-dimensional state tensor as
+indices into a hypothetical 1-D view, saving N× index memory relative to
+COO coordinate tuples: for a 2x2 tensor with non-zeros at [(0,0), (1,1)],
+the 1-D view stores just [0, 3].
+
+These helpers convert between N-d coordinates and the flat view and verify
+the invariants the rest of SAMO relies on (sorted, unique, in-range).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = [
+    "flatten_indices",
+    "unflatten_indices",
+    "validate_flat_indices",
+    "index_bytes",
+]
+
+INDEX_DTYPE = np.int32
+
+
+def flatten_indices(coords: np.ndarray, shape: tuple[int, ...]) -> np.ndarray:
+    """Convert ``(nnz, ndim)`` coordinate rows to sorted flat int32 indices.
+
+    Equivalent to ``np.ravel_multi_index`` plus SAMO's storage conventions.
+    """
+    coords = np.asarray(coords)
+    if coords.ndim == 1:
+        coords = coords[:, None]
+    if coords.shape[1] != len(shape):
+        raise ValueError(
+            f"coordinate arity {coords.shape[1]} != tensor ndim {len(shape)}"
+        )
+    flat = np.ravel_multi_index(tuple(coords.T), shape)
+    return np.sort(flat).astype(INDEX_DTYPE)
+
+
+def unflatten_indices(flat: np.ndarray, shape: tuple[int, ...]) -> np.ndarray:
+    """Convert flat indices back to ``(nnz, ndim)`` coordinate rows."""
+    flat = np.asarray(flat)
+    return np.stack(np.unravel_index(flat, shape), axis=1)
+
+
+def validate_flat_indices(flat: np.ndarray, size: int) -> np.ndarray:
+    """Check SAMO's index invariants; returns the validated int32 array.
+
+    Raises ``ValueError`` on unsorted, duplicated, or out-of-range entries.
+    """
+    flat = np.asarray(flat)
+    if flat.ndim != 1:
+        raise ValueError("flat index array must be 1-D")
+    if flat.dtype != INDEX_DTYPE:
+        flat = flat.astype(INDEX_DTYPE)
+    if flat.size:
+        if flat[0] < 0 or flat[-1] >= size:
+            raise ValueError(f"index out of range for size {size}")
+        d = np.diff(flat)
+        if np.any(d < 0):
+            raise ValueError("indices must be sorted ascending")
+        if np.any(d == 0):
+            raise ValueError("indices must be unique")
+    return flat
+
+
+def index_bytes(nnz: int) -> int:
+    """Bytes spent on the shared index tensor: one int32 per kept value.
+
+    This is the ``4·f·φ`` term of the paper's Eq. 1.
+    """
+    return 4 * int(nnz)

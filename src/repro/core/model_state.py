@@ -1,0 +1,335 @@
+"""Compressed model state (paper Sections III-A to III-C).
+
+SAMO keeps the half-precision parameters ``θ16`` dense (so forward and
+backward run on fast dense kernels) and stores every other model-state
+tensor — ``θ32``, ``∇θ16``, ``∇θ32`` and the optimizer states ``os`` —
+compressed to the unpruned positions, all sharing one flattened int32
+index per layer.
+
+:class:`SAMOTrainingState` owns this storage for a model + mask pair and
+implements the three training phases:
+
+* **forward** — nothing to do: ``θ16`` lives (quantised to the fp16 grid)
+  in each ``Parameter.data``, so the model's normal ``forward`` already
+  computes with half-precision weights on dense kernels;
+* **backward** — :meth:`compress_gradients` converts each freshly produced
+  dense gradient into compressed fp16 storage and frees the dense buffer,
+  layer by layer;
+* **optimizer step** — :meth:`step` up-scales ``∇θ16 → ∇θ32`` on the
+  compressed buffers, runs the (dense, elementwise) optimizer kernel on the
+  compressed fp32 state, and re-materialises ``θ16`` via a compressed
+  fp16 copy of ``θ32`` followed by the *expand* operation.
+
+Non-prunable tensors (biases, normalisation affine parameters) follow the
+ordinary mixed-precision path with dense fp32 masters.
+"""
+
+from __future__ import annotations
+
+import warnings
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..optim.kernels import adam_kernel, sgd_momentum_kernel
+from ..pruning.masks import MaskSet
+from ..tensor.module import Module, Parameter
+from .compression import compress, expand
+from .config import SAMOConfig
+from .memory_model import BREAK_EVEN_SPARSITY
+
+__all__ = ["SAMOTrainingState", "CompressedEntry", "DenseEntry"]
+
+
+@dataclass
+class CompressedEntry:
+    """SAMO storage for one pruned (prunable) parameter tensor."""
+
+    name: str
+    param: Parameter
+    shape: tuple[int, ...]
+    ind: np.ndarray  # shared int32 flat index (sorted, unique)
+    theta32_c: np.ndarray  # fp32 master values, compressed
+    grad16_c: np.ndarray | None = None  # fp16 gradient, compressed
+    opt_state_c: list[np.ndarray] = field(default_factory=list)  # fp32, compressed
+
+    @property
+    def nnz(self) -> int:
+        return int(self.ind.size)
+
+
+@dataclass
+class DenseEntry:
+    """Ordinary mixed-precision storage for a non-prunable tensor."""
+
+    name: str
+    param: Parameter
+    theta32: np.ndarray  # fp32 master, dense
+    grad16: np.ndarray | None = None  # fp16 gradient, dense
+    opt_state: list[np.ndarray] = field(default_factory=list)
+
+
+class SAMOTrainingState:
+    """Owns compressed model state and the SAMO training phases.
+
+    Parameters
+    ----------
+    model:
+        The network. Its prunable parameters must be covered by ``mask``.
+        On construction the mask is applied (pruned weights zeroed), all
+        parameter data is quantised to the fp16 grid (this *is* ``θ16``),
+        and compressed fp32 masters are gathered.
+    mask:
+        Keep-index sets from a pruning algorithm.
+    config:
+        Optimizer selection and hyper-parameters.
+    """
+
+    def __init__(self, model: Module, mask: MaskSet, config: SAMOConfig | None = None):
+        self.model = model
+        self.mask = mask
+        self.config = config or SAMOConfig()
+        if (
+            self.config.warn_below_break_even
+            and mask.sparsity < BREAK_EVEN_SPARSITY
+        ):
+            warnings.warn(
+                f"mask sparsity {mask.sparsity:.3f} is below SAMO's break-even "
+                f"point {BREAK_EVEN_SPARSITY}; memory use will increase",
+                stacklevel=2,
+            )
+        self.compressed: list[CompressedEntry] = []
+        self.dense: list[DenseEntry] = []
+        self.step_count = 0
+        n_slots = self.config.optimizer_state_slots
+
+        mask.apply(model)  # zero pruned weights before gathering masters
+        for name, p in model.named_parameters():
+            if name in mask:
+                ind = mask.indices[name]
+                theta32_c = p.data.reshape(-1)[ind].astype(np.float32)
+                entry = CompressedEntry(
+                    name=name,
+                    param=p,
+                    shape=p.data.shape,
+                    ind=ind,
+                    theta32_c=theta32_c,
+                    opt_state_c=[np.zeros(ind.size, dtype=np.float32) for _ in range(n_slots)],
+                )
+                self.compressed.append(entry)
+                # θ16: dense, fp16-quantised, pruned positions exactly zero.
+                p.data[...] = expand(
+                    theta32_c.astype(np.float16), ind, entry.shape, out_dtype=np.float16
+                ).astype(np.float32)
+            else:
+                self.dense.append(
+                    DenseEntry(
+                        name=name,
+                        param=p,
+                        theta32=p.data.astype(np.float32, copy=True),
+                        opt_state=[np.zeros_like(p.data, dtype=np.float32) for _ in range(n_slots)],
+                    )
+                )
+                p.data[...] = p.data.astype(np.float16).astype(np.float32)
+
+    # ------------------------------------------------------------------
+    # backward phase
+    # ------------------------------------------------------------------
+    def compress_gradients(self) -> None:
+        """Compress every parameter's dense gradient into fp16 storage.
+
+        Mirrors the paper's per-layer compression during the backward pass:
+        each dense gradient buffer is freed as soon as its compressed copy
+        exists, so at most one layer's dense gradient is alive at a time.
+        Gradients accumulate across calls (microbatching).
+        """
+        for e in self.compressed:
+            if e.param.grad is None:
+                continue
+            g_c = compress(e.param.grad, e.ind, out_dtype=np.float16)
+            if e.grad16_c is None:
+                e.grad16_c = g_c
+            else:
+                e.grad16_c = (e.grad16_c.astype(np.float32) + g_c.astype(np.float32)).astype(np.float16)
+            e.param.grad = None  # free the dense buffer immediately
+        for d in self.dense:
+            if d.param.grad is None:
+                continue
+            with np.errstate(over="ignore"):  # inf -> scaler skips the step
+                g16 = d.param.grad.astype(np.float16)
+            if d.grad16 is None:
+                d.grad16 = g16
+            else:
+                d.grad16 = (d.grad16.astype(np.float32) + g16.astype(np.float32)).astype(np.float16)
+            d.param.grad = None
+
+    def has_gradient_overflow(self) -> bool:
+        """True when any stored fp16 gradient contains inf/nan."""
+        for e in self.compressed:
+            if e.grad16_c is not None and not np.all(np.isfinite(e.grad16_c)):
+                return True
+        for d in self.dense:
+            if d.grad16 is not None and not np.all(np.isfinite(d.grad16)):
+                return True
+        return False
+
+    def zero_grad(self) -> None:
+        """Drop stored gradients (dense and compressed)."""
+        for e in self.compressed:
+            e.grad16_c = None
+        for d in self.dense:
+            d.grad16 = None
+        self.model.zero_grad()
+
+    def clip_gradients(self, max_norm: float, loss_scale: float = 1.0) -> float:
+        """Global-norm clip of the stored (compressed) fp16 gradients.
+
+        Pruned positions are exactly zero, so the norm over compressed
+        values equals the norm of the masked dense gradient — clipping
+        here is bitwise-equivalent to clipping in the dense baseline.
+        Returns the pre-clip unscaled norm.
+        """
+        from ..optim.grad_clip import clip_stored_norm
+
+        arrays = [e.grad16_c for e in self.compressed] + [d.grad16 for d in self.dense]
+        return clip_stored_norm(arrays, max_norm, loss_scale)
+
+    # ------------------------------------------------------------------
+    # optimizer phase
+    # ------------------------------------------------------------------
+    def step(self, lr: float | None = None, loss_scale: float = 1.0) -> bool:
+        """Run the SAMO optimizer step. Returns False on fp16 overflow.
+
+        Phases per the paper's Section III-C:
+
+        1. up-scale ``∇θ16 → ∇θ32`` directly on the compressed buffers
+           (and divide out the loss scale);
+        2. run the optimizer kernel on compressed fp32 state — valid
+           because every state tensor shares the same index;
+        3. down-cast: make a compressed fp16 copy of ``θ32`` and *expand*
+           it into the dense ``θ16`` (zeros at pruned positions).
+        """
+        if self.has_gradient_overflow():
+            self.zero_grad()
+            return False
+        self.step_count += 1
+        cfg = self.config
+        lr = cfg.lr if lr is None else lr
+        inv_scale = 1.0 / float(loss_scale)
+
+        for e in self.compressed:
+            if e.grad16_c is None:
+                continue
+            grad32_c = e.grad16_c.astype(np.float32) * inv_scale  # phase 1
+            self._apply_kernel(e.theta32_c, grad32_c, e.opt_state_c, lr)  # phase 2
+            theta16_c = e.theta32_c.astype(np.float16)  # temp compressed copy
+            e.param.data[...] = expand(
+                theta16_c, e.ind, e.shape, out_dtype=np.float16
+            ).astype(np.float32)  # phase 3: expand
+            e.grad16_c = None
+
+        for d in self.dense:
+            if d.grad16 is None:
+                continue
+            grad32 = d.grad16.astype(np.float32) * inv_scale
+            self._apply_kernel(d.theta32, grad32, d.opt_state, lr)
+            d.param.data[...] = d.theta32.astype(np.float16).astype(np.float32)
+            d.grad16 = None
+        return True
+
+    def _apply_kernel(
+        self,
+        theta32: np.ndarray,
+        grad32: np.ndarray,
+        state: list[np.ndarray],
+        lr: float,
+    ) -> None:
+        cfg = self.config
+        if cfg.optimizer in ("adam", "adamw"):
+            adam_kernel(
+                theta32,
+                grad32,
+                state[0],
+                state[1],
+                step=self.step_count,
+                lr=lr,
+                beta1=cfg.betas[0],
+                beta2=cfg.betas[1],
+                eps=cfg.eps,
+                weight_decay=cfg.weight_decay,
+                decoupled=cfg.optimizer == "adamw",
+            )
+        else:
+            sgd_momentum_kernel(
+                theta32,
+                grad32,
+                state[0],
+                lr=lr,
+                momentum=cfg.momentum,
+                weight_decay=cfg.weight_decay,
+                nesterov=cfg.nesterov,
+                first_step=self.step_count == 1,
+            )
+
+    # ------------------------------------------------------------------
+    # accounting
+    # ------------------------------------------------------------------
+    def measured_bytes(self) -> dict[str, int]:
+        """Model-state bytes as actually stored, by component.
+
+        ``θ16`` counts 2 bytes per element (its storage precision — the
+        fp32 compute container on this CPU substrate is an implementation
+        detail, see ``repro.tensor.precision``). Everything else is the
+        literal ``nbytes`` of the backing arrays. ``downcast_temp`` is the
+        transient compressed fp16 copy made in phase 3.
+        """
+        out = {
+            "theta16": 0,
+            "grad16": 0,
+            "theta32": 0,
+            "grad32": 0,
+            "optimizer_states": 0,
+            "index": 0,
+            "downcast_temp": 0,
+        }
+        for e in self.compressed:
+            out["theta16"] += 2 * int(np.prod(e.shape))
+            out["grad16"] += 2 * e.nnz
+            out["theta32"] += e.theta32_c.nbytes
+            out["grad32"] += 4 * e.nnz
+            out["optimizer_states"] += sum(s.nbytes for s in e.opt_state_c)
+            out["index"] += e.ind.nbytes
+            out["downcast_temp"] += 2 * e.nnz
+        for d in self.dense:
+            n = d.theta32.size
+            out["theta16"] += 2 * n
+            out["grad16"] += 2 * n
+            out["theta32"] += d.theta32.nbytes
+            out["grad32"] += 4 * n
+            out["optimizer_states"] += sum(s.nbytes for s in d.opt_state)
+        out["total"] = sum(v for k, v in out.items() if k != "total")
+        return out
+
+    def consistency_check(self) -> None:
+        """Verify storage invariants (used by tests and after loading).
+
+        * dense ``θ16`` equals expand(compress fp16 of ``θ32``);
+        * pruned positions of every parameter are exactly zero.
+        """
+        for e in self.compressed:
+            dense16 = expand(
+                e.theta32_c.astype(np.float16), e.ind, e.shape, out_dtype=np.float16
+            ).astype(np.float32)
+            if not np.array_equal(dense16, e.param.data):
+                raise AssertionError(f"{e.name}: θ16 inconsistent with θ32")
+            keep = np.zeros(int(np.prod(e.shape)), dtype=bool)
+            keep[e.ind] = True
+            if np.any(e.param.data.reshape(-1)[~keep] != 0.0):
+                raise AssertionError(f"{e.name}: non-zero values at pruned positions")
+
+    def __repr__(self) -> str:
+        return (
+            f"SAMOTrainingState(compressed={len(self.compressed)}, "
+            f"dense={len(self.dense)}, sparsity={self.mask.sparsity:.3f}, "
+            f"optimizer={self.config.optimizer!r})"
+        )

@@ -1,0 +1,85 @@
+"""Trainer-facing facade over :class:`SAMOTrainingState`.
+
+Presents the same ``zero_grad / step`` protocol as the dense optimizers in
+:mod:`repro.optim`, plus the compressed-gradient views that data-parallel
+training all-reduces (paper Section IV-A: "directly invoking AxoNN's
+all-reduce calls on the compressed tensor").
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..pruning.masks import MaskSet
+from ..tensor.module import Module
+from .config import SAMOConfig
+from .model_state import SAMOTrainingState
+
+__all__ = ["SAMOOptimizer"]
+
+
+class SAMOOptimizer:
+    """Drop-in optimizer that owns a SAMO training state.
+
+    Typical loop::
+
+        opt = SAMOOptimizer(model, mask, SAMOConfig(optimizer="adamw", lr=3e-4))
+        loss = model.loss(x, y)
+        loss.backward()
+        opt.compress_gradients()   # per the paper: right after backward
+        opt.step()
+    """
+
+    def __init__(self, model: Module, mask: MaskSet, config: SAMOConfig | None = None):
+        self.state = SAMOTrainingState(model, mask, config)
+        self.config = self.state.config
+        self.lr = self.config.lr
+
+    # -- optimizer protocol ---------------------------------------------------
+    def set_lr(self, lr: float) -> None:
+        self.lr = float(lr)
+
+    def zero_grad(self) -> None:
+        self.state.zero_grad()
+
+    def compress_gradients(self) -> None:
+        """Compress dense grads into shared-index fp16 storage (backward phase)."""
+        self.state.compress_gradients()
+
+    def step(self, loss_scale: float = 1.0) -> bool:
+        """Run the SAMO optimizer step; False means fp16 overflow (skipped)."""
+        return self.state.step(lr=self.lr, loss_scale=loss_scale)
+
+    @property
+    def step_count(self) -> int:
+        return self.state.step_count
+
+    # -- communication hooks ----------------------------------------------------
+    def compressed_gradient_views(self) -> list[tuple[str, np.ndarray]]:
+        """(name, fp16 compressed gradient) pairs for sparse all-reduce.
+
+        Only gradients that exist (post ``compress_gradients``) are
+        returned; buffers are the live storage, so an in-place all-reduce
+        updates SAMO state directly.
+        """
+        out = []
+        for e in self.state.compressed:
+            if e.grad16_c is not None:
+                out.append((e.name, e.grad16_c))
+        for d in self.state.dense:
+            if d.grad16 is not None:
+                out.append((d.name, d.grad16))
+        return out
+
+    def gradient_message_bytes(self) -> int:
+        """Bytes a data-parallel all-reduce must move per rank with SAMO."""
+        return sum(g.nbytes for _, g in self.compressed_gradient_views())
+
+    def average_gradients(self, world_size: int) -> None:
+        """Divide stored gradients by ``world_size`` (post all-reduce)."""
+        for _, g in self.compressed_gradient_views():
+            g32 = g.astype(np.float32) / world_size
+            g[...] = g32.astype(g.dtype)
+
+    def __repr__(self) -> str:
+        return f"SAMOOptimizer({self.state!r}, lr={self.lr})"

@@ -1,0 +1,177 @@
+"""Checkpointing of SAMO training state (save / load / resume).
+
+Large-model training jobs checkpoint constantly; a SAMO checkpoint must
+round-trip the *compressed* storage exactly — shared indices, compressed
+fp32 masters, compressed optimizer states and the step counter — so that
+resumed training is bit-identical to uninterrupted training. Notably the
+dense ``θ16`` is **not** stored: it is a pure function of ``θ32`` and
+``ind`` (phase 3 of the optimizer step) and is re-expanded on load, which
+keeps the checkpoint at the compressed size — the on-disk counterpart of
+the paper's in-memory savings.
+
+Format: a single ``.npz`` (zip of ``.npy`` arrays) plus a small JSON
+header for config/metadata. No pickling — arrays only — so checkpoints
+are portable and safe to load.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import pathlib
+
+import numpy as np
+
+from ..pruning.masks import MaskSet
+from ..tensor.module import Module
+from .compression import expand
+from .config import SAMOConfig
+from .model_state import SAMOTrainingState
+
+__all__ = ["save_state", "load_state", "checkpoint_nbytes"]
+
+FORMAT_VERSION = 1
+
+
+def _config_dict(cfg: SAMOConfig) -> dict:
+    return {
+        "optimizer": cfg.optimizer,
+        "lr": cfg.lr,
+        "betas": list(cfg.betas),
+        "eps": cfg.eps,
+        "weight_decay": cfg.weight_decay,
+        "momentum": cfg.momentum,
+        "nesterov": cfg.nesterov,
+    }
+
+
+def _config_from_dict(d: dict) -> SAMOConfig:
+    return SAMOConfig(
+        optimizer=d["optimizer"],
+        lr=d["lr"],
+        betas=tuple(d["betas"]),
+        eps=d["eps"],
+        weight_decay=d["weight_decay"],
+        momentum=d["momentum"],
+        nesterov=d["nesterov"],
+        warn_below_break_even=False,  # sparsity was validated at save time
+    )
+
+
+def save_state(state: SAMOTrainingState, path: str | os.PathLike) -> int:
+    """Write ``state`` to ``path`` (.npz). Returns bytes written.
+
+    Pending (un-stepped) gradients are deliberately not saved — standard
+    checkpointing semantics save at step boundaries.
+    """
+    path = pathlib.Path(path)
+    arrays: dict[str, np.ndarray] = {}
+    header = {
+        "version": FORMAT_VERSION,
+        "step_count": state.step_count,
+        "config": _config_dict(state.config),
+        "compressed": [],
+        "dense": [],
+    }
+    for i, e in enumerate(state.compressed):
+        key = f"c{i}"
+        header["compressed"].append(
+            {"name": e.name, "shape": list(e.shape), "slots": len(e.opt_state_c)}
+        )
+        arrays[f"{key}_ind"] = e.ind
+        arrays[f"{key}_theta32"] = e.theta32_c
+        for s, slot in enumerate(e.opt_state_c):
+            arrays[f"{key}_os{s}"] = slot
+    for i, d in enumerate(state.dense):
+        key = f"d{i}"
+        header["dense"].append(
+            {"name": d.name, "shape": list(d.theta32.shape), "slots": len(d.opt_state)}
+        )
+        arrays[f"{key}_theta32"] = d.theta32
+        for s, slot in enumerate(d.opt_state):
+            arrays[f"{key}_os{s}"] = slot
+    arrays["header"] = np.frombuffer(
+        json.dumps(header).encode("utf-8"), dtype=np.uint8
+    ).copy()
+    with open(path, "wb") as fh:
+        np.savez(fh, **arrays)
+    return path.stat().st_size
+
+
+def load_state(model: Module, path: str | os.PathLike) -> SAMOTrainingState:
+    """Rebuild a :class:`SAMOTrainingState` for ``model`` from ``path``.
+
+    ``model``'s parameter names and shapes must match the checkpoint; its
+    parameter *values* are overwritten (``θ16`` is re-expanded from the
+    stored compressed ``θ32``). Resumed training continues bit-identically.
+    """
+    with np.load(path) as z:
+        header = json.loads(bytes(z["header"]).decode("utf-8"))
+        if header["version"] != FORMAT_VERSION:
+            raise ValueError(f"unsupported checkpoint version {header['version']}")
+        cfg = _config_from_dict(header["config"])
+
+        indices = {
+            meta["name"]: z[f"c{i}_ind"]
+            for i, meta in enumerate(header["compressed"])
+        }
+        shapes = {
+            meta["name"]: tuple(meta["shape"])
+            for meta in header["compressed"]
+        }
+        mask = MaskSet(indices, shapes)
+
+        params = dict(model.named_parameters())
+        missing = set(indices) - set(params)
+        if missing:
+            raise KeyError(f"checkpoint parameters not in model: {sorted(missing)}")
+        for name, shape in shapes.items():
+            if tuple(params[name].data.shape) != shape:
+                raise ValueError(
+                    f"{name}: model shape {params[name].data.shape} != "
+                    f"checkpoint shape {shape}"
+                )
+
+        state = SAMOTrainingState(model, mask, cfg)
+        state.step_count = int(header["step_count"])
+
+        by_name = {e.name: e for e in state.compressed}
+        for i, meta in enumerate(header["compressed"]):
+            e = by_name[meta["name"]]
+            e.theta32_c = z[f"c{i}_theta32"].copy()
+            e.opt_state_c = [z[f"c{i}_os{s}"].copy() for s in range(meta["slots"])]
+            # Re-materialise dense θ16 from the restored master (phase 3).
+            e.param.data[...] = expand(
+                e.theta32_c.astype(np.float16), e.ind, e.shape, out_dtype=np.float16
+            ).astype(np.float32)
+
+        dense_by_name = {d.name: d for d in state.dense}
+        saved_dense = {meta["name"] for meta in header["dense"]}
+        extra = set(dense_by_name) - saved_dense
+        if extra:
+            raise KeyError(f"model has dense parameters missing from checkpoint: {sorted(extra)}")
+        for i, meta in enumerate(header["dense"]):
+            if meta["name"] not in dense_by_name:
+                raise KeyError(f"checkpoint dense parameter not in model: {meta['name']}")
+            d = dense_by_name[meta["name"]]
+            d.theta32 = z[f"d{i}_theta32"].copy()
+            d.opt_state = [z[f"d{i}_os{s}"].copy() for s in range(meta["slots"])]
+            d.param.data[...] = d.theta32.astype(np.float16).astype(np.float32)
+
+    state.consistency_check()
+    return state
+
+
+def checkpoint_nbytes(state: SAMOTrainingState) -> int:
+    """Bytes a checkpoint of ``state`` stores (uncompressed-by-zip).
+
+    θ32 + optimizer states + shared index for compressed entries, θ32 +
+    optimizer states for dense ones. θ16 and gradients are derived /
+    transient and cost nothing on disk.
+    """
+    n = 0
+    for e in state.compressed:
+        n += e.ind.nbytes + e.theta32_c.nbytes + sum(s.nbytes for s in e.opt_state_c)
+    for d in state.dense:
+        n += d.theta32.nbytes + sum(s.nbytes for s in d.opt_state)
+    return n

@@ -1,0 +1,42 @@
+"""Model zoo: GPT-3 family, VGG-19, WideResnet-101 (paper Table I).
+
+Paper-scale models exist as analytical :class:`ModelSpec` objects (exact
+shapes, no allocation); tiny runnable variants share the same code path for
+functional experiments.
+"""
+
+from .flops import (
+    narayanan_transformer_flops,
+    percent_of_peak,
+    spec_batch_flops,
+    transformer_activation_bytes,
+)
+from .gpt import GPT, GPT_CONFIGS, GPTConfig, gpt_spec
+from .registry import TABLE_I, WorkloadEntry, get_spec, gpu_counts, table_rows
+from .spec import LayerSpec, ModelSpec
+from .vgg import VGG, build_vgg, vgg_spec
+from .wide_resnet import WideResNet, build_wide_resnet, wide_resnet_spec
+
+__all__ = [
+    "LayerSpec",
+    "ModelSpec",
+    "GPT",
+    "GPTConfig",
+    "GPT_CONFIGS",
+    "gpt_spec",
+    "VGG",
+    "vgg_spec",
+    "build_vgg",
+    "WideResNet",
+    "wide_resnet_spec",
+    "build_wide_resnet",
+    "TABLE_I",
+    "WorkloadEntry",
+    "get_spec",
+    "gpu_counts",
+    "table_rows",
+    "narayanan_transformer_flops",
+    "percent_of_peak",
+    "spec_batch_flops",
+    "transformer_activation_bytes",
+]

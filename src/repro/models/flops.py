@@ -1,0 +1,90 @@
+"""Floating-point operation accounting.
+
+Implements Narayanan et al.'s transformer iteration-flops formula — the one
+the paper uses for its "percentage of peak half-precision throughput"
+numbers (Table II) — plus generic spec-based accounting for CNNs.
+"""
+
+from __future__ import annotations
+
+from .gpt import GPTConfig
+from .spec import ModelSpec
+
+__all__ = [
+    "narayanan_transformer_flops",
+    "percent_of_peak",
+    "spec_batch_flops",
+    "transformer_activation_bytes",
+]
+
+
+def narayanan_transformer_flops(
+    batch_size: int,
+    seq_len: int,
+    n_layers: int,
+    d_model: int,
+    vocab_size: int,
+) -> float:
+    """Total flops of one training iteration of a GPT-style transformer.
+
+    Narayanan et al. (SC'21), Eq. used by the paper's Section V-C:
+
+    ``F = 96 * B * s * l * h^2 * (1 + s/(6h) + V/(16*l*h))``
+
+    This counts forward + backward + activation-recompute (the 4x-forward
+    factor) for all ``l`` transformer layers plus the vocabulary projection.
+    """
+    b, s, l, h, v = batch_size, seq_len, n_layers, d_model, vocab_size
+    return 96.0 * b * s * l * h * h * (1.0 + s / (6.0 * h) + v / (16.0 * l * h))
+
+
+def narayanan_flops_for_config(config: GPTConfig) -> float:
+    """Convenience wrapper taking a :class:`GPTConfig`."""
+    return narayanan_transformer_flops(
+        config.batch_size, config.seq_len, config.n_layers, config.d_model, config.vocab_size
+    )
+
+
+def percent_of_peak(
+    total_flops: float,
+    batch_time_s: float,
+    n_gpus: int,
+    peak_flops_per_gpu: float = 125e12,
+) -> float:
+    """Percentage of aggregate peak throughput achieved by a batch.
+
+    Matches the paper's metric: divide achieved flop/s by Summit's
+    125 Tflop/s fp16 peak per V100 times the GPU count.
+    """
+    if batch_time_s <= 0:
+        raise ValueError("batch_time_s must be positive")
+    achieved = total_flops / batch_time_s
+    return 100.0 * achieved / (peak_flops_per_gpu * n_gpus)
+
+
+def spec_batch_flops(spec: ModelSpec, with_checkpoint_recompute: bool = True) -> float:
+    """Iteration flops from a :class:`ModelSpec` (fwd+bwd(+recompute))."""
+    return spec.total_flops_per_batch(with_checkpoint_recompute=with_checkpoint_recompute)
+
+
+def transformer_activation_bytes(
+    seq_len: int,
+    d_model: int,
+    n_heads: int,
+    microbatch: int = 1,
+    checkpointed: bool = False,
+) -> int:
+    """Activation bytes one transformer layer keeps alive for its backward.
+
+    Korthikanti et al. ("Reducing Activation Recomputation in Large
+    Transformer Models", Eq. 2): without checkpointing a standard
+    attention+MLP block stores ``s·b·h·34 + 5·a·s²·b`` bytes in mixed
+    precision (QKV, attention scores/probabilities, the 4h MLP
+    activations, dropout masks, norms). With full activation
+    checkpointing only the 2-byte fp16 layer *input* (``2·s·b·h``) is
+    retained and everything else is recomputed.
+    """
+    s, b, h, a = seq_len, microbatch, d_model, n_heads
+    if checkpointed:
+        return 2 * s * b * h
+    return 34 * s * b * h + 5 * a * s * s * b

@@ -1,0 +1,249 @@
+"""GPT-3 style decoder-only transformers (Brown et al., 2020).
+
+Two faces of the same architecture:
+
+* :func:`gpt_spec` — exact-shape :class:`~repro.models.spec.ModelSpec` for
+  the paper-scale configurations (XL 1.3B, 2.7B, 6.7B, 13B). These drive
+  the memory model, the partitioner, and the cluster simulator without
+  allocating billions of floats.
+* :class:`GPT` — a runnable NumPy network used at tiny scale for the
+  statistical-efficiency experiment (Figure 4) and functional tests.
+
+Configurations follow GPT-3 Table 2.1 with MegatronLM-compatible shapes
+(d_model divisible by n_heads).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..tensor import (
+    CausalSelfAttention,
+    Dropout,
+    Embedding,
+    GELU,
+    LayerNorm,
+    Linear,
+    Module,
+    ModuleList,
+    Parameter,
+    Tensor,
+    functional as F,
+    init,
+)
+from .spec import LayerSpec, ModelSpec
+
+__all__ = ["GPTConfig", "GPT", "gpt_spec", "GPT_CONFIGS"]
+
+#: GPT-3 vocabulary (BPE) and context length used throughout the paper.
+GPT3_VOCAB = 50257
+GPT3_SEQ = 2048
+
+
+@dataclass(frozen=True)
+class GPTConfig:
+    """Hyper-parameters of a decoder-only transformer."""
+
+    name: str
+    n_layers: int
+    d_model: int
+    n_heads: int
+    vocab_size: int = GPT3_VOCAB
+    seq_len: int = GPT3_SEQ
+    dropout_p: float = 0.0
+    #: global batch size in the paper's strong-scaling runs (Table I)
+    batch_size: int = 512
+
+    @property
+    def d_head(self) -> int:
+        return self.d_model // self.n_heads
+
+    @property
+    def d_ff(self) -> int:
+        """Feed-forward inner width (4x, as in GPT)."""
+        return 4 * self.d_model
+
+
+#: Paper-scale configurations (Table I) plus tiny runnable variants.
+GPT_CONFIGS: dict[str, GPTConfig] = {
+    "gpt3-xl": GPTConfig("gpt3-xl", n_layers=24, d_model=2048, n_heads=16, batch_size=512),
+    "gpt3-2.7b": GPTConfig("gpt3-2.7b", n_layers=32, d_model=2560, n_heads=32, batch_size=512),
+    "gpt3-6.7b": GPTConfig("gpt3-6.7b", n_layers=32, d_model=4096, n_heads=32, batch_size=1024),
+    "gpt3-13b": GPTConfig("gpt3-13b", n_layers=40, d_model=5120, n_heads=40, batch_size=2048),
+    # Tiny variants for real training runs on this machine. Character-level
+    # vocabulary, short context — same code path, ~300k-1M params.
+    "gpt3-tiny": GPTConfig(
+        "gpt3-tiny", n_layers=2, d_model=64, n_heads=4, vocab_size=128, seq_len=64, batch_size=16
+    ),
+    "gpt3-mini": GPTConfig(
+        "gpt3-mini", n_layers=4, d_model=128, n_heads=8, vocab_size=128, seq_len=64, batch_size=16
+    ),
+}
+
+
+# ---------------------------------------------------------------------------
+# analytical spec
+# ---------------------------------------------------------------------------
+def _block_params(d: int) -> tuple[int, int]:
+    """(total, prunable) parameters of one transformer block."""
+    attn_w = 3 * d * d + d * d
+    attn_b = 3 * d + d
+    mlp_w = d * (4 * d) + (4 * d) * d
+    mlp_b = 4 * d + d
+    ln = 2 * (2 * d)  # two LayerNorms, weight+bias each
+    total = attn_w + attn_b + mlp_w + mlp_b + ln
+    prunable = attn_w + mlp_w
+    return total, prunable
+
+
+def _block_fwd_flops(d: int, s: int) -> float:
+    """Forward flops of one block for a full sequence of length ``s``.
+
+    Per token: QKV 6d^2, scores 2sd, context 2sd, proj 2d^2, MLP 16d^2
+    -> s * (24 d^2 + 4 s d), the per-layer term inside Narayanan et al.'s
+    96*B*s*l*h^2*(1 + s/6h + V/16lh) iteration formula.
+    """
+    return s * (24.0 * d * d + 4.0 * s * d)
+
+
+def gpt_spec(config: GPTConfig | str) -> ModelSpec:
+    """Build the analytical :class:`ModelSpec` for a GPT configuration.
+
+    The embedding (token + position) and the tied LM head are modelled as
+    separate schedulable layers, matching how AxoNN assigns them to the
+    first/last pipeline stages.
+    """
+    if isinstance(config, str):
+        config = GPT_CONFIGS[config]
+    d, s, v, nl = config.d_model, config.seq_len, config.vocab_size, config.n_layers
+
+    layers: list[LayerSpec] = []
+    emb_params = v * d + s * d  # token + learned position table
+    layers.append(
+        LayerSpec(
+            name="embedding",
+            kind="embedding",
+            param_count=emb_params,
+            prunable_count=v * d,
+            fwd_flops_per_sample=0.0,  # lookup, negligible flops
+            activation_out_elems=s * d,
+            activation_checkpoint_elems=s,  # the int token ids
+        )
+    )
+    btot, bprune = _block_params(d)
+    bflops = _block_fwd_flops(d, s)
+    for i in range(nl):
+        layers.append(
+            LayerSpec(
+                name=f"blocks.{i}",
+                kind="transformer_block",
+                param_count=btot,
+                prunable_count=bprune,
+                fwd_flops_per_sample=bflops,
+                activation_out_elems=s * d,
+                activation_checkpoint_elems=s * d,
+            )
+        )
+    layers.append(
+        LayerSpec(
+            name="ln_f",
+            kind="final_norm",
+            param_count=2 * d,
+            prunable_count=0,
+            fwd_flops_per_sample=float(10 * s * d),
+            activation_out_elems=s * d,
+            activation_checkpoint_elems=s * d,
+        )
+    )
+    # LM head shares the token embedding (weight tying): zero extra params
+    # but real flops — 2*d*V per token forward.
+    layers.append(
+        LayerSpec(
+            name="lm_head",
+            kind="lm_head",
+            param_count=0,
+            prunable_count=0,
+            fwd_flops_per_sample=2.0 * s * d * v,
+            activation_out_elems=s * v,
+            activation_checkpoint_elems=s * d,
+        )
+    )
+    return ModelSpec(
+        name=config.name,
+        layers=layers,
+        batch_size=config.batch_size,
+        seq_len=s,
+        family="gpt",
+    )
+
+
+# ---------------------------------------------------------------------------
+# runnable model
+# ---------------------------------------------------------------------------
+class TransformerBlock(Module):
+    """Pre-LN transformer block: ``x + attn(ln(x))``, ``x + mlp(ln(x))``."""
+
+    def __init__(self, config: GPTConfig, rng: np.random.Generator):
+        super().__init__()
+        d = config.d_model
+        self.ln1 = LayerNorm(d)
+        self.attn = CausalSelfAttention(
+            d, config.n_heads, n_layers=config.n_layers, dropout_p=config.dropout_p, rng=rng
+        )
+        self.ln2 = LayerNorm(d)
+        self.fc = Linear(d, config.d_ff, rng=rng, init_fn=lambda s_: init.gpt_init(s_, rng, config.n_layers))
+        self.act = GELU()
+        self.proj = Linear(
+            config.d_ff, d, rng=rng,
+            init_fn=lambda s_: init.gpt_init(s_, rng, config.n_layers, residual=True),
+        )
+        self.drop = Dropout(config.dropout_p, rng=rng)
+
+    def forward(self, x: Tensor) -> Tensor:
+        x = x + self.attn(self.ln1(x))
+        h = self.proj(self.act(self.fc(self.ln2(x))))
+        return x + self.drop(h)
+
+
+class GPT(Module):
+    """Runnable decoder-only transformer with tied LM head.
+
+    ``forward`` maps integer token ids of shape (B, T) to logits of shape
+    (B, T, vocab). Use :func:`gpt_spec` for paper-scale accounting; this
+    class is meant to be instantiated with the tiny configs.
+    """
+
+    def __init__(self, config: GPTConfig, seed: int = 0):
+        super().__init__()
+        rng = np.random.default_rng(seed)
+        self.config = config
+        self.wte = Embedding(config.vocab_size, config.d_model, rng=rng)
+        self.wpe = Embedding(config.seq_len, config.d_model, rng=rng, std=0.01)
+        self.drop = Dropout(config.dropout_p, rng=rng)
+        self.blocks = ModuleList([TransformerBlock(config, rng) for _ in range(config.n_layers)])
+        self.ln_f = LayerNorm(config.d_model)
+
+    def forward(self, tokens: np.ndarray) -> Tensor:
+        tokens = np.asarray(tokens, dtype=np.int64)
+        b, t = tokens.shape
+        if t > self.config.seq_len:
+            raise ValueError(f"sequence length {t} exceeds context {self.config.seq_len}")
+        pos = np.arange(t, dtype=np.int64)
+        x = self.wte(tokens) + self.wpe(pos)
+        x = self.drop(x)
+        for block in self.blocks:
+            x = block(x)
+        x = self.ln_f(x)
+        # tied LM head: logits = x @ wte.T
+        return x @ self.wte.weight.T
+
+    def loss(self, tokens: np.ndarray, targets: np.ndarray) -> Tensor:
+        """Causal LM cross-entropy."""
+        logits = self.forward(tokens)
+        return F.cross_entropy(logits, targets)
+
+    def spec(self) -> ModelSpec:
+        """Analytical spec matching this instance's configuration."""
+        return gpt_spec(self.config)

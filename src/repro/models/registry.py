@@ -1,0 +1,128 @@
+"""Model registry reproducing the paper's Table I.
+
+Each entry maps a model name to its analytical spec builder, the global
+batch size, and the strong-scaling GPU range (chosen so batch/GPU ratio
+spans 4 down to 1, as in the paper).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+from .gpt import GPT_CONFIGS, gpt_spec
+from .spec import ModelSpec
+from .vgg import vgg_spec
+from .wide_resnet import wide_resnet_spec
+
+__all__ = ["WorkloadEntry", "TABLE_I", "get_spec", "gpu_counts", "table_rows"]
+
+
+@dataclass(frozen=True)
+class WorkloadEntry:
+    """One row of the paper's Table I."""
+
+    name: str
+    spec_builder: Callable[[], ModelSpec]
+    batch_size: int
+    min_gpus: int
+    max_gpus: int
+    optimizer: str  # "sgd" for CNNs, "adamw" for GPTs — as in Section V-A
+    family: str
+
+    def spec(self) -> ModelSpec:
+        return self.spec_builder()
+
+
+TABLE_I: dict[str, WorkloadEntry] = {
+    "wideresnet-101": WorkloadEntry(
+        name="wideresnet-101",
+        spec_builder=lambda: wide_resnet_spec(batch_size=128),
+        batch_size=128,
+        min_gpus=16,
+        max_gpus=128,
+        optimizer="sgd",
+        family="cnn",
+    ),
+    "vgg19": WorkloadEntry(
+        name="vgg19",
+        spec_builder=lambda: vgg_spec("E", batch_size=128),
+        batch_size=128,
+        min_gpus=16,
+        max_gpus=128,
+        optimizer="sgd",
+        family="cnn",
+    ),
+    "gpt3-xl": WorkloadEntry(
+        name="gpt3-xl",
+        spec_builder=lambda: gpt_spec("gpt3-xl"),
+        batch_size=512,
+        min_gpus=64,
+        max_gpus=512,
+        optimizer="adamw",
+        family="gpt",
+    ),
+    "gpt3-2.7b": WorkloadEntry(
+        name="gpt3-2.7b",
+        spec_builder=lambda: gpt_spec("gpt3-2.7b"),
+        batch_size=512,
+        min_gpus=64,
+        max_gpus=512,
+        optimizer="adamw",
+        family="gpt",
+    ),
+    "gpt3-6.7b": WorkloadEntry(
+        name="gpt3-6.7b",
+        spec_builder=lambda: gpt_spec("gpt3-6.7b"),
+        batch_size=1024,
+        min_gpus=128,
+        max_gpus=1024,
+        optimizer="adamw",
+        family="gpt",
+    ),
+    "gpt3-13b": WorkloadEntry(
+        name="gpt3-13b",
+        spec_builder=lambda: gpt_spec("gpt3-13b"),
+        batch_size=2048,
+        min_gpus=256,
+        max_gpus=2048,
+        optimizer="adamw",
+        family="gpt",
+    ),
+}
+
+
+def get_spec(name: str) -> ModelSpec:
+    """Spec for a Table I model (or a tiny GPT config by name)."""
+    if name in TABLE_I:
+        return TABLE_I[name].spec()
+    if name in GPT_CONFIGS:
+        return gpt_spec(name)
+    raise KeyError(f"unknown model {name!r}; known: {sorted(TABLE_I) + sorted(GPT_CONFIGS)}")
+
+
+def gpu_counts(entry: WorkloadEntry) -> list[int]:
+    """Power-of-two GPU counts from min to max, as plotted in Figs. 5-7."""
+    counts = []
+    g = entry.min_gpus
+    while g <= entry.max_gpus:
+        counts.append(g)
+        g *= 2
+    return counts
+
+
+def table_rows() -> list[dict]:
+    """Rows of Table I for the reporting harness."""
+    rows = []
+    for entry in TABLE_I.values():
+        spec = entry.spec()
+        rows.append(
+            {
+                "Neural Network": entry.name,
+                "# Parameters": spec.param_count,
+                "Batch Size": entry.batch_size,
+                "No. of GPUs": f"{entry.min_gpus}-{entry.max_gpus}",
+                "Optimizer": entry.optimizer,
+            }
+        )
+    return rows

@@ -1,0 +1,131 @@
+"""Analytical model descriptions (:class:`LayerSpec` / :class:`ModelSpec`).
+
+The paper's scaling study uses models of 1.3B–13B parameters, which cannot
+(and need not) be materialised in memory to reason about parallel training:
+memory footprints, flop counts, and message sizes are pure functions of the
+layer shapes. A :class:`ModelSpec` carries exactly that information and is
+consumed by the partitioner, the cluster simulator, and the memory model.
+
+Runnable tiny variants of the same architectures (built by
+``repro.models.gpt/vgg/wide_resnet``) are real :class:`repro.tensor.Module`
+networks used for the functional experiments (Figure 4).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+__all__ = ["LayerSpec", "ModelSpec"]
+
+
+@dataclass(frozen=True)
+class LayerSpec:
+    """Shape/compute description of one schedulable layer.
+
+    Attributes
+    ----------
+    name:
+        Stable dotted name matching the runnable module's parameter prefix.
+    kind:
+        One of ``embedding | transformer_block | final_norm | lm_head |
+        conv | bn | linear | pool``. Used by flop and memory accounting.
+    param_count:
+        Total parameters in the layer.
+    prunable_count:
+        Parameters eligible for pruning (weight matrices / filters).
+    fwd_flops_per_sample:
+        Forward floating point operations for one sample (one full sequence
+        for language models, one image for CNNs).
+    activation_out_elems:
+        Elements output per sample — the inter-layer (pipeline) message
+        payload when this layer is the last of a stage.
+    activation_checkpoint_elems:
+        Elements that must be retained per sample when activation
+        checkpointing is on (the layer *input* that gets re-materialised).
+    """
+
+    name: str
+    kind: str
+    param_count: int
+    prunable_count: int
+    fwd_flops_per_sample: float
+    activation_out_elems: int
+    activation_checkpoint_elems: int = 0
+
+    @property
+    def bwd_flops_per_sample(self) -> float:
+        """Backward pass costs ~2x forward (two GEMMs per forward GEMM)."""
+        return 2.0 * self.fwd_flops_per_sample
+
+
+@dataclass
+class ModelSpec:
+    """An ordered list of layers plus workload-level metadata."""
+
+    name: str
+    layers: list[LayerSpec] = field(default_factory=list)
+    #: samples per global batch used by the paper for this model (Table I)
+    batch_size: int = 0
+    #: sequence length (language models) or 1 (CNNs)
+    seq_len: int = 1
+    #: descriptive label for reports
+    family: str = ""
+    #: optional per-architecture efficiency overrides consumed by the
+    #: device model (e.g. {"eff_max": 0.019, "half_batch": 2.0} for CNNs
+    #: whose achieved conv throughput differs from the default)
+    efficiency_hint: dict = field(default_factory=dict)
+
+    # ------------------------------------------------------------------
+    @property
+    def param_count(self) -> int:
+        """Total parameters (``phi`` in the paper's Eq. 1-5)."""
+        return sum(l.param_count for l in self.layers)
+
+    @property
+    def prunable_count(self) -> int:
+        """Parameters the pruning algorithm may zero."""
+        return sum(l.prunable_count for l in self.layers)
+
+    @property
+    def num_layers(self) -> int:
+        return len(self.layers)
+
+    def fwd_flops_per_sample(self) -> float:
+        """Forward flops for a single sample through every layer."""
+        return sum(l.fwd_flops_per_sample for l in self.layers)
+
+    def total_flops_per_batch(self, with_checkpoint_recompute: bool = True) -> float:
+        """Fwd+bwd (+recompute) flops for one global batch.
+
+        With activation checkpointing the forward is recomputed during the
+        backward pass, giving the familiar 4x-forward total used by
+        Narayanan et al.'s throughput accounting.
+        """
+        factor = 4.0 if with_checkpoint_recompute else 3.0
+        return factor * self.fwd_flops_per_sample() * self.batch_size
+
+    def contiguous_slice(self, start: int, stop: int) -> "ModelSpec":
+        """Sub-spec for layers ``[start, stop)`` (one pipeline stage)."""
+        sub = ModelSpec(
+            name=f"{self.name}[{start}:{stop}]",
+            layers=self.layers[start:stop],
+            batch_size=self.batch_size,
+            seq_len=self.seq_len,
+            family=self.family,
+        )
+        return sub
+
+    def stage_boundary_message_elems(self, stage_end: int) -> int:
+        """Per-sample activation elements crossing the boundary after layer
+        index ``stage_end - 1`` (the pipeline p2p payload)."""
+        if stage_end <= 0 or stage_end > len(self.layers):
+            raise IndexError(f"stage_end {stage_end} out of range")
+        return self.layers[stage_end - 1].activation_out_elems
+
+    def summary(self) -> str:
+        """One-line human description."""
+        return (
+            f"{self.name}: {self.param_count/1e6:.2f}M params "
+            f"({self.prunable_count/1e6:.2f}M prunable), "
+            f"{self.num_layers} layers, batch={self.batch_size}"
+        )

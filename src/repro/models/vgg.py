@@ -1,0 +1,172 @@
+"""VGG networks (Simonyan & Zisserman, 2015).
+
+The paper's CNN study uses VGG-19 (143.67M parameters, Table I) under pure
+data parallelism. :func:`vgg_spec` reproduces the exact torchvision VGG-19
+shapes for ImageNet (224x224); :class:`VGG` is a runnable variant that can
+also be built at CIFAR scale (32x32) for functional pruning/training tests.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..tensor import (
+    Conv2d,
+    Dropout,
+    Flatten,
+    Linear,
+    MaxPool2d,
+    Module,
+    ReLU,
+    Sequential,
+    Tensor,
+)
+from .spec import LayerSpec, ModelSpec
+
+__all__ = ["VGG", "vgg_spec", "VGG_CFGS", "build_vgg"]
+
+#: Channel plans; "M" is a 2x2 max-pool. "E" is VGG-19.
+VGG_CFGS: dict[str, list] = {
+    "A": [64, "M", 128, "M", 256, 256, "M", 512, 512, "M", 512, 512, "M"],
+    "E": [64, 64, "M", 128, 128, "M", 256, 256, 256, 256, "M",
+          512, 512, 512, 512, "M", 512, 512, 512, 512, "M"],
+    # Tiny plan for 32x32 functional tests.
+    "tiny": [16, "M", 32, "M", 64, "M"],
+}
+
+
+def vgg_spec(
+    cfg: str = "E",
+    image_size: int = 224,
+    num_classes: int = 1000,
+    batch_size: int = 128,
+    classifier_width: int = 4096,
+    name: str | None = None,
+) -> ModelSpec:
+    """Analytical spec of a VGG network.
+
+    Conv flops per sample are ``2 * Cin * k^2 * Cout * Hout * Wout`` with
+    k=3, stride 1, pad 1 (so Hout=H). Max-pools halve the spatial dims.
+    """
+    plan = VGG_CFGS[cfg]
+    layers: list[LayerSpec] = []
+    c_in, hw = 3, image_size
+    conv_idx = 0
+    for item in plan:
+        if item == "M":
+            hw //= 2
+            layers.append(
+                LayerSpec(
+                    name=f"features.pool{conv_idx}",
+                    kind="pool",
+                    param_count=0,
+                    prunable_count=0,
+                    fwd_flops_per_sample=float(c_in * hw * hw * 4),
+                    activation_out_elems=c_in * hw * hw,
+                    activation_checkpoint_elems=c_in * hw * hw,
+                )
+            )
+            continue
+        c_out = int(item)
+        w = c_out * c_in * 9
+        b = c_out
+        flops = 2.0 * c_in * 9 * c_out * hw * hw
+        layers.append(
+            LayerSpec(
+                name=f"features.conv{conv_idx}",
+                kind="conv",
+                param_count=w + b,
+                prunable_count=w,
+                fwd_flops_per_sample=flops,
+                activation_out_elems=c_out * hw * hw,
+                activation_checkpoint_elems=c_in * hw * hw,
+            )
+        )
+        conv_idx += 1
+        c_in = c_out
+
+    flat = c_in * hw * hw
+    widths = [classifier_width, classifier_width, num_classes]
+    in_f = flat
+    for i, out_f in enumerate(widths):
+        layers.append(
+            LayerSpec(
+                name=f"classifier.{i}",
+                kind="linear",
+                param_count=in_f * out_f + out_f,
+                prunable_count=in_f * out_f,
+                fwd_flops_per_sample=2.0 * in_f * out_f,
+                activation_out_elems=out_f,
+                activation_checkpoint_elems=in_f,
+            )
+        )
+        in_f = out_f
+    label = name or ("vgg19" if cfg == "E" else f"vgg-{cfg}")
+    # Conv-efficiency hint fitted to Fig. 5's absolute VGG-19 batch times on
+    # Summit (large contiguous convs: efficiency ramps quickly with batch).
+    hint = {"eff_max": 0.019, "half_batch": 2.0}
+    return ModelSpec(
+        name=label, layers=layers, batch_size=batch_size, seq_len=1,
+        family="cnn", efficiency_hint=hint,
+    )
+
+
+class VGG(Module):
+    """Runnable VGG classifier (NCHW input)."""
+
+    def __init__(
+        self,
+        cfg: str = "tiny",
+        image_size: int = 32,
+        num_classes: int = 10,
+        classifier_width: int = 128,
+        dropout_p: float = 0.0,
+        seed: int = 0,
+    ):
+        super().__init__()
+        rng = np.random.default_rng(seed)
+        self.cfg_name = cfg
+        plan = VGG_CFGS[cfg]
+        feats: list[Module] = []
+        c_in, hw = 3, image_size
+        for item in plan:
+            if item == "M":
+                feats.append(MaxPool2d(2))
+                hw //= 2
+            else:
+                feats.append(Conv2d(c_in, int(item), 3, padding=1, rng=rng))
+                feats.append(ReLU())
+                c_in = int(item)
+        self.features = Sequential(*feats)
+        self.flatten = Flatten()
+        flat = c_in * hw * hw
+        self.classifier = Sequential(
+            Linear(flat, classifier_width, rng=rng),
+            ReLU(),
+            Dropout(dropout_p, rng=rng),
+            Linear(classifier_width, classifier_width, rng=rng),
+            ReLU(),
+            Dropout(dropout_p, rng=rng),
+            Linear(classifier_width, num_classes, rng=rng),
+        )
+        self._spec_args = (cfg, image_size, num_classes, classifier_width)
+
+    def forward(self, x: Tensor) -> Tensor:
+        return self.classifier(self.flatten(self.features(x)))
+
+    def spec(self) -> ModelSpec:
+        cfg, image_size, num_classes, cw = self._spec_args
+        return vgg_spec(cfg, image_size, num_classes, classifier_width=cw, name=f"vgg-{cfg}-runnable")
+
+
+def build_vgg(variant: str = "vgg19", seed: int = 0) -> VGG:
+    """Factory for common runnable variants.
+
+    ``vgg19`` builds the full ImageNet network (143M params — large!);
+    ``vgg-tiny`` builds the 32x32 test network.
+    """
+    if variant == "vgg19":
+        return VGG(cfg="E", image_size=224, num_classes=1000, classifier_width=4096, seed=seed)
+    if variant in ("vgg-tiny", "tiny"):
+        return VGG(cfg="tiny", image_size=32, num_classes=10, classifier_width=128, seed=seed)
+    raise KeyError(f"unknown VGG variant {variant!r}")

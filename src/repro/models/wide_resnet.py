@@ -1,0 +1,242 @@
+"""Wide residual networks (Zagoruyko & Komodakis, 2016).
+
+Table I uses WideResnet-101 — torchvision's ``wide_resnet101_2``: a
+ResNet-101 whose bottleneck inner width is doubled (126.89M parameters).
+:func:`wide_resnet_spec` reproduces those exact shapes analytically;
+:class:`WideResNet` is a runnable bottleneck ResNet that can be built at
+CIFAR scale for functional tests.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..tensor import (
+    AdaptiveAvgPool2d,
+    BatchNorm2d,
+    Conv2d,
+    Flatten,
+    Linear,
+    MaxPool2d,
+    Module,
+    ModuleList,
+    ReLU,
+    Tensor,
+)
+from .spec import LayerSpec, ModelSpec
+
+__all__ = ["WideResNet", "wide_resnet_spec", "build_wide_resnet"]
+
+#: block counts of ResNet-101
+RESNET101_BLOCKS = (3, 4, 23, 3)
+EXPANSION = 4
+
+
+def _conv_spec(name, c_in, c_out, k, stride, hw_out, *, bn: bool = True) -> list[LayerSpec]:
+    """Conv (+BatchNorm) layer specs; flops = 2*Cin*k^2*Cout*H*W."""
+    w = c_out * c_in * k * k
+    out: list[LayerSpec] = [
+        LayerSpec(
+            name=name,
+            kind="conv",
+            param_count=w,  # torchvision convs have bias=False
+            prunable_count=w,
+            fwd_flops_per_sample=2.0 * c_in * k * k * c_out * hw_out * hw_out,
+            activation_out_elems=c_out * hw_out * hw_out,
+            activation_checkpoint_elems=c_in * (hw_out * stride) * (hw_out * stride),
+        )
+    ]
+    if bn:
+        out.append(
+            LayerSpec(
+                name=name + ".bn",
+                kind="bn",
+                param_count=2 * c_out,
+                prunable_count=0,
+                fwd_flops_per_sample=float(4 * c_out * hw_out * hw_out),
+                activation_out_elems=c_out * hw_out * hw_out,
+                activation_checkpoint_elems=c_out * hw_out * hw_out,
+            )
+        )
+    return out
+
+
+def wide_resnet_spec(
+    blocks: tuple[int, ...] = RESNET101_BLOCKS,
+    width_factor: int = 2,
+    image_size: int = 224,
+    num_classes: int = 1000,
+    batch_size: int = 128,
+    name: str = "wideresnet-101",
+) -> ModelSpec:
+    """Analytical spec of a bottleneck (Wide)ResNet.
+
+    Per torchvision: stage planes are 64/128/256/512, bottleneck inner width
+    is ``planes * width_factor``, block output is ``planes * 4``. Stage 1
+    runs at stride 1 after the stem's conv+pool; stages 2-4 downsample 2x.
+    """
+    layers: list[LayerSpec] = []
+    hw = image_size // 2  # 7x7 stride-2 stem
+    layers += _conv_spec("stem.conv", 3, 64, 7, 2, hw)
+    hw //= 2  # 3x3 stride-2 max pool
+    layers.append(
+        LayerSpec(
+            name="stem.pool",
+            kind="pool",
+            param_count=0,
+            prunable_count=0,
+            fwd_flops_per_sample=float(64 * hw * hw * 9),
+            activation_out_elems=64 * hw * hw,
+            activation_checkpoint_elems=64 * hw * hw,
+        )
+    )
+    c_in = 64
+    planes_list = (64, 128, 256, 512)
+    for stage, (n_blocks, planes) in enumerate(zip(blocks, planes_list), start=1):
+        width = planes * width_factor
+        c_out = planes * EXPANSION
+        for b in range(n_blocks):
+            stride = 2 if (stage > 1 and b == 0) else 1
+            if stride == 2:
+                hw //= 2
+            prefix = f"layer{stage}.{b}"
+            block_layers: list[LayerSpec] = []
+            block_layers += _conv_spec(f"{prefix}.conv1", c_in, width, 1, 1, hw if stride == 1 else hw * 1)
+            block_layers += _conv_spec(f"{prefix}.conv2", width, width, 3, stride, hw)
+            block_layers += _conv_spec(f"{prefix}.conv3", width, c_out, 1, 1, hw)
+            if b == 0:
+                block_layers += _conv_spec(f"{prefix}.downsample", c_in, c_out, 1, stride, hw)
+            # Collapse the block into one schedulable LayerSpec: pipeline
+            # partitioning never splits a residual block.
+            layers.append(
+                LayerSpec(
+                    name=prefix,
+                    kind="conv",
+                    param_count=sum(l.param_count for l in block_layers),
+                    prunable_count=sum(l.prunable_count for l in block_layers),
+                    fwd_flops_per_sample=sum(l.fwd_flops_per_sample for l in block_layers),
+                    activation_out_elems=c_out * hw * hw,
+                    activation_checkpoint_elems=c_in * (hw * stride) * (hw * stride),
+                )
+            )
+            c_in = c_out
+    layers.append(
+        LayerSpec(
+            name="fc",
+            kind="linear",
+            param_count=c_in * num_classes + num_classes,
+            prunable_count=c_in * num_classes,
+            fwd_flops_per_sample=2.0 * c_in * num_classes,
+            activation_out_elems=num_classes,
+            activation_checkpoint_elems=c_in,
+        )
+    )
+    # Conv-efficiency hint fitted to Fig. 5: WideResnet-101 is deep and
+    # latency-bound (100+ sequential convs + BNs on shrinking feature
+    # maps), so its per-sample time barely improves with per-GPU batch —
+    # the reason its strong-scaling speedups stay flat in the paper.
+    hint = {"eff_max": 0.055, "half_batch": 30.0}
+    return ModelSpec(
+        name=name, layers=layers, batch_size=batch_size, seq_len=1,
+        family="cnn", efficiency_hint=hint,
+    )
+
+
+class Bottleneck(Module):
+    """Standard bottleneck residual block (1x1 -> 3x3 -> 1x1)."""
+
+    def __init__(self, c_in: int, planes: int, width_factor: int, stride: int, rng):
+        super().__init__()
+        width = planes * width_factor
+        c_out = planes * EXPANSION
+        self.conv1 = Conv2d(c_in, width, 1, bias=False, rng=rng)
+        self.bn1 = BatchNorm2d(width)
+        self.conv2 = Conv2d(width, width, 3, stride=stride, padding=1, bias=False, rng=rng)
+        self.bn2 = BatchNorm2d(width)
+        self.conv3 = Conv2d(width, c_out, 1, bias=False, rng=rng)
+        self.bn3 = BatchNorm2d(c_out)
+        self.relu = ReLU()
+        if stride != 1 or c_in != c_out:
+            self.down_conv = Conv2d(c_in, c_out, 1, stride=stride, bias=False, rng=rng)
+            self.down_bn = BatchNorm2d(c_out)
+        else:
+            self.down_conv = None
+            self.down_bn = None
+
+    def forward(self, x: Tensor) -> Tensor:
+        identity = x
+        out = self.relu(self.bn1(self.conv1(x)))
+        out = self.relu(self.bn2(self.conv2(out)))
+        out = self.bn3(self.conv3(out))
+        if self.down_conv is not None:
+            identity = self.down_bn(self.down_conv(x))
+        return self.relu(out + identity)
+
+
+class WideResNet(Module):
+    """Runnable bottleneck (Wide)ResNet for NCHW input.
+
+    The default arguments build a small CIFAR-scale network (3x3 stem, no
+    max pool); pass ``blocks=(3,4,23,3), image_size=224`` for the full
+    WideResnet-101 (126.9M params — only do this for memory accounting
+    experiments on a big-memory host).
+    """
+
+    def __init__(
+        self,
+        blocks: tuple[int, ...] = (1, 1, 1),
+        width_factor: int = 2,
+        planes_list: tuple[int, ...] = (16, 32, 64),
+        num_classes: int = 10,
+        image_size: int = 32,
+        imagenet_stem: bool = False,
+        seed: int = 0,
+    ):
+        super().__init__()
+        rng = np.random.default_rng(seed)
+        self.imagenet_stem = imagenet_stem
+        c0 = planes_list[0]
+        if imagenet_stem:
+            self.stem = Conv2d(3, c0, 7, stride=2, padding=3, bias=False, rng=rng)
+            self.stem_pool = MaxPool2d(2)
+        else:
+            self.stem = Conv2d(3, c0, 3, padding=1, bias=False, rng=rng)
+            self.stem_pool = None
+        self.stem_bn = BatchNorm2d(c0)
+        self.relu = ReLU()
+        stages: list[Module] = []
+        c_in = c0
+        for stage, (n_blocks, planes) in enumerate(zip(blocks, planes_list), start=1):
+            for b in range(n_blocks):
+                stride = 2 if (stage > 1 and b == 0) else 1
+                stages.append(Bottleneck(c_in, planes, width_factor, stride, rng))
+                c_in = planes * EXPANSION
+        self.stages = ModuleList(stages)
+        self.pool = AdaptiveAvgPool2d(1)
+        self.flatten = Flatten()
+        self.fc = Linear(c_in, num_classes, rng=rng)
+
+    def forward(self, x: Tensor) -> Tensor:
+        x = self.relu(self.stem_bn(self.stem(x)))
+        if self.stem_pool is not None:
+            x = self.stem_pool(x)
+        for block in self.stages:
+            x = block(x)
+        return self.fc(self.flatten(self.pool(x)))
+
+
+def build_wide_resnet(variant: str = "wrn-tiny", seed: int = 0) -> WideResNet:
+    """Factory: ``wrn-tiny`` (CIFAR-scale tests) or ``wrn-101-2`` (full)."""
+    if variant in ("wrn-tiny", "tiny"):
+        return WideResNet(seed=seed)
+    if variant == "wrn-101-2":
+        return WideResNet(
+            blocks=RESNET101_BLOCKS,
+            width_factor=2,
+            planes_list=(64, 128, 256, 512),
+            num_classes=1000,
+            image_size=224,
+            imagenet_stem=True,
+            seed=seed,
+        )
+    raise KeyError(f"unknown WideResNet variant {variant!r}")

@@ -1,0 +1,27 @@
+"""Optimizers, schedules and gradient utilities.
+
+The update math lives in :mod:`repro.optim.kernels` as in-place array
+kernels shared verbatim by SAMO's compressed optimizer step.
+"""
+
+from .adam import Adam, AdamW
+from .base import Optimizer
+from .grad_clip import clip_grad_norm, clip_stored_norm, global_grad_norm
+from .kernels import adam_kernel, sgd_momentum_kernel
+from .lr_schedules import Constant, StepDecay, WarmupCosine
+from .sgd import SGD
+
+__all__ = [
+    "Optimizer",
+    "Adam",
+    "AdamW",
+    "SGD",
+    "adam_kernel",
+    "sgd_momentum_kernel",
+    "clip_grad_norm",
+    "clip_stored_norm",
+    "global_grad_norm",
+    "WarmupCosine",
+    "StepDecay",
+    "Constant",
+]

@@ -1,0 +1,88 @@
+"""Adam and AdamW optimizers (Kingma & Ba; Loshchilov & Hutter).
+
+Adam is the paper's reference optimizer for the memory model (two fp32
+states per parameter -> the ``8·f·φ`` term in Eq. 1); AdamW is used for the
+GPT training runs (Section V-A).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+import numpy as np
+
+from ..tensor.module import Parameter
+from .base import Optimizer
+from .kernels import adam_kernel
+
+__all__ = ["Adam", "AdamW"]
+
+
+class Adam(Optimizer):
+    """Adam with optional (coupled) L2 weight decay.
+
+    State: ``exp_avg`` (first moment) and ``exp_avg_sq`` (second moment),
+    both fp32, lazily allocated to match each parameter.
+    """
+
+    decoupled_weight_decay = False
+
+    def __init__(
+        self,
+        params: Iterable[Parameter],
+        lr: float = 1e-3,
+        betas: tuple[float, float] = (0.9, 0.999),
+        eps: float = 1e-8,
+        weight_decay: float = 0.0,
+    ):
+        super().__init__(params, lr)
+        if not (0.0 <= betas[0] < 1.0 and 0.0 <= betas[1] < 1.0):
+            raise ValueError(f"betas must be in [0,1), got {betas}")
+        self.betas = betas
+        self.eps = eps
+        self.weight_decay = weight_decay
+        self.exp_avg: list[np.ndarray] = [
+            np.zeros_like(p.data, dtype=np.float32) for p in self.params
+        ]
+        self.exp_avg_sq: list[np.ndarray] = [
+            np.zeros_like(p.data, dtype=np.float32) for p in self.params
+        ]
+
+    def step(self) -> None:
+        """Apply one update using each parameter's ``.grad``."""
+        self.step_count += 1
+        for p, m, v in zip(self.params, self.exp_avg, self.exp_avg_sq):
+            if p.grad is None:
+                continue
+            adam_kernel(
+                p.data,
+                p.grad,
+                m,
+                v,
+                step=self.step_count,
+                lr=self.lr,
+                beta1=self.betas[0],
+                beta2=self.betas[1],
+                eps=self.eps,
+                weight_decay=self.weight_decay,
+                decoupled=self.decoupled_weight_decay,
+            )
+
+    def state_bytes(self) -> int:
+        return sum(m.nbytes + v.nbytes for m, v in zip(self.exp_avg, self.exp_avg_sq))
+
+
+class AdamW(Adam):
+    """Adam with decoupled weight decay (the GPT-3 training optimizer)."""
+
+    decoupled_weight_decay = True
+
+    def __init__(
+        self,
+        params: Iterable[Parameter],
+        lr: float = 1e-3,
+        betas: tuple[float, float] = (0.9, 0.95),
+        eps: float = 1e-8,
+        weight_decay: float = 0.1,
+    ):
+        super().__init__(params, lr=lr, betas=betas, eps=eps, weight_decay=weight_decay)

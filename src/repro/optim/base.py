@@ -1,0 +1,46 @@
+"""Optimizer base class over :class:`repro.tensor.Parameter` lists."""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+import numpy as np
+
+from ..tensor.module import Parameter
+
+__all__ = ["Optimizer"]
+
+
+class Optimizer:
+    """Holds parameters + per-parameter fp32 state; subclasses define step().
+
+    State arrays are keyed by parameter identity order, mirroring the flat
+    layout SAMO compresses. ``set_lr`` supports LR schedules.
+    """
+
+    def __init__(self, params: Iterable[Parameter], lr: float):
+        self.params: list[Parameter] = list(params)
+        if not self.params:
+            raise ValueError("optimizer got an empty parameter list")
+        if lr <= 0:
+            raise ValueError(f"learning rate must be positive, got {lr}")
+        self.lr = float(lr)
+        self.step_count = 0
+
+    def set_lr(self, lr: float) -> None:
+        self.lr = float(lr)
+
+    def zero_grad(self) -> None:
+        for p in self.params:
+            p.grad = None
+
+    def grads(self) -> list[np.ndarray | None]:
+        return [p.grad for p in self.params]
+
+    # -- to be provided by subclasses ---------------------------------------
+    def step(self) -> None:
+        raise NotImplementedError
+
+    def state_bytes(self) -> int:
+        """Bytes of fp32 optimizer state (for the memory model)."""
+        raise NotImplementedError

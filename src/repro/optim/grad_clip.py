@@ -1,0 +1,73 @@
+"""Global-norm gradient clipping (used by the GPT-3 recipe)."""
+
+from __future__ import annotations
+
+import math
+from typing import Iterable
+
+import numpy as np
+
+from ..tensor.module import Parameter
+
+__all__ = ["clip_grad_norm", "global_grad_norm", "clip_stored_norm"]
+
+
+def global_grad_norm(params: Iterable[Parameter]) -> float:
+    """L2 norm over all parameter gradients (None grads contribute 0)."""
+    total = 0.0
+    for p in params:
+        if p.grad is not None:
+            g = p.grad
+            total += float(np.dot(g.reshape(-1), g.reshape(-1)))
+    return math.sqrt(total)
+
+
+def clip_grad_norm(params: Iterable[Parameter], max_norm: float) -> float:
+    """Scale all gradients so their global L2 norm is at most ``max_norm``.
+
+    Returns the pre-clip norm (PyTorch convention).
+    """
+    params = list(params)
+    norm = global_grad_norm(params)
+    if norm > max_norm and norm > 0.0:
+        scale = max_norm / norm
+        for p in params:
+            if p.grad is not None:
+                p.grad *= scale
+    return norm
+
+
+def clip_stored_norm(
+    arrays: list, max_norm: float, loss_scale: float = 1.0
+) -> float:
+    """Clip a set of *stored* fp16 gradient buffers by global L2 norm.
+
+    This is the mixed-precision variant used by both training states:
+    gradients live as fp16 arrays (compressed for SAMO, dense otherwise)
+    that still carry the loss scale. The norm is computed on the
+    *unscaled* values in fp64; when it exceeds ``max_norm`` every buffer
+    is rescaled in fp32 and re-quantised to fp16 in place. Because both
+    states apply the identical elementwise operation to identical kept
+    values, clipping preserves the dense ≡ SAMO bitwise equivalence.
+
+    Returns the pre-clip (unscaled) norm; NaN/inf buffers are left alone
+    (the subsequent optimizer step skips on overflow anyway).
+    """
+    if max_norm <= 0:
+        raise ValueError("max_norm must be positive")
+    total = 0.0
+    for a in arrays:
+        if a is None:
+            continue
+        g = a.astype(np.float64).reshape(-1)
+        total += float(np.dot(g, g))
+    norm = math.sqrt(total) / float(loss_scale)
+    if not math.isfinite(norm):
+        return norm
+    if norm > max_norm and norm > 0.0:
+        c = np.float32(max_norm / norm)
+        for a in arrays:
+            if a is None:
+                continue
+            a[...] = (a.astype(np.float32) * c).astype(np.float16)
+    return norm

@@ -1,0 +1,69 @@
+"""Learning-rate schedules used by the paper's training recipes.
+
+GPT-3 training uses linear warmup followed by cosine decay; the CNN
+recipes use step decay. Schedules are pure functions of the step index so
+they replay identically across the dense and SAMO runs of Figure 4.
+"""
+
+from __future__ import annotations
+
+import math
+
+__all__ = ["WarmupCosine", "StepDecay", "Constant"]
+
+
+class Constant:
+    """Flat learning rate."""
+
+    def __init__(self, lr: float):
+        self.lr = lr
+
+    def __call__(self, step: int) -> float:
+        return self.lr
+
+
+class WarmupCosine:
+    """Linear warmup to ``peak_lr`` then cosine decay to ``min_lr``.
+
+    ``step`` is 0-based; decay completes at ``total_steps`` and the rate
+    stays at ``min_lr`` afterwards.
+    """
+
+    def __init__(
+        self,
+        peak_lr: float,
+        warmup_steps: int,
+        total_steps: int,
+        min_lr: float = 0.0,
+    ):
+        if warmup_steps < 0 or total_steps <= warmup_steps:
+            raise ValueError("need 0 <= warmup_steps < total_steps")
+        self.peak_lr = peak_lr
+        self.warmup_steps = warmup_steps
+        self.total_steps = total_steps
+        self.min_lr = min_lr
+
+    def __call__(self, step: int) -> float:
+        if self.warmup_steps > 0 and step < self.warmup_steps:
+            return self.peak_lr * (step + 1) / self.warmup_steps
+        if step >= self.total_steps:
+            return self.min_lr
+        progress = (step - self.warmup_steps) / (self.total_steps - self.warmup_steps)
+        cos = 0.5 * (1.0 + math.cos(math.pi * progress))
+        return self.min_lr + (self.peak_lr - self.min_lr) * cos
+
+
+class StepDecay:
+    """Multiply the rate by ``gamma`` at each milestone step."""
+
+    def __init__(self, base_lr: float, milestones: list[int], gamma: float = 0.1):
+        self.base_lr = base_lr
+        self.milestones = sorted(milestones)
+        self.gamma = gamma
+
+    def __call__(self, step: int) -> float:
+        lr = self.base_lr
+        for m in self.milestones:
+            if step >= m:
+                lr *= self.gamma
+        return lr

@@ -1,0 +1,61 @@
+"""SGD with momentum (Qian, 1999) — the CNN training optimizer (Table I)."""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+import numpy as np
+
+from ..tensor.module import Parameter
+from .base import Optimizer
+from .kernels import sgd_momentum_kernel
+
+__all__ = ["SGD"]
+
+
+class SGD(Optimizer):
+    """Stochastic gradient descent with classical or Nesterov momentum."""
+
+    def __init__(
+        self,
+        params: Iterable[Parameter],
+        lr: float = 0.1,
+        momentum: float = 0.9,
+        weight_decay: float = 0.0,
+        nesterov: bool = False,
+    ):
+        super().__init__(params, lr)
+        if momentum < 0.0:
+            raise ValueError(f"momentum must be >= 0, got {momentum}")
+        if nesterov and momentum == 0.0:
+            raise ValueError("nesterov requires momentum > 0")
+        self.momentum = momentum
+        self.weight_decay = weight_decay
+        self.nesterov = nesterov
+        self.momentum_buf: list[np.ndarray] = [
+            np.zeros_like(p.data, dtype=np.float32) for p in self.params
+        ]
+        self._stepped: list[bool] = [False] * len(self.params)
+
+    def step(self) -> None:
+        """Apply one update using each parameter's ``.grad``."""
+        self.step_count += 1
+        for i, (p, buf) in enumerate(zip(self.params, self.momentum_buf)):
+            if p.grad is None:
+                continue
+            sgd_momentum_kernel(
+                p.data,
+                p.grad,
+                buf,
+                lr=self.lr,
+                momentum=self.momentum,
+                weight_decay=self.weight_decay,
+                nesterov=self.nesterov,
+                first_step=not self._stepped[i],
+            )
+            self._stepped[i] = True
+
+    def state_bytes(self) -> int:
+        if self.momentum == 0.0:
+            return 0
+        return sum(buf.nbytes for buf in self.momentum_buf)

@@ -1,0 +1,83 @@
+"""Parallel deep-learning frameworks on the simulated cluster.
+
+* :func:`simulate_batch` / :func:`strong_scaling` — the shared engine
+  (AxoNN, AxoNN+SAMO, DeepSpeed-3D, Sputnik) producing Figure 8-style
+  batch breakdowns;
+* :mod:`repro.parallel.pipeline` — event-driven 1F1B schedule simulation
+  (Figure 3);
+* :mod:`repro.parallel.partitioner` — memory accounting and ``G_inter``
+  selection (Section IV-B);
+* :class:`DataParallelSAMOTrainer` — functional multi-rank SAMO training
+  over the thread communicator.
+"""
+
+from .axonn import FRAMEWORKS, simulate_batch, strong_scaling
+from .data_parallel import collective_time, gradient_bytes_per_gpu
+from .deepspeed3d import simulate_deepspeed_batch
+from .megatron import (
+    ColumnParallelLinear,
+    RowParallelLinear,
+    TensorParallelMLP,
+    copy_to_tensor_parallel,
+    reduce_from_tensor_parallel,
+    shard_dim,
+)
+from .partitioner import (
+    PartitionPlan,
+    StorageMode,
+    activation_bytes_per_gpu,
+    balanced_partition,
+    choose_g_inter,
+    memory_per_gpu,
+    model_state_bytes,
+)
+from .perf_model import (
+    BatchBreakdown,
+    ParallelConfig,
+    bubble_time,
+    microbatches_per_gpu,
+    transmission_time,
+)
+from .pipeline import PipelineTrace, TaskRecord, simulate_pipeline
+from .pipeline_exec import PipelineStageTrainer, StageModule, partition_module_list
+from .samo_integration import DataParallelSAMOTrainer, simulate_samo_batch
+from .sputnik_backend import simulate_sputnik_batch
+from .zero import Zero1DataParallel, zero_memory_bytes
+
+__all__ = [
+    "FRAMEWORKS",
+    "simulate_batch",
+    "strong_scaling",
+    "simulate_samo_batch",
+    "simulate_deepspeed_batch",
+    "simulate_sputnik_batch",
+    "DataParallelSAMOTrainer",
+    "BatchBreakdown",
+    "ParallelConfig",
+    "bubble_time",
+    "transmission_time",
+    "microbatches_per_gpu",
+    "simulate_pipeline",
+    "PipelineTrace",
+    "TaskRecord",
+    "PipelineStageTrainer",
+    "StageModule",
+    "partition_module_list",
+    "StorageMode",
+    "model_state_bytes",
+    "memory_per_gpu",
+    "activation_bytes_per_gpu",
+    "choose_g_inter",
+    "balanced_partition",
+    "PartitionPlan",
+    "collective_time",
+    "gradient_bytes_per_gpu",
+    "ColumnParallelLinear",
+    "RowParallelLinear",
+    "TensorParallelMLP",
+    "copy_to_tensor_parallel",
+    "reduce_from_tensor_parallel",
+    "shard_dim",
+    "Zero1DataParallel",
+    "zero_memory_bytes",
+]

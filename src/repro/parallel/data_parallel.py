@@ -1,0 +1,62 @@
+"""Data-parallel gradient synchronisation cost model (paper Section IV-A).
+
+AxoNN all-reduces the fp16 gradients of each GPU's pipeline stage among the
+``G_data`` replicas after the pipeline flush. SAMO shrinks the payload to
+the unpruned values only — "directly invoking AxoNN's all-reduce calls on
+the compressed tensor".
+
+For *pure data parallel* CNN runs, frameworks bucket the all-reduce and
+overlap it with backward compute (the standard DDP optimisation); the
+exposed time is what remains after overlap.
+"""
+
+from __future__ import annotations
+
+from ..cluster.calibration import SUMMIT, SummitCalibration
+from ..cluster.collectives import ring_allreduce_time
+from ..models.spec import ModelSpec
+
+__all__ = ["gradient_bytes_per_gpu", "collective_time"]
+
+
+def gradient_bytes_per_gpu(
+    spec: ModelSpec,
+    g_inter: int,
+    sparse: bool,
+    sparsity: float = 0.9,
+) -> int:
+    """fp16 gradient payload each GPU contributes to the all-reduce.
+
+    Dense: all ``φ / G_inter`` stage parameters. Sparse (SAMO/Sputnik):
+    only the kept values of prunable tensors plus dense non-prunables.
+    """
+    phi = spec.param_count
+    phi_p = spec.prunable_count
+    if sparse:
+        kept = round((1.0 - sparsity) * phi_p) + (phi - phi_p)
+        return 2 * kept // g_inter
+    return 2 * phi // g_inter
+
+
+def collective_time(
+    spec: ModelSpec,
+    g_inter: int,
+    g_data: int,
+    sparse: bool,
+    sparsity: float = 0.9,
+    overlap_with_backward: float = 0.0,
+    backward_compute_time: float = 0.0,
+    cal: SummitCalibration = SUMMIT,
+) -> float:
+    """Exposed data-parallel all-reduce seconds per batch.
+
+    ``overlap_with_backward`` in [0,1] hides that fraction of the
+    all-reduce under ``backward_compute_time`` (pure-DP bucketed overlap);
+    hybrid pipeline runs pass 0 (the sync happens after the flush).
+    """
+    nbytes = gradient_bytes_per_gpu(spec, g_inter, sparse, sparsity)
+    raw = ring_allreduce_time(nbytes, g_data, cal)
+    if overlap_with_backward <= 0.0:
+        return raw
+    hidden = min(raw * overlap_with_backward, backward_compute_time)
+    return max(raw - hidden, 0.0)

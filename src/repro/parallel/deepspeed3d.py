@@ -1,0 +1,35 @@
+"""DeepSpeed-3D baseline (Microsoft; ZeRO + Megatron + pipeline).
+
+A thin, documented wrapper over the shared engine in
+:mod:`repro.parallel.axonn`: DeepSpeed-3D partitions like the dense mode
+(its Megatron intra-layer + pipeline footprint needs the same model-
+parallel degree), runs the same ring collectives (both frameworks sit on
+NCCL — the paper's explanation for identical CNN curves in Figure 5), and
+pays a calibrated exposed-p2p penalty for its synchronous (non message-
+driven) pipeline schedule.
+
+ZeRO-1 optimizer-state sharding is accounted in
+:func:`repro.parallel.partitioner.model_state_bytes` (mode ``ZERO1``) for
+memory reports.
+"""
+
+from __future__ import annotations
+
+from ..cluster.calibration import SUMMIT, SummitCalibration
+from ..models.spec import ModelSpec
+from .perf_model import BatchBreakdown
+
+__all__ = ["simulate_deepspeed_batch"]
+
+
+def simulate_deepspeed_batch(
+    spec: ModelSpec,
+    n_gpus: int,
+    sparsity: float = 0.9,
+    mbs: int = 1,
+    cal: SummitCalibration = SUMMIT,
+) -> BatchBreakdown:
+    """Batch-time breakdown of DeepSpeed-3D on the simulated machine."""
+    from .axonn import simulate_batch
+
+    return simulate_batch(spec, n_gpus, "deepspeed-3d", sparsity=sparsity, mbs=mbs, cal=cal)

@@ -1,0 +1,211 @@
+"""Executable intra-layer (tensor) parallelism, Megatron style.
+
+DeepSpeed-3D — the paper's strongest baseline — uses MegatronLM's
+intra-layer sharding for transformer layers (Section V-B). The *cost*
+side of that is modelled in :mod:`repro.parallel.deepspeed3d`; this
+module executes the algorithm over thread ranks so the baseline is
+functionally real, not just analytic.
+
+Megatron's two conjugate communication operators (Shoeybi et al. §3):
+
+* ``f`` — :func:`copy_to_tensor_parallel`: identity forward, all-reduce
+  backward. Placed where a replicated activation enters a column-split
+  GEMM: every rank consumes the same input, so input gradients from all
+  ranks must sum.
+* ``g`` — :func:`reduce_from_tensor_parallel`: all-reduce forward,
+  identity backward. Placed where row-split partial outputs combine.
+
+A two-layer MLP block then parallelises with exactly one ``g`` in the
+forward and one ``f`` in the backward:
+
+    y = RowParallel(act(ColumnParallel(x)))
+
+Column-parallel splits ``W1`` by output neurons (no communication, the
+activation stays sharded); row-parallel splits ``W2`` by input neurons
+and all-reduces the partial sums.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..comm.backend import Communicator
+from ..tensor import functional as F
+from ..tensor.module import Module, Parameter
+from ..tensor.tensor import Tensor
+
+__all__ = [
+    "copy_to_tensor_parallel",
+    "reduce_from_tensor_parallel",
+    "ColumnParallelLinear",
+    "RowParallelLinear",
+    "TensorParallelMLP",
+    "shard_dim",
+]
+
+
+def shard_dim(total: int, world: int) -> int:
+    """Per-rank extent of an evenly sharded dimension (must divide)."""
+    if total % world:
+        raise ValueError(f"dimension {total} not divisible by world size {world}")
+    return total // world
+
+
+def copy_to_tensor_parallel(x: Tensor, comm: Communicator) -> Tensor:
+    """Megatron's ``f``: identity forward, all-reduce(sum) backward."""
+
+    def _bwd(g: np.ndarray) -> None:
+        if x.requires_grad:
+            x._accumulate_grad(comm.allreduce(g, op="sum"))
+
+    return Tensor._from_op(x.data, (x,), _bwd)
+
+
+def reduce_from_tensor_parallel(x: Tensor, comm: Communicator) -> Tensor:
+    """Megatron's ``g``: all-reduce(sum) forward, identity backward."""
+    out_data = comm.allreduce(x.data, op="sum")
+
+    def _bwd(g: np.ndarray) -> None:
+        if x.requires_grad:
+            x._accumulate_grad(g)
+
+    return Tensor._from_op(out_data, (x,), _bwd)
+
+
+class ColumnParallelLinear(Module):
+    """Linear layer with the weight split by *output* neurons.
+
+    Rank ``r`` holds rows ``[r * out/P, (r+1) * out/P)`` of the full
+    ``(out, in)`` weight. The input is replicated (guarded by ``f`` so
+    its gradient is correctly summed); the output is the local shard —
+    feed it to a :class:`RowParallelLinear`, or set ``gather_output`` to
+    materialise the full activation on every rank.
+    """
+
+    def __init__(
+        self,
+        in_features: int,
+        out_features: int,
+        comm: Communicator,
+        bias: bool = True,
+        gather_output: bool = False,
+        rng: np.random.Generator | None = None,
+    ):
+        super().__init__()
+        rng = rng or np.random.default_rng()
+        self.comm = comm
+        self.in_features = in_features
+        self.out_features = out_features
+        self.out_local = shard_dim(out_features, comm.size)
+        self.gather_output = gather_output
+        bound = 1.0 / np.sqrt(in_features)
+        # Every rank draws the *full* weight from a shared-seed stream and
+        # keeps its slice, so P-way runs match the serial initialisation.
+        full = rng.uniform(-bound, bound, size=(out_features, in_features)).astype(np.float32)
+        lo = comm.rank * self.out_local
+        self.weight = Parameter(full[lo : lo + self.out_local].copy(), prunable=True)
+        self.bias = Parameter(np.zeros(self.out_local, dtype=np.float32)) if bias else None
+
+    def forward(self, x: Tensor) -> Tensor:
+        x = copy_to_tensor_parallel(x, self.comm)
+        y = F.linear(x, self.weight, self.bias)
+        if self.gather_output:
+            shards = self.comm.allgather(y.data)
+            full = np.concatenate(shards, axis=-1)
+            # Autograd across the gather: slice the incoming gradient back
+            # to this rank's columns.
+            lo = self.comm.rank * self.out_local
+
+            def _bwd(g: np.ndarray) -> None:
+                if y.requires_grad:
+                    y._accumulate_grad(g[..., lo : lo + self.out_local])
+
+            return Tensor._from_op(full, (y,), _bwd)
+        return y
+
+    def __repr__(self) -> str:
+        return (
+            f"ColumnParallelLinear(in={self.in_features}, out={self.out_features}, "
+            f"local_out={self.out_local}, rank={self.comm.rank})"
+        )
+
+
+class RowParallelLinear(Module):
+    """Linear layer with the weight split by *input* neurons.
+
+    Rank ``r`` holds columns ``[r * in/P, (r+1) * in/P)`` of the full
+    ``(out, in)`` weight and consumes the matching shard of the input
+    (i.e. a column-parallel predecessor's local output). Partial results
+    are summed with ``g``; the bias is added once, after the reduction.
+    """
+
+    def __init__(
+        self,
+        in_features: int,
+        out_features: int,
+        comm: Communicator,
+        bias: bool = True,
+        input_is_sharded: bool = True,
+        rng: np.random.Generator | None = None,
+    ):
+        super().__init__()
+        rng = rng or np.random.default_rng()
+        self.comm = comm
+        self.in_features = in_features
+        self.out_features = out_features
+        self.in_local = shard_dim(in_features, comm.size)
+        self.input_is_sharded = input_is_sharded
+        bound = 1.0 / np.sqrt(in_features)
+        full = rng.uniform(-bound, bound, size=(out_features, in_features)).astype(np.float32)
+        lo = comm.rank * self.in_local
+        self.weight = Parameter(full[:, lo : lo + self.in_local].copy(), prunable=True)
+        self.bias = Parameter(np.zeros(out_features, dtype=np.float32)) if bias else None
+
+    def forward(self, x: Tensor) -> Tensor:
+        if not self.input_is_sharded:
+            lo = self.comm.rank * self.in_local
+            x_shard_data = x.data[..., lo : lo + self.in_local]
+
+            def _bwd(g: np.ndarray, _x=x, _lo=lo) -> None:
+                if _x.requires_grad:
+                    full = np.zeros_like(_x.data)
+                    full[..., _lo : _lo + self.in_local] = g
+                    _x._accumulate_grad(full)
+
+            x = Tensor._from_op(x_shard_data, (x,), _bwd)
+        partial = F.linear(x, self.weight, None)
+        y = reduce_from_tensor_parallel(partial, self.comm)
+        if self.bias is not None:
+            y = y + self.bias
+        return y
+
+    def __repr__(self) -> str:
+        return (
+            f"RowParallelLinear(in={self.in_features}, out={self.out_features}, "
+            f"local_in={self.in_local}, rank={self.comm.rank})"
+        )
+
+
+class TensorParallelMLP(Module):
+    """Megatron's parallel transformer MLP: column -> GELU -> row.
+
+    One all-reduce in the forward (inside the row layer) and one in the
+    backward (inside ``f``) per block, independent of the hidden size —
+    the property that makes intra-layer parallelism communication-cheap
+    per layer but latency-bound at scale (the paper's Section II-D).
+    """
+
+    def __init__(
+        self,
+        d_model: int,
+        d_hidden: int,
+        comm: Communicator,
+        rng: np.random.Generator | None = None,
+    ):
+        super().__init__()
+        rng = rng or np.random.default_rng()
+        self.fc_in = ColumnParallelLinear(d_model, d_hidden, comm, rng=rng)
+        self.fc_out = RowParallelLinear(d_hidden, d_model, comm, rng=rng)
+
+    def forward(self, x: Tensor) -> Tensor:
+        return self.fc_out(F.gelu(self.fc_in(x)))

@@ -1,0 +1,196 @@
+"""Layer partitioning and ``G_inter`` selection.
+
+SAMO's performance story (paper Section IV-B) is: memory savings let the
+framework *deploy one model copy on fewer GPUs* — a smaller ``G_inter`` —
+so more of the machine does data parallelism. This module implements both
+halves: per-GPU memory accounting under each storage mode, and the choice
+of the smallest feasible power-of-two ``G_inter``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..cluster.calibration import SUMMIT, SummitCalibration
+from ..core.memory_model import dense_model_state_bytes, samo_model_state_bytes
+from ..models.spec import ModelSpec
+
+__all__ = [
+    "StorageMode",
+    "model_state_bytes",
+    "activation_bytes_per_gpu",
+    "memory_per_gpu",
+    "choose_g_inter",
+    "balanced_partition",
+    "PartitionPlan",
+]
+
+
+class StorageMode:
+    """How model state is stored on device."""
+
+    DENSE = "dense"  # default mixed precision (AxoNN, DeepSpeed fwd state)
+    SAMO = "samo"  # compressed shared-index storage
+    SPARSE_KERNEL = "sparse_kernel"  # Sputnik: CSR weights, compressed states
+    ZERO1 = "zero1"  # DeepSpeed ZeRO-1: optimizer states sharded over G_data
+
+
+def model_state_bytes(
+    spec: ModelSpec,
+    mode: str,
+    sparsity: float = 0.9,
+    g_data: int = 1,
+) -> int:
+    """Total model-state bytes of one model replica under ``mode``.
+
+    * DENSE: the paper's ``20 φ``.
+    * SAMO: ``24 f φ_p + 2 φ`` — only prunable parameters compress;
+      non-prunable (biases, norms) stay dense at 20 bytes each.
+    * SPARSE_KERNEL: like SAMO but weights also sparse (CSR values+index,
+      ~6 bytes/nnz) instead of the dense 2-byte θ16.
+    * ZERO1: dense θ/∇ in both precisions (12 φ) + Adam states sharded
+      across the data-parallel group (8 φ / G_data).
+    """
+    phi = spec.param_count
+    phi_p = spec.prunable_count
+    phi_np = phi - phi_p
+    f = 1.0 - sparsity
+    if mode == StorageMode.DENSE:
+        return dense_model_state_bytes(phi)
+    if mode == StorageMode.SAMO:
+        return samo_model_state_bytes(phi_p, sparsity) + dense_model_state_bytes(phi_np)
+    if mode == StorageMode.SPARSE_KERNEL:
+        nnz = round(f * phi_p)
+        # CSR weights (2B fp16 values + 4B col index) + compressed
+        # grads/masters/states + dense non-prunables.
+        sparse_weights = 6 * nnz
+        compressed_rest = (2 + 4 + 4 + 8) * nnz + 4 * nnz
+        return sparse_weights + compressed_rest + dense_model_state_bytes(phi_np)
+    if mode == StorageMode.ZERO1:
+        return 12 * phi + (8 * phi) // max(g_data, 1)
+    raise KeyError(f"unknown storage mode {mode!r}")
+
+
+def activation_bytes_per_gpu(spec: ModelSpec, mbs: int) -> int:
+    """Checkpointed activation bytes per GPU (half precision).
+
+    With activation checkpointing each layer retains only its input per
+    in-flight microbatch; a stage holds ``layers/G_inter`` layers but up to
+    ``G_inter`` in-flight microbatches, so the product is independent of
+    ``G_inter``: the full per-sample checkpoint footprint times ``mbs``.
+    """
+    ckpt_elems = sum(l.activation_checkpoint_elems for l in spec.layers)
+    return 2 * ckpt_elems * mbs
+
+
+def memory_per_gpu(
+    spec: ModelSpec,
+    g_inter: int,
+    mode: str,
+    sparsity: float = 0.9,
+    mbs: int = 1,
+    g_data: int = 1,
+    cal: SummitCalibration = SUMMIT,
+) -> int:
+    """Per-GPU bytes: state shard + activations + framework overhead."""
+    state = model_state_bytes(spec, mode, sparsity, g_data=g_data)
+    return (
+        state // g_inter
+        + activation_bytes_per_gpu(spec, mbs)
+        + cal.framework_overhead_bytes
+    )
+
+
+def choose_g_inter(
+    spec: ModelSpec,
+    n_gpus: int,
+    mode: str,
+    sparsity: float = 0.9,
+    mbs: int = 1,
+    cal: SummitCalibration = SUMMIT,
+) -> int:
+    """Smallest feasible power-of-two ``G_inter`` (paper Section IV-B).
+
+    Feasible means: the per-GPU footprint fits in device memory, ``G_inter``
+    divides ``n_gpus``, there are at least as many schedulable layers as
+    stages, and each pipeline still receives at least one microbatch
+    (``G_data <= B / mbs``).
+    """
+    g = 1
+    while g <= n_gpus:
+        g_data = n_gpus // g
+        ok = (
+            n_gpus % g == 0
+            and g <= spec.num_layers
+            and spec.batch_size % (g_data * mbs) == 0
+            and spec.batch_size // (g_data * mbs) >= 1
+            and memory_per_gpu(spec, g, mode, sparsity, mbs, g_data=g_data, cal=cal)
+            <= cal.gpu_memory_bytes
+        )
+        if ok:
+            return g
+        g *= 2
+    raise RuntimeError(
+        f"{spec.name}: no feasible G_inter on {n_gpus} GPUs in mode {mode!r} "
+        f"(model too large for the machine)"
+    )
+
+
+@dataclass
+class PartitionPlan:
+    """Contiguous layer ranges assigned to each pipeline stage."""
+
+    boundaries: list[int]  # len G_inter+1; stage i = layers[b[i]:b[i+1]]
+    stage_flops: list[float]  # fwd flops per sample per stage
+
+    @property
+    def n_stages(self) -> int:
+        return len(self.boundaries) - 1
+
+    @property
+    def imbalance(self) -> float:
+        """max/mean stage flops (1.0 = perfectly balanced)."""
+        mean = sum(self.stage_flops) / len(self.stage_flops)
+        return max(self.stage_flops) / mean if mean > 0 else 1.0
+
+
+def balanced_partition(spec: ModelSpec, g_inter: int) -> PartitionPlan:
+    """Split layers into ``g_inter`` contiguous stages balancing fwd flops.
+
+    Greedy prefix-target sweep (the classic linear partition heuristic):
+    cut when accumulated flops reach the running per-stage target. The
+    final stage absorbs any remainder.
+    """
+    if g_inter < 1 or g_inter > spec.num_layers:
+        raise ValueError(
+            f"g_inter={g_inter} out of range [1, {spec.num_layers}] for {spec.name}"
+        )
+    flops = [l.fwd_flops_per_sample for l in spec.layers]
+    total = sum(flops)
+    boundaries = [0]
+    acc = 0.0
+    done = 0.0
+    for i, f in enumerate(flops):
+        remaining_stages = g_inter - (len(boundaries) - 1)
+        remaining_layers = len(flops) - i
+        if remaining_stages == 0:
+            break
+        acc += f
+        target = (total - done) / remaining_stages
+        # cut when the stage met its target, or we must cut to leave one
+        # layer per remaining stage
+        must_cut = remaining_layers - 1 < remaining_stages - 1
+        if (acc >= target and remaining_stages > 1) or must_cut:
+            boundaries.append(i + 1)
+            done += acc
+            acc = 0.0
+    boundaries.append(len(flops))
+    # Deduplicate in pathological cases and validate.
+    if len(boundaries) != g_inter + 1 or len(set(boundaries)) != len(boundaries):
+        # Fallback: equal layer counts.
+        step = len(flops) / g_inter
+        boundaries = [round(i * step) for i in range(g_inter)] + [len(flops)]
+    stage_flops = [
+        sum(flops[boundaries[i] : boundaries[i + 1]]) for i in range(g_inter)
+    ]
+    return PartitionPlan(boundaries=boundaries, stage_flops=stage_flops)

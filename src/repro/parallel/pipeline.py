@@ -1,0 +1,214 @@
+"""Event-driven simulation of the inter-layer (pipeline) schedule.
+
+Reproduces the paper's Figure 3 mechanics: ``G_inter`` GPUs process ``m``
+microbatches with 1F1B-style message-driven scheduling (backward work is
+preferred when available — AxoNN's message-driven scheduler behaves this
+way in steady state). Produces a full schedule trace for visualisation and
+per-GPU busy/idle accounting whose idle time matches the paper's Eq. 6-7
+bubble formula when messages are free and stages uniform.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..cluster.events import EventLoop
+
+__all__ = ["TaskRecord", "PipelineTrace", "simulate_pipeline"]
+
+
+@dataclass(frozen=True)
+class TaskRecord:
+    """One executed forward/backward task."""
+
+    gpu: int
+    kind: str  # 'F' or 'B'
+    microbatch: int
+    start: float
+    end: float
+
+
+@dataclass
+class PipelineTrace:
+    """Result of a pipeline simulation."""
+
+    g_inter: int
+    n_microbatches: int
+    tasks: list[TaskRecord] = field(default_factory=list)
+    makespan: float = 0.0
+    #: per-GPU maximum of concurrently-held forward activations — the
+    #: activation-memory proxy (1F1B bounds it at ``g_inter - stage``,
+    #: GPipe-style unbounded scheduling lets it reach ``m``)
+    peak_in_flight: list[int] = field(default_factory=list)
+
+    def gpu_tasks(self, gpu: int) -> list[TaskRecord]:
+        return sorted((t for t in self.tasks if t.gpu == gpu), key=lambda t: t.start)
+
+    def busy_time(self, gpu: int) -> float:
+        return sum(t.end - t.start for t in self.gpu_tasks(gpu))
+
+    def idle_time(self, gpu: int) -> float:
+        """Idle (bubble + message wait) within the batch span."""
+        return self.makespan - self.busy_time(gpu)
+
+    def mean_idle_time(self) -> float:
+        return sum(self.idle_time(g) for g in range(self.g_inter)) / self.g_inter
+
+    def ascii(self, time_unit: float) -> str:
+        """Render the schedule like the paper's Figure 3.
+
+        Each column is ``time_unit`` seconds; forward cells print the
+        microbatch id, backward cells print it bracketed.
+        """
+        lines = []
+        n_cols = int(round(self.makespan / time_unit))
+        for g in range(self.g_inter):
+            row = ["  ."] * n_cols
+            for t in self.gpu_tasks(g):
+                c0 = int(round(t.start / time_unit))
+                c1 = int(round(t.end / time_unit))
+                for c in range(c0, min(c1, n_cols)):
+                    cell = f"{t.microbatch:>3}" if t.kind == "F" else f"[{t.microbatch}]".rjust(3)
+                    row[c] = cell
+            lines.append(f"GPU {g}: " + "".join(row))
+        return "\n".join(lines)
+
+
+def simulate_pipeline(
+    g_inter: int,
+    n_microbatches: int,
+    t_f_stage: float,
+    t_b_stage: float,
+    msg_time: float = 0.0,
+    blocking_sends: bool = False,
+    prefer_backward: bool = True,
+    bound_in_flight: bool = True,
+) -> PipelineTrace:
+    """Simulate one batch through a ``g_inter``-stage pipeline.
+
+    Parameters
+    ----------
+    g_inter:
+        Pipeline depth (stages == GPUs).
+    n_microbatches:
+        Microbatches per batch shard (``m`` in the perf model).
+    t_f_stage, t_b_stage:
+        Per-stage forward/backward compute times of one microbatch.
+    msg_time:
+        Transfer time of one activation/gradient message between adjacent
+        stages (0 isolates the pure bubble behaviour of Eq. 6-7).
+    blocking_sends:
+        AxoNN uses **asynchronous messaging** (paper Section II-E): a GPU
+        hands its activation to the transport and immediately starts the
+        next task (the default). With ``blocking_sends=True`` the sender
+        stays busy for the transfer — the synchronous-pipeline behaviour
+        AxoNN improves on.
+    prefer_backward:
+        AxoNN's **message-driven scheduling** prefers backward work in
+        steady state (1F1B, the default). ``False`` processes work in
+        plain arrival order, which delays downstream gradients and
+        lengthens the drain phase.
+    bound_in_flight:
+        The 1F1B warmup window caps in-flight forwards at
+        ``g_inter - stage`` (bounding activation memory). ``False``
+        removes the cap — GPipe-style all-forwards-then-all-backwards,
+        whose peak activation count grows with ``m`` instead.
+
+    The default configuration is AxoNN's; the flags exist so the
+    scheduling ablation can price each optimization separately.
+    """
+    if g_inter < 1 or n_microbatches < 1:
+        raise ValueError("g_inter and n_microbatches must be >= 1")
+    loop = EventLoop()
+    trace = PipelineTrace(g_inter=g_inter, n_microbatches=n_microbatches)
+
+    fwd_ready: list[list[int]] = [[] for _ in range(g_inter)]
+    bwd_ready: list[list[int]] = [[] for _ in range(g_inter)]
+    arrival_order: list[list[tuple[str, int]]] = [[] for _ in range(g_inter)]
+    busy = [False] * g_inter
+    in_flight = [0] * g_inter  # forwards not yet backwarded on this stage
+    fwd_done_count = [0] * g_inter
+
+    # Stage 0 starts with every microbatch available for forward.
+    fwd_ready[0] = list(range(n_microbatches))
+    arrival_order[0] = [("F", mb) for mb in range(n_microbatches)]
+
+    peak = [0] * g_inter
+
+    def _fwd_allowed(g: int) -> bool:
+        if not bound_in_flight:
+            return True
+        return in_flight[g] < max(g_inter - g, 1)
+
+    def try_start(g: int) -> None:
+        if busy[g]:
+            return
+        if prefer_backward:
+            if bwd_ready[g]:
+                start_task(g, "B", bwd_ready[g].pop(0))
+            elif fwd_ready[g] and _fwd_allowed(g):
+                start_task(g, "F", fwd_ready[g].pop(0))
+        else:
+            # Arrival-order (FIFO) service; a warmup-blocked forward at the
+            # head lets later-arrived work run (no head-of-line deadlock).
+            for i, (kind, mb) in enumerate(arrival_order[g]):
+                if kind == "F" and not _fwd_allowed(g):
+                    continue
+                arrival_order[g].pop(i)
+                (fwd_ready if kind == "F" else bwd_ready)[g].remove(mb)
+                start_task(g, kind, mb)
+                return
+
+    def start_task(g: int, kind: str, mb: int) -> None:
+        busy[g] = True
+        dur = t_f_stage if kind == "F" else t_b_stage
+        sends = (kind == "F" and g + 1 < g_inter) or (kind == "B" and g > 0)
+        occupied = dur + (msg_time if blocking_sends and sends else 0.0)
+        start = loop.now
+        if kind == "F":
+            in_flight[g] += 1
+            peak[g] = max(peak[g], in_flight[g])
+
+        def finish():
+            busy[g] = False
+            trace.tasks.append(TaskRecord(g, kind, mb, start, start + occupied))
+            if kind == "F":
+                fwd_done_count[g] += 1
+                if g + 1 < g_inter:
+                    # Activation message: with async sends the transfer
+                    # runs concurrently after compute; with blocking sends
+                    # it already elapsed inside `occupied`.
+                    delay = 0.0 if blocking_sends else msg_time
+                    loop.schedule(delay, lambda: arrive_fwd(g + 1, mb))
+                else:
+                    # last stage: backward starts immediately after forward
+                    bwd_ready[g].append(mb)
+                    arrival_order[g].append(("B", mb))
+            else:
+                in_flight[g] -= 1
+                if g - 1 >= 0:
+                    delay = 0.0 if blocking_sends else msg_time
+                    loop.schedule(delay, lambda: arrive_bwd(g - 1, mb))
+            try_start(g)
+
+        loop.schedule(occupied, finish)
+
+    def arrive_fwd(g: int, mb: int) -> None:
+        fwd_ready[g].append(mb)
+        arrival_order[g].append(("F", mb))
+        try_start(g)
+
+    def arrive_bwd(g: int, mb: int) -> None:
+        bwd_ready[g].append(mb)
+        arrival_order[g].append(("B", mb))
+        try_start(g)
+
+    loop.schedule(0.0, lambda: try_start(0))
+    trace.makespan = loop.run()
+    trace.peak_in_flight = peak
+    if len(trace.tasks) != 2 * g_inter * n_microbatches:
+        raise RuntimeError(
+            f"pipeline deadlock: executed {len(trace.tasks)} of "
+            f"{2 * g_inter * n_microbatches} tasks"
+        )
+    return trace

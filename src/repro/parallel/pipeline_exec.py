@@ -1,0 +1,204 @@
+"""Functional inter-layer (pipeline) parallel training over thread ranks.
+
+The performance side of AxoNN's pipeline lives in
+:mod:`repro.parallel.pipeline` (event simulation) and
+:mod:`repro.parallel.axonn` (batch-time model). This module *executes* the
+algorithm: each rank owns a contiguous stage of layers; activations flow
+downstream with ``send``/``recv`` during the forward pass and activation
+gradients flow upstream during the backward pass, microbatch by
+microbatch, exactly as in the paper's Figure 3. Combined with
+:class:`repro.comm.GridLayout` and the data-parallel sparse all-reduce it
+forms a complete executable AxoNN+SAMO.
+
+The stage boundary uses the autograd engine's ``backward(grad=...)``
+entry point: the upstream gradient received from the next stage seeds the
+local backward pass.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..comm.backend import Communicator
+from ..core.config import SAMOConfig
+from ..core.samo_optimizer import SAMOOptimizer
+from ..pruning.masks import MaskSet
+from ..tensor.module import Module
+from ..tensor.tensor import Tensor
+from ..train.mixed_precision import DenseMixedPrecisionState
+
+__all__ = ["PipelineStageTrainer", "StageModule", "partition_module_list"]
+
+TAG_ACT = 11
+TAG_GRAD = 13
+
+
+def partition_module_list(blocks: list[Module], n_stages: int) -> list[list[Module]]:
+    """Split an ordered block list into ``n_stages`` contiguous stages of
+    near-equal length (the runnable analogue of the flops partitioner)."""
+    if n_stages < 1 or n_stages > len(blocks):
+        raise ValueError(f"n_stages={n_stages} out of range for {len(blocks)} blocks")
+    bounds = [round(i * len(blocks) / n_stages) for i in range(n_stages + 1)]
+    return [blocks[bounds[i] : bounds[i + 1]] for i in range(n_stages)]
+
+
+class StageModule(Module):
+    """A pipeline stage: an ordered chain of blocks owned by one rank.
+
+    Parameter names are ``b{i}.<name>``; compute pruning masks against an
+    instance of this class so index names line up with the trainer's.
+
+    ``checkpoint_segments > 0`` runs the chain through
+    :func:`repro.tensor.checkpoint.checkpoint_sequential` — AxoNN trains
+    with activation checkpointing on (paper Section II-E), and this is
+    the executable composition of the two memory levers: SAMO compresses
+    the model state while checkpointing bounds the activations each
+    in-flight microbatch pins.
+    """
+
+    def __init__(self, blocks: list[Module], checkpoint_segments: int = 0):
+        super().__init__()
+        self._chain = []
+        for i, b in enumerate(blocks):
+            setattr(self, f"b{i}", b)
+            self._chain.append(b)
+        if checkpoint_segments < 0 or checkpoint_segments > max(len(blocks), 1):
+            raise ValueError(
+                f"checkpoint_segments={checkpoint_segments} out of range "
+                f"[0, {len(blocks)}]"
+            )
+        self.checkpoint_segments = checkpoint_segments
+
+    def forward(self, x: Tensor) -> Tensor:
+        if self.checkpoint_segments:
+            from ..tensor.checkpoint import checkpoint_sequential
+
+            return checkpoint_sequential(self._chain, x, self.checkpoint_segments)
+        for b in self._chain:
+            x = b(x)
+        return x
+
+
+class PipelineStageTrainer:
+    """One rank of an inter-layer parallel training run.
+
+    Parameters
+    ----------
+    comm:
+        Communicator over the pipeline group. Stage index == ``comm.rank``
+        (use a dedicated sub-world per pipeline).
+    blocks:
+        The contiguous blocks this stage owns.
+    head / loss_head:
+        Only consulted on the first/last stage: ``head(batch_input)``
+        produces the stage-0 input tensor (e.g. embedding lookup);
+        ``loss_head(stage_output, targets)`` produces the scalar loss.
+        Both may be ``None`` when the stage's blocks already include them.
+    mask / samo_sparsity / config:
+        With an explicit ``mask`` (named against :class:`StageModule`) or
+        a ``samo_sparsity`` (stage-local magnitude pruning at that level),
+        the stage trains through :class:`SAMOOptimizer` (compressed
+        state); otherwise through the dense mixed-precision state.
+    checkpoint_segments:
+        When > 0, run the stage's blocks under activation checkpointing
+        with that many segments (see :class:`StageModule`).
+    """
+
+    def __init__(
+        self,
+        comm: Communicator,
+        blocks: list[Module],
+        head=None,
+        loss_head=None,
+        mask: MaskSet | None = None,
+        samo_sparsity: float | None = None,
+        config: SAMOConfig | None = None,
+        checkpoint_segments: int = 0,
+    ):
+        self.comm = comm
+        self.stage = comm.rank
+        self.n_stages = comm.size
+        self.module = StageModule(blocks, checkpoint_segments=checkpoint_segments)
+        self.head = head
+        self.loss_head = loss_head
+        config = config or SAMOConfig()
+        if mask is None and samo_sparsity is not None:
+            from ..pruning.magnitude import magnitude_prune
+
+            mask = magnitude_prune(self.module, samo_sparsity)
+        if mask is not None:
+            self.optimizer = SAMOOptimizer(self.module, mask, config)
+            self._state = self.optimizer.state
+        else:
+            self.optimizer = None
+            self._state = DenseMixedPrecisionState(self.module, config)
+        self.losses: list[float] = []
+        #: optional callable(state) run after gradient accumulation and
+        #: before the optimizer step — the data-parallel all-reduce hook
+        #: (AxoNN synchronises gradients exactly at this point).
+        self.grad_sync = None
+
+    @property
+    def is_first(self) -> bool:
+        return self.stage == 0
+
+    @property
+    def is_last(self) -> bool:
+        return self.stage == self.n_stages - 1
+
+    # ------------------------------------------------------------------
+    def _forward_microbatch(self, batch_input) -> tuple[Tensor, Tensor]:
+        """Run this stage's forward; returns (stage_input, stage_output)."""
+        if self.is_first:
+            x = self.head(batch_input) if self.head is not None else batch_input
+            if not isinstance(x, Tensor):
+                x = Tensor(np.asarray(x, dtype=np.float32))
+        else:
+            act = self.comm.recv(self.stage - 1, tag=TAG_ACT)
+            x = Tensor(act, requires_grad=True)
+        out = self.module(x)
+        if not self.is_last:
+            self.comm.send(self.stage + 1, out.data, tag=TAG_ACT)
+        return x, out
+
+    def _backward_microbatch(self, x: Tensor, out: Tensor, targets) -> float | None:
+        """Run this stage's backward; returns the loss on the last stage."""
+        loss_val = None
+        if self.is_last:
+            loss = self.loss_head(out, targets) if self.loss_head is not None else out
+            loss.backward()
+            loss_val = loss.item()
+        else:
+            upstream = self.comm.recv(self.stage + 1, tag=TAG_GRAD)
+            out.backward(upstream)
+        if not self.is_first:
+            self.comm.send(self.stage - 1, x.grad, tag=TAG_GRAD)
+        return loss_val
+
+    def train_step(self, microbatches: list, targets: list) -> float | None:
+        """One batch = forward+backward over every microbatch, then step.
+
+        ``microbatches[i]`` is the stage-0 input of microbatch ``i`` (only
+        read on the first stage); ``targets[i]`` only on the last stage.
+        Returns the mean microbatch loss on the last stage, None elsewhere.
+
+        Gradients accumulate across microbatches (compressed, for SAMO
+        stages) before one optimizer step — AxoNN's execution order.
+        """
+        if len(microbatches) != len(targets):
+            raise ValueError("microbatches and targets must align")
+        vals = []
+        for mb, tgt in zip(microbatches, targets):
+            x, out = self._forward_microbatch(mb)
+            v = self._backward_microbatch(x, out, tgt)
+            if v is not None:
+                vals.append(v)
+            self._state.compress_gradients()
+        if self.grad_sync is not None:
+            self.grad_sync(self._state)
+        self._state.step()
+        if self.is_last:
+            mean = float(np.mean(vals))
+            self.losses.append(mean)
+            return mean
+        return None

@@ -1,0 +1,35 @@
+"""Sputnik sparse-kernel baseline (Gale et al., SC'20) integrated in AxoNN.
+
+The paper builds this baseline to show that swapping dense kernels for
+state-of-the-art sparse ones is *not* how to exploit pruning: Sputnik's
+spMM/sDDMM at 90% sparsity run well below dense tensor-core GEMMs even
+though they execute 10x fewer flops.
+
+In the simulator: sparse storage gives Sputnik a small ``G_inter`` (like
+SAMO) and a sparse gradient all-reduce, but every layer's compute time is
+the dense time multiplied by the calibrated Sputnik slowdown. Per the
+paper's fair-flops convention (Section V-C) reported throughput uses the
+dense flop count. Sparse convolutions are unsupported, so CNN specs are
+rejected (also per the paper).
+"""
+
+from __future__ import annotations
+
+from ..cluster.calibration import SUMMIT, SummitCalibration
+from ..models.spec import ModelSpec
+from .perf_model import BatchBreakdown
+
+__all__ = ["simulate_sputnik_batch"]
+
+
+def simulate_sputnik_batch(
+    spec: ModelSpec,
+    n_gpus: int,
+    sparsity: float = 0.9,
+    mbs: int = 1,
+    cal: SummitCalibration = SUMMIT,
+) -> BatchBreakdown:
+    """Batch-time breakdown of Sputnik-in-AxoNN on the simulated machine."""
+    from .axonn import simulate_batch
+
+    return simulate_batch(spec, n_gpus, "sputnik", sparsity=sparsity, mbs=mbs, cal=cal)

@@ -1,0 +1,33 @@
+"""Neural-network pruning algorithms (lottery-ticket family).
+
+Provides the ``ind`` index sets SAMO consumes: Early-Bird Tickets (You et
+al., used by the paper), global/layerwise magnitude, iterative magnitude
+with rewinding (Frankle & Carbin), SNIP connection sensitivity, random
+control masks, and structured (block / column-vector / channel) variants.
+"""
+
+from .early_bird import EarlyBirdPruner
+from .lottery import IterativePruner, rounds_for_sparsity
+from .magnitude import magnitude_prune, magnitude_scores
+from .masks import MaskSet, prunable_parameters
+from .random_pruning import random_mask_for_shapes, random_prune
+from .snip import snip_prune, snip_scores
+from .structured import block_prune, channel_prune, unit_norms, vector_prune
+
+__all__ = [
+    "MaskSet",
+    "prunable_parameters",
+    "magnitude_prune",
+    "magnitude_scores",
+    "EarlyBirdPruner",
+    "IterativePruner",
+    "rounds_for_sparsity",
+    "random_prune",
+    "random_mask_for_shapes",
+    "snip_prune",
+    "snip_scores",
+    "block_prune",
+    "vector_prune",
+    "channel_prune",
+    "unit_norms",
+]

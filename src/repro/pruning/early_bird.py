@@ -1,0 +1,94 @@
+"""Early-Bird Tickets (You et al., ICLR 2020) — the paper's pruning method.
+
+You et al. observe that the winning-ticket mask emerges *early* in training:
+the magnitude-pruning mask computed at successive epochs stops changing long
+before convergence. Their algorithm draws a mask every epoch, keeps a FIFO
+of the last ``window`` masks, and declares the ticket "drawn" when the
+maximum pairwise Hamming distance within the window drops below ``epsilon``
+(0.1 in the paper). Training then restarts/continues on the pruned network.
+
+:class:`EarlyBirdPruner` implements exactly that protocol against any
+:class:`~repro.tensor.Module`. It is deliberately training-loop agnostic:
+call :meth:`observe` once per epoch (or per eval interval) and check
+:attr:`converged`.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+
+from ..tensor.module import Module
+from .magnitude import magnitude_prune
+from .masks import MaskSet
+
+__all__ = ["EarlyBirdPruner"]
+
+
+class EarlyBirdPruner:
+    """Detects mask convergence during training and emits the final ticket.
+
+    Parameters
+    ----------
+    sparsity:
+        Target pruning fraction ``p`` (the paper uses 0.9).
+    epsilon:
+        Mask-distance convergence threshold (You et al. use 0.1).
+    window:
+        FIFO length of retained masks (You et al. use 5).
+    scope:
+        ``'global'`` or ``'layer'`` magnitude thresholding.
+    """
+
+    def __init__(
+        self,
+        sparsity: float = 0.9,
+        epsilon: float = 0.1,
+        window: int = 5,
+        scope: str = "global",
+    ):
+        if not 0.0 < sparsity < 1.0:
+            raise ValueError(f"sparsity must be in (0,1), got {sparsity}")
+        if window < 2:
+            raise ValueError("window must be >= 2")
+        self.sparsity = sparsity
+        self.epsilon = epsilon
+        self.window = window
+        self.scope = scope
+        self._fifo: deque[MaskSet] = deque(maxlen=window)
+        self.distance_history: list[float] = []
+        self.converged: bool = False
+        self.epochs_observed: int = 0
+
+    def observe(self, model: Module) -> MaskSet:
+        """Draw this epoch's magnitude mask; update convergence state.
+
+        Returns the freshly drawn mask (the current ticket candidate).
+        """
+        mask = magnitude_prune(model, self.sparsity, scope=self.scope)
+        if self._fifo:
+            d = mask.distance(self._fifo[-1])
+            self.distance_history.append(d)
+        self._fifo.append(mask)
+        self.epochs_observed += 1
+        if len(self._fifo) == self.window:
+            max_d = max(
+                self._fifo[i].distance(self._fifo[j])
+                for i in range(len(self._fifo))
+                for j in range(i + 1, len(self._fifo))
+            )
+            if max_d < self.epsilon:
+                self.converged = True
+        return mask
+
+    @property
+    def ticket(self) -> MaskSet:
+        """The most recent mask (the early-bird ticket once converged)."""
+        if not self._fifo:
+            raise RuntimeError("observe() has not been called yet")
+        return self._fifo[-1]
+
+    def __repr__(self) -> str:
+        return (
+            f"EarlyBirdPruner(p={self.sparsity}, eps={self.epsilon}, "
+            f"epochs={self.epochs_observed}, converged={self.converged})"
+        )

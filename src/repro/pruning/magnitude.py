@@ -1,0 +1,32 @@
+"""Magnitude pruning: keep the largest-|w| fraction of parameters.
+
+The simplest accuracy-preserving pruning family (Frankle & Carbin's LTH
+baseline). Both global and per-layer thresholds are provided; global is
+the default used throughout the reproduction.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..tensor.module import Module
+from .masks import MaskSet, prunable_parameters
+
+__all__ = ["magnitude_prune", "magnitude_scores"]
+
+
+def magnitude_scores(model: Module) -> dict[str, np.ndarray]:
+    """Absolute parameter values of every prunable tensor."""
+    return {name: np.abs(p.data) for name, p in prunable_parameters(model).items()}
+
+
+def magnitude_prune(model: Module, sparsity: float, scope: str = "global") -> MaskSet:
+    """Prune ``sparsity`` fraction of the model's prunable weights by |w|.
+
+    Returns the keep-index :class:`MaskSet`; the model itself is *not*
+    modified (call ``mask.apply(model)`` to zero the pruned weights).
+    """
+    scores = magnitude_scores(model)
+    if not scores:
+        raise ValueError("model has no prunable parameters")
+    return MaskSet.from_scores(scores, sparsity, scope=scope)

@@ -1,0 +1,249 @@
+"""Pruning masks: the ``ind`` index sets SAMO consumes.
+
+The paper (Section III) defines ``ind = U_i ind_i`` where ``ind_i`` are the
+indices of the *unpruned* parameters of layer ``i``, stored as flattened
+(one-dimensional-view) 32-bit integers — that flattening is one of SAMO's
+two index-memory optimizations. :class:`MaskSet` is exactly that object,
+keyed by parameter name, plus the utilities every pruning algorithm needs:
+construction from boolean masks or scores, sparsity accounting, mask
+application, and the Hamming mask distance used by Early-Bird Tickets.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Iterable, Mapping
+
+import numpy as np
+
+from ..tensor.module import Module, Parameter
+
+__all__ = ["MaskSet", "prunable_parameters"]
+
+INDEX_DTYPE = np.int32  # "32-bit is sufficient for even the largest models"
+
+
+def prunable_parameters(model: Module) -> "OrderedDict[str, Parameter]":
+    """Named parameters eligible for pruning (weight matrices/filters)."""
+    return OrderedDict((n, p) for n, p in model.named_parameters() if p.prunable)
+
+
+class MaskSet:
+    """Per-layer sets of unpruned (kept) flattened indices.
+
+    Invariants (property-tested):
+      * indices are sorted, unique, within ``[0, size)`` of their tensor;
+      * dtype is int32 (the paper's storage choice);
+      * ``shapes[name]`` records the original N-d shape so masks can be
+        expanded back.
+    """
+
+    def __init__(
+        self,
+        indices: Mapping[str, np.ndarray],
+        shapes: Mapping[str, tuple[int, ...]],
+    ):
+        self.indices: "OrderedDict[str, np.ndarray]" = OrderedDict()
+        self.shapes: "OrderedDict[str, tuple[int, ...]]" = OrderedDict(
+            (k, tuple(v)) for k, v in shapes.items()
+        )
+        for name, idx in indices.items():
+            if name not in self.shapes:
+                raise KeyError(f"index set {name!r} has no recorded shape")
+            arr = np.asarray(idx, dtype=INDEX_DTYPE)
+            size = int(np.prod(self.shapes[name]))
+            if arr.ndim != 1:
+                raise ValueError(f"{name}: indices must be 1-D (flattened view)")
+            if arr.size and (arr.min() < 0 or arr.max() >= size):
+                raise ValueError(f"{name}: index out of range for size {size}")
+            arr = np.unique(arr)  # sorted + deduplicated
+            self.indices[name] = arr
+
+    # ------------------------------------------------------------------
+    # constructors
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_bool_masks(cls, masks: Mapping[str, np.ndarray]) -> "MaskSet":
+        """Build from boolean keep-masks of the original tensor shapes."""
+        indices, shapes = {}, {}
+        for name, m in masks.items():
+            m = np.asarray(m, dtype=bool)
+            shapes[name] = m.shape
+            indices[name] = np.flatnonzero(m.reshape(-1)).astype(INDEX_DTYPE)
+        return cls(indices, shapes)
+
+    @classmethod
+    def from_scores(
+        cls,
+        scores: Mapping[str, np.ndarray],
+        sparsity: float,
+        scope: str = "global",
+        absolute: bool = True,
+    ) -> "MaskSet":
+        """Keep the top-(1-sparsity) fraction of parameters by score.
+
+        ``scope='global'`` applies one threshold across all layers (the
+        standard magnitude-pruning choice); ``scope='layer'`` prunes each
+        layer to the target sparsity independently. With ``absolute=True``
+        (the magnitude-pruning default) scores are ranked by ``|s|``;
+        pass ``absolute=False`` for signed saliencies — e.g. iterative
+        pruning pins already-pruned positions at ``-inf`` so they can
+        never be re-admitted.
+        """
+        if not 0.0 <= sparsity < 1.0:
+            raise ValueError(f"sparsity must be in [0, 1), got {sparsity}")
+
+        def rank(s: np.ndarray) -> np.ndarray:
+            s = np.abs(s) if absolute else np.asarray(s, dtype=np.float64)
+            return s.reshape(-1)
+
+        indices, shapes = {}, {}
+        if scope == "global":
+            flat_all = np.concatenate([rank(s) for s in scores.values()])
+            k_prune = int(round(sparsity * flat_all.size))
+            if k_prune == 0:
+                thresh = -np.inf
+            else:
+                thresh = np.partition(flat_all, k_prune - 1)[k_prune - 1]
+            for name, s in scores.items():
+                shapes[name] = s.shape
+                keep = rank(s) > thresh
+                # Ties at the threshold are handled globally below via the
+                # exact top-k fallback, keeping global counts exact.
+                indices[name] = np.flatnonzero(keep).astype(INDEX_DTYPE)
+            kept = sum(v.size for v in indices.values())
+            want_keep = flat_all.size - k_prune
+            if kept != want_keep:
+                # Ties at the threshold: fall back to exact global argpartition.
+                order = np.argsort(flat_all, kind="stable")
+                keep_global = np.zeros(flat_all.size, dtype=bool)
+                keep_global[order[k_prune:]] = True
+                off = 0
+                for name, s in scores.items():
+                    n = s.size
+                    shapes[name] = s.shape
+                    indices[name] = np.flatnonzero(keep_global[off : off + n]).astype(INDEX_DTYPE)
+                    off += n
+        elif scope == "layer":
+            for name, s in scores.items():
+                shapes[name] = s.shape
+                flat = rank(s)
+                k_prune = int(round(sparsity * flat.size))
+                order = np.argsort(flat, kind="stable")
+                keep = np.sort(order[k_prune:])
+                indices[name] = keep.astype(INDEX_DTYPE)
+        else:
+            raise ValueError(f"scope must be 'global' or 'layer', got {scope!r}")
+        return cls(indices, shapes)
+
+    @classmethod
+    def dense(cls, model: Module) -> "MaskSet":
+        """All-kept mask over a model's prunable parameters."""
+        indices, shapes = {}, {}
+        for name, p in prunable_parameters(model).items():
+            shapes[name] = p.data.shape
+            indices[name] = np.arange(p.data.size, dtype=INDEX_DTYPE)
+        return cls(indices, shapes)
+
+    # ------------------------------------------------------------------
+    # accounting
+    # ------------------------------------------------------------------
+    def total_size(self) -> int:
+        """Total elements covered by this mask set."""
+        return sum(int(np.prod(s)) for s in self.shapes.values())
+
+    def total_kept(self) -> int:
+        """Total unpruned elements."""
+        return sum(v.size for v in self.indices.values())
+
+    @property
+    def sparsity(self) -> float:
+        """Fraction pruned, ``p`` in the paper's equations."""
+        n = self.total_size()
+        return 1.0 - self.total_kept() / n if n else 0.0
+
+    def layer_sparsity(self, name: str) -> float:
+        size = int(np.prod(self.shapes[name]))
+        return 1.0 - self.indices[name].size / size if size else 0.0
+
+    def __contains__(self, name: str) -> bool:
+        return name in self.indices
+
+    def __iter__(self) -> Iterable[str]:
+        return iter(self.indices)
+
+    def __len__(self) -> int:
+        return len(self.indices)
+
+    # ------------------------------------------------------------------
+    # mask algebra
+    # ------------------------------------------------------------------
+    def bool_mask(self, name: str) -> np.ndarray:
+        """Boolean keep-mask in the original tensor shape."""
+        size = int(np.prod(self.shapes[name]))
+        m = np.zeros(size, dtype=bool)
+        m[self.indices[name]] = True
+        return m.reshape(self.shapes[name])
+
+    def apply(self, model: Module) -> None:
+        """Zero out pruned entries of the model's parameters, in place.
+
+        Written with ``np.where`` rather than a flat-view assignment:
+        gradients/parameters may be non-contiguous (e.g. produced through a
+        transpose), where ``reshape(-1)`` would silently copy.
+        """
+        params = dict(model.named_parameters())
+        for name in self.indices:
+            p = params[name]
+            if p.data.shape != self.shapes[name]:
+                raise ValueError(
+                    f"{name}: model shape {p.data.shape} != mask shape {self.shapes[name]}"
+                )
+            keep = self.bool_mask(name)
+            p.data[...] = np.where(keep, p.data, 0.0)
+
+    def mask_gradients(self, model: Module) -> None:
+        """Zero out gradients of pruned entries (dense-baseline training)."""
+        params = dict(model.named_parameters())
+        for name in self.indices:
+            p = params[name]
+            if p.grad is None:
+                continue
+            keep = self.bool_mask(name)
+            p.grad[...] = np.where(keep, p.grad, 0.0)
+
+    def distance(self, other: "MaskSet") -> float:
+        """Normalised Hamming distance between two mask sets.
+
+        This is the convergence metric of Early-Bird Tickets (You et al.):
+        the fraction of positions whose kept/pruned status differs.
+        """
+        if set(self.shapes) != set(other.shapes):
+            raise ValueError("mask sets cover different parameters")
+        diff = 0
+        total = 0
+        for name in self.indices:
+            if self.shapes[name] != other.shapes[name]:
+                raise ValueError(f"{name}: shape mismatch")
+            size = int(np.prod(self.shapes[name]))
+            a = np.zeros(size, dtype=bool)
+            b = np.zeros(size, dtype=bool)
+            a[self.indices[name]] = True
+            b[other.indices[name]] = True
+            diff += int(np.count_nonzero(a ^ b))
+            total += size
+        return diff / total if total else 0.0
+
+    def intersect(self, other: "MaskSet") -> "MaskSet":
+        """Elementwise AND of two mask sets (used by iterative pruning)."""
+        indices = {
+            name: np.intersect1d(self.indices[name], other.indices[name])
+            for name in self.indices
+        }
+        return MaskSet(indices, self.shapes)
+
+    def __repr__(self) -> str:
+        return (
+            f"MaskSet(layers={len(self)}, kept={self.total_kept()}, "
+            f"sparsity={self.sparsity:.4f})"
+        )

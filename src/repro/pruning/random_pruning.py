@@ -1,0 +1,48 @@
+"""Random pruning — the control baseline.
+
+Random masks at matched sparsity exercise the identical SAMO storage and
+communication paths as learned tickets (SAMO only consumes indices), so the
+performance experiments use random masks at paper-scale where no training
+run exists to derive a real ticket from.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..tensor.module import Module
+from .masks import MaskSet, prunable_parameters
+
+__all__ = ["random_prune", "random_mask_for_shapes"]
+
+
+def random_prune(
+    model: Module, sparsity: float, rng: np.random.Generator | None = None
+) -> MaskSet:
+    """Uniform random keep-mask at the target sparsity over a model."""
+    rng = rng or np.random.default_rng()
+    shapes = {name: p.data.shape for name, p in prunable_parameters(model).items()}
+    return random_mask_for_shapes(shapes, sparsity, rng)
+
+
+def random_mask_for_shapes(
+    shapes: dict[str, tuple[int, ...]],
+    sparsity: float,
+    rng: np.random.Generator | None = None,
+) -> MaskSet:
+    """Uniform random keep-mask for arbitrary named shapes.
+
+    Each layer keeps exactly ``round((1-p) * size)`` elements, so the global
+    sparsity is within one element per layer of the request — the guarantee
+    the property tests pin down.
+    """
+    if not 0.0 <= sparsity < 1.0:
+        raise ValueError(f"sparsity must be in [0,1), got {sparsity}")
+    rng = rng or np.random.default_rng()
+    indices = {}
+    for name, shape in shapes.items():
+        size = int(np.prod(shape))
+        keep = size - int(round(sparsity * size))
+        idx = rng.choice(size, size=keep, replace=False)
+        indices[name] = np.sort(idx).astype(np.int32)
+    return MaskSet(indices, shapes)

@@ -1,0 +1,78 @@
+"""SNIP: single-shot connection-sensitivity pruning at initialisation.
+
+Lee et al.'s SNIP is the other major prune-at-init family the paper's
+related work gestures at (Section II-B cites several follow-ups to the
+lottery ticket hypothesis; SNIP is the canonical saliency-based one).
+The saliency of a connection is ``|g * w|`` — the first-order estimate of
+how much the loss changes if the connection is removed — computed from a
+single minibatch *before training*, which makes it the cheapest source of
+``ind`` sets for SAMO.
+
+The returned :class:`~repro.pruning.masks.MaskSet` plugs into exactly the
+same pipeline as Early-Bird / magnitude masks.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+import numpy as np
+
+from ..tensor.module import Module
+from ..tensor.tensor import Tensor
+from .magnitude import prunable_parameters
+from .masks import MaskSet
+
+__all__ = ["snip_scores", "snip_prune"]
+
+
+def snip_scores(
+    model: Module,
+    loss_fn: Callable[[Module], Tensor],
+    n_batches: int = 1,
+) -> dict[str, np.ndarray]:
+    """Connection sensitivities ``|dL/dw * w|`` per prunable parameter.
+
+    Parameters
+    ----------
+    model:
+        Network at (or near) initialisation.
+    loss_fn:
+        Callable running one minibatch through ``model`` and returning the
+        scalar loss Tensor. Called ``n_batches`` times; saliencies are
+        accumulated (more batches -> lower-variance scores).
+    """
+    if n_batches < 1:
+        raise ValueError("n_batches must be >= 1")
+    params = prunable_parameters(model)
+    acc = {name: np.zeros_like(p.data, dtype=np.float64) for name, p in params.items()}
+    for _ in range(n_batches):
+        model.zero_grad()
+        loss = loss_fn(model)
+        if loss.data.size != 1:
+            raise ValueError("loss_fn must return a scalar loss Tensor")
+        loss.backward()
+        for name, p in params.items():
+            if p.grad is None:
+                raise RuntimeError(
+                    f"{name} received no gradient — is it used by loss_fn?"
+                )
+            acc[name] += np.abs(p.grad.astype(np.float64) * p.data)
+    model.zero_grad()
+    return {name: a.astype(np.float32) for name, a in acc.items()}
+
+
+def snip_prune(
+    model: Module,
+    loss_fn: Callable[[Module], Tensor],
+    sparsity: float,
+    n_batches: int = 1,
+    scope: str = "global",
+) -> MaskSet:
+    """Prune to ``sparsity`` by SNIP connection sensitivity.
+
+    Keeps the top-(1-sparsity) connections by ``|g * w|``, globally by
+    default (the paper setting for SNIP). The model is not modified.
+    """
+    scores = snip_scores(model, loss_fn, n_batches)
+    return MaskSet.from_scores(scores, sparsity, scope=scope)

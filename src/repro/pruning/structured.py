@@ -1,0 +1,133 @@
+"""Structured pruning: block, column-vector and channel granularity.
+
+The paper's unstructured pipeline (magnitude / Early-Bird masks consumed
+by SAMO) is granularity-agnostic — SAMO only sees flattened keep indices.
+Structured pruning produces masks whose kept sets are unions of whole
+blocks, column vectors (Chen et al.) or output channels, which is the
+regime where sparse *compute* kernels become competitive (Section II-C).
+Producing them as ordinary :class:`~repro.pruning.masks.MaskSet` objects
+means every downstream system (SAMO state, sparse collectives, the
+trainer) works unchanged; the ablation bench quantifies the accuracy-of-
+granularity vs kernel-speed trade-off the paper navigates.
+
+Scoring follows the standard structured-magnitude recipe: each unit
+(block / vector / channel) is ranked by its L2 norm, and the top units
+are kept to meet the target sparsity, globally across layers or per
+layer.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..tensor.module import Module
+from .magnitude import prunable_parameters
+from .masks import MaskSet
+
+__all__ = ["block_prune", "vector_prune", "channel_prune", "unit_norms"]
+
+
+def _keep_units(norms: np.ndarray, sparsity: float) -> np.ndarray:
+    """Boolean keep-mask over units: top-(1-sparsity) by norm, exact count."""
+    n = norms.size
+    k_prune = int(round(sparsity * n))
+    order = np.argsort(norms.reshape(-1), kind="stable")
+    keep = np.zeros(n, dtype=bool)
+    keep[order[k_prune:]] = True
+    return keep.reshape(norms.shape)
+
+
+def unit_norms(w: np.ndarray, unit_shape: tuple[int, int]) -> np.ndarray:
+    """L2 norm of every (bh x bw) tile of a 2-D weight matrix."""
+    bh, bw = unit_shape
+    if w.ndim != 2 or w.shape[0] % bh or w.shape[1] % bw:
+        raise ValueError(f"weight {w.shape} not tileable by {unit_shape}")
+    gr, gc = w.shape[0] // bh, w.shape[1] // bw
+    tiles = w.reshape(gr, bh, gc, bw).transpose(0, 2, 1, 3)
+    return np.sqrt((tiles.astype(np.float64) ** 2).sum(axis=(2, 3)))
+
+
+def _expand_keep(keep: np.ndarray, unit_shape: tuple[int, int]) -> np.ndarray:
+    """Block-grid boolean mask -> element boolean mask of the full matrix."""
+    bh, bw = unit_shape
+    return np.kron(keep, np.ones((bh, bw), dtype=bool))
+
+
+def block_prune(
+    model: Module,
+    sparsity: float,
+    block_shape: tuple[int, int] = (4, 4),
+    scope: str = "global",
+) -> MaskSet:
+    """Prune whole (bh x bw) blocks of every 2-D prunable weight.
+
+    Non-2-D or non-tileable parameters fall back to unstructured
+    magnitude ranking at the same sparsity so the mask still covers every
+    prunable tensor (SAMO requires full coverage).
+    """
+    if not 0.0 <= sparsity < 1.0:
+        raise ValueError(f"sparsity must be in [0, 1), got {sparsity}")
+    masks: dict[str, np.ndarray] = {}
+    tileable: dict[str, np.ndarray] = {}
+    for name, p in prunable_parameters(model).items():
+        w = p.data
+        bh, bw = block_shape
+        if w.ndim == 2 and w.shape[0] % bh == 0 and w.shape[1] % bw == 0:
+            tileable[name] = unit_norms(w, block_shape)
+        else:
+            k_prune = int(round(sparsity * w.size))
+            order = np.argsort(np.abs(w).reshape(-1), kind="stable")
+            keep = np.zeros(w.size, dtype=bool)
+            keep[order[k_prune:]] = True
+            masks[name] = keep.reshape(w.shape)
+
+    if scope == "global" and tileable:
+        all_norms = np.concatenate([v.reshape(-1) for v in tileable.values()])
+        keep_flat = _keep_units(all_norms, sparsity)
+        off = 0
+        for name, norms in tileable.items():
+            n = norms.size
+            keep = keep_flat[off : off + n].reshape(norms.shape)
+            off += n
+            masks[name] = _expand_keep(keep, block_shape)
+    else:
+        for name, norms in tileable.items():
+            keep = _keep_units(norms, sparsity)
+            masks[name] = _expand_keep(keep, block_shape)
+
+    params = dict(prunable_parameters(model))
+    return MaskSet.from_bool_masks(
+        {name: masks[name].reshape(params[name].data.shape) for name in masks}
+    )
+
+
+def vector_prune(
+    model: Module,
+    sparsity: float,
+    v: int = 4,
+    scope: str = "global",
+) -> MaskSet:
+    """Chen et al. column-vector pruning: (v x 1) blocks of 2-D weights."""
+    return block_prune(model, sparsity, block_shape=(v, 1), scope=scope)
+
+
+def channel_prune(model: Module, sparsity: float) -> MaskSet:
+    """Prune whole output channels (rows of 2-D weights, filters of 4-D).
+
+    Channel granularity is the coarsest structure — pruned units map to
+    dense row removals, so even cuBLAS benefits directly (smaller GEMM).
+    Ranked per layer: removing channels globally would unbalance layer
+    widths.
+    """
+    if not 0.0 <= sparsity < 1.0:
+        raise ValueError(f"sparsity must be in [0, 1), got {sparsity}")
+    masks: dict[str, np.ndarray] = {}
+    for name, p in prunable_parameters(model).items():
+        w = p.data
+        flat = w.reshape(w.shape[0], -1)
+        norms = np.sqrt((flat.astype(np.float64) ** 2).sum(axis=1))
+        keep_rows = _keep_units(norms, sparsity)
+        masks[name] = np.broadcast_to(
+            keep_rows.reshape((w.shape[0],) + (1,) * (w.ndim - 1)), w.shape
+        ).copy()
+    return MaskSet.from_bool_masks(masks)

@@ -1,0 +1,6 @@
+"""Report rendering (ASCII tables and plots) for the benchmark harness."""
+
+from .ascii_plots import log2_axis_plot, series_plot
+from .tables import format_bytes, format_seconds, render_table
+
+__all__ = ["render_table", "format_bytes", "format_seconds", "series_plot", "log2_axis_plot"]

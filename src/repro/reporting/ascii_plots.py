@@ -1,0 +1,58 @@
+"""ASCII line/series plots so benchmark output mirrors the paper's figures."""
+
+from __future__ import annotations
+
+import math
+
+__all__ = ["series_plot", "log2_axis_plot"]
+
+
+def series_plot(
+    series: dict[str, list[float]],
+    x: list,
+    height: int = 12,
+    width: int = 64,
+    logy: bool = False,
+    title: str | None = None,
+    ylabel: str = "",
+) -> str:
+    """Plot named series against shared x values on a character grid."""
+    marks = "ox+*#@%&"
+    all_vals = [v for vs in series.values() for v in vs if v is not None]
+    if not all_vals:
+        return "(no data)"
+    tx = (lambda v: math.log10(max(v, 1e-12))) if logy else (lambda v: v)
+    lo = min(tx(v) for v in all_vals)
+    hi = max(tx(v) for v in all_vals)
+    if hi - lo < 1e-12:
+        hi = lo + 1.0
+    grid = [[" "] * width for _ in range(height)]
+    n = len(x)
+    for si, (name, vals) in enumerate(series.items()):
+        m = marks[si % len(marks)]
+        for i, v in enumerate(vals):
+            if v is None:
+                continue
+            col = int(round(i * (width - 1) / max(n - 1, 1)))
+            row = int(round((tx(v) - lo) / (hi - lo) * (height - 1)))
+            grid[height - 1 - row][col] = m
+    lines = []
+    if title:
+        lines.append(title)
+    top = f"{10**hi:.3g}" if logy else f"{hi:.3g}"
+    bot = f"{10**lo:.3g}" if logy else f"{lo:.3g}"
+    lines.append(f"{ylabel} ^ {top}")
+    for row in grid:
+        lines.append("  |" + "".join(row))
+    lines.append("  +" + "-" * width + f"> x  (min={x[0]}, max={x[-1]})")
+    legend = "  legend: " + "  ".join(
+        f"{marks[i % len(marks)]}={name}" for i, name in enumerate(series)
+    )
+    lines.append(legend)
+    lines.append(f"  y-min = {bot}")
+    return "\n".join(lines)
+
+
+def log2_axis_plot(series: dict[str, list[float]], gpu_counts: list[int], **kw) -> str:
+    """Strong-scaling plot: x is the power-of-two GPU axis (Figs. 5-7)."""
+    return series_plot(series, gpu_counts, logy=True, **kw)

@@ -1,0 +1,52 @@
+"""Plain-text table rendering for the benchmark harness."""
+
+from __future__ import annotations
+
+__all__ = ["render_table", "format_bytes", "format_seconds"]
+
+
+def render_table(rows: list[dict], columns: list[str] | None = None, title: str | None = None) -> str:
+    """Render dict rows as an aligned ASCII table."""
+    if not rows:
+        return "(empty table)"
+    columns = columns or list(rows[0].keys())
+    widths = {c: len(str(c)) for c in columns}
+    srows = []
+    for r in rows:
+        sr = {c: _fmt(r.get(c, "")) for c in columns}
+        srows.append(sr)
+        for c in columns:
+            widths[c] = max(widths[c], len(sr[c]))
+    lines = []
+    if title:
+        lines.append(title)
+    header = " | ".join(str(c).ljust(widths[c]) for c in columns)
+    lines.append(header)
+    lines.append("-+-".join("-" * widths[c] for c in columns))
+    for sr in srows:
+        lines.append(" | ".join(sr[c].ljust(widths[c]) for c in columns))
+    return "\n".join(lines)
+
+
+def _fmt(v) -> str:
+    if isinstance(v, float):
+        if v == 0:
+            return "0"
+        if abs(v) >= 1000 or abs(v) < 0.001:
+            return f"{v:.3e}"
+        return f"{v:.4g}"
+    return str(v)
+
+
+def format_bytes(n: int) -> str:
+    """Human-readable byte count (GB with two decimals, like the paper)."""
+    for unit, div in (("GB", 1e9), ("MB", 1e6), ("KB", 1e3)):
+        if abs(n) >= div:
+            return f"{n / div:.2f} {unit}"
+    return f"{n} B"
+
+
+def format_seconds(s: float) -> str:
+    if s >= 1.0:
+        return f"{s:.2f} s"
+    return f"{s * 1e3:.2f} ms"

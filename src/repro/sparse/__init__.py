@@ -1,0 +1,49 @@
+"""Sparse matrix kernels and calibrated GPU performance models.
+
+Real CPU kernels (SciPy CSR spMM, sampled DDMM, gather references) validate
+sparse-compute correctness; :mod:`repro.sparse.kernel_models` reproduces the
+cuBLAS/cuSPARSE/Sputnik timing relationships of the paper's Figure 1.
+"""
+
+from .block import (
+    BLOCKSPARSE_FP16,
+    BlockSparseMatrix,
+    ColumnVectorSparse,
+    block_crossover_sparsity,
+    block_sparse_time,
+)
+from .coo import FlatCOO
+from .kernel_models import (
+    CUBLAS_FP16,
+    CUSPARSE_FP16,
+    GemmModel,
+    SPUTNIK_FP16,
+    fc_layer_time,
+    figure1_sweep,
+    sparse_over_dense_ratio,
+)
+from .sddmm import sddmm, sddmm_dense
+from .sparse_linear import SparseLinear
+from .spmm import spmm_dense, spmm_gather, spmm_scipy
+
+__all__ = [
+    "FlatCOO",
+    "BlockSparseMatrix",
+    "ColumnVectorSparse",
+    "BLOCKSPARSE_FP16",
+    "block_sparse_time",
+    "block_crossover_sparsity",
+    "SparseLinear",
+    "spmm_scipy",
+    "spmm_gather",
+    "spmm_dense",
+    "sddmm",
+    "sddmm_dense",
+    "GemmModel",
+    "CUBLAS_FP16",
+    "SPUTNIK_FP16",
+    "CUSPARSE_FP16",
+    "fc_layer_time",
+    "figure1_sweep",
+    "sparse_over_dense_ratio",
+]

@@ -1,0 +1,85 @@
+"""A fully-connected layer that *computes* sparse (the Sputnik path).
+
+The paper's Sputnik baseline swaps each FC layer's dense GEMMs for sparse
+kernels: spMM in the forward pass and sDDMM in the backward (weight
+gradient sampled at the sparsity pattern). :class:`SparseLinear` is that
+layer on our substrate — the CSR/COO kernels from :mod:`repro.sparse`
+wired into the autograd engine. It demonstrates (a) functional
+correctness of sparse training and (b) why the paper rejects it: the
+kernels compute ``(1-p)`` of the flops but run slower than dense BLAS.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..tensor.module import Module, Parameter
+from ..tensor.tensor import Tensor
+from .coo import FlatCOO
+from .sddmm import sddmm
+
+__all__ = ["SparseLinear"]
+
+
+class SparseLinear(Module):
+    """``y = x @ W.T + b`` with ``W`` stored and computed sparse.
+
+    Parameters are the *compressed values* (a 1-D tensor aligned with the
+    flat index), so the optimizer updates only unpruned weights — the
+    pattern is frozen, as with a pruning ticket.
+    """
+
+    def __init__(self, pattern: FlatCOO, bias: bool = True):
+        super().__init__()
+        self.pattern = pattern
+        self.out_features, self.in_features = pattern.shape
+        self.values = Parameter(pattern.values.astype(np.float32), prunable=True)
+        self.bias = Parameter(np.zeros(self.out_features, np.float32)) if bias else None
+
+    @classmethod
+    def from_dense(cls, weight: np.ndarray, sparsity: float, bias: bool = True) -> "SparseLinear":
+        """Magnitude-prune a dense weight and build the sparse layer."""
+        flat = np.abs(weight).reshape(-1)
+        k_prune = int(round(sparsity * flat.size))
+        order = np.argsort(flat, kind="stable")
+        ind = np.sort(order[k_prune:]).astype(np.int32)
+        pattern = FlatCOO(ind, weight.reshape(-1)[ind].copy(), weight.shape)
+        return cls(pattern, bias=bias)
+
+    def forward(self, x: Tensor) -> Tensor:
+        """spMM forward + sDDMM backward, recorded on the autograd tape."""
+        values = self.values
+        bias = self.bias
+        pattern = self.pattern.with_values(values.data)
+        csr = pattern.to_csr()
+        out_data = np.asarray((csr @ x.data.T).T)
+        if bias is not None:
+            out_data = out_data + bias.data
+        rows, cols = self.pattern.rows_cols()
+
+        def _bwd(g: np.ndarray) -> None:
+            if bias is not None and bias.requires_grad:
+                bias._accumulate_grad(g.reshape(-1, self.out_features).sum(axis=0))
+            if values.requires_grad:
+                # sampled dense-dense product at the sparsity pattern
+                values._accumulate_grad(
+                    sddmm(self.pattern, g.reshape(-1, self.out_features),
+                          x.data.reshape(-1, self.in_features)).astype(np.float32)
+                )
+            if x.requires_grad:
+                # dx = g @ W  (transpose spMM)
+                dx = np.asarray(csr.T @ g.reshape(-1, self.out_features).T).T
+                x._accumulate_grad(dx.reshape(x.data.shape))
+
+        parents = (x, values) if bias is None else (x, values, bias)
+        return Tensor._from_op(out_data, parents, _bwd)
+
+    def to_dense_weight(self) -> np.ndarray:
+        """Materialise the dense weight (for comparison against Linear)."""
+        return self.pattern.with_values(self.values.data).to_dense()
+
+    def __repr__(self) -> str:
+        return (
+            f"SparseLinear(in={self.in_features}, out={self.out_features}, "
+            f"sparsity={self.pattern.sparsity:.2f})"
+        )

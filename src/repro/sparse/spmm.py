@@ -1,0 +1,49 @@
+"""Sparse matrix x dense matrix products (spMM).
+
+The forward pass of a pruned fully-connected layer is ``Y = X @ W.T`` with
+``W`` sparse. Three interchangeable kernels:
+
+* :func:`spmm_scipy` — SciPy CSR (the production sparse path, analogous to
+  cuSPARSE/Sputnik's role on GPU);
+* :func:`spmm_gather` — pure-NumPy gather/segment-sum reference used to
+  validate the SciPy path and as a fallback;
+* :func:`spmm_dense` — densify then call BLAS (the paper's cuBLAS
+  strategy: "fill out zeros explicitly in the dense matrix").
+
+All take a :class:`~repro.sparse.coo.FlatCOO` weight ``w`` of shape
+``(out_features, in_features)`` and an activation ``x`` of shape
+``(batch, in_features)``, returning ``(batch, out_features)``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .coo import FlatCOO
+
+__all__ = ["spmm_scipy", "spmm_gather", "spmm_dense"]
+
+
+def spmm_scipy(w: FlatCOO, x: np.ndarray) -> np.ndarray:
+    """``x @ w.T`` via SciPy CSR (compute proportional to nnz)."""
+    csr = w.to_csr()
+    return np.asarray((csr @ x.T).T)
+
+
+def spmm_gather(w: FlatCOO, x: np.ndarray) -> np.ndarray:
+    """Pure-NumPy reference: gather columns of x, segment-sum into rows.
+
+    For each non-zero w[r, c], accumulate ``w_val * x[:, c]`` into
+    ``out[:, r]``. Vectorized with ``np.add.at`` over the nnz axis.
+    """
+    rows, cols = w.rows_cols()
+    out = np.zeros((x.shape[0], w.shape[0]), dtype=np.result_type(w.values, x))
+    # (batch, nnz) contributions — fine for test-scale matrices.
+    contrib = x[:, cols] * w.values[None, :]
+    np.add.at(out.T, rows, contrib.T)
+    return out
+
+
+def spmm_dense(w: FlatCOO, x: np.ndarray) -> np.ndarray:
+    """Densify the sparse weight and use the dense BLAS GEMM."""
+    return x @ w.to_dense().T

@@ -1,0 +1,62 @@
+"""Mini deep-learning framework: NumPy tensors with reverse-mode autograd.
+
+This package is the dense-compute substrate the paper's systems sit on —
+the moral equivalent of the PyTorch + cuBLAS/cuDNN stack used on Summit.
+"""
+
+from . import functional
+from .attention import CausalSelfAttention
+from .autograd import enable_grad, is_grad_enabled, no_grad, set_grad_enabled
+from .checkpoint import checkpoint, checkpoint_sequential, recompute_activation_bytes
+from .layers import (
+    AdaptiveAvgPool2d,
+    AvgPool2d,
+    BatchNorm2d,
+    Conv2d,
+    Dropout,
+    Embedding,
+    Flatten,
+    GELU,
+    Identity,
+    LayerNorm,
+    Linear,
+    MaxPool2d,
+    ReLU,
+)
+from .module import Module, ModuleList, Parameter, Sequential
+from .precision import DynamicLossScaler, quantize_to_half, to_half
+from .tensor import Tensor, as_tensor
+
+__all__ = [
+    "Tensor",
+    "as_tensor",
+    "functional",
+    "no_grad",
+    "enable_grad",
+    "is_grad_enabled",
+    "set_grad_enabled",
+    "Module",
+    "ModuleList",
+    "Parameter",
+    "Sequential",
+    "Linear",
+    "Conv2d",
+    "BatchNorm2d",
+    "LayerNorm",
+    "Embedding",
+    "Dropout",
+    "ReLU",
+    "GELU",
+    "MaxPool2d",
+    "AvgPool2d",
+    "AdaptiveAvgPool2d",
+    "Flatten",
+    "Identity",
+    "CausalSelfAttention",
+    "DynamicLossScaler",
+    "to_half",
+    "quantize_to_half",
+    "checkpoint",
+    "checkpoint_sequential",
+    "recompute_activation_bytes",
+]

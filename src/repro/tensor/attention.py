@@ -1,0 +1,85 @@
+"""Multi-head causal self-attention, the core block of the GPT models.
+
+The implementation follows MegatronLM's fused layout used by the paper's
+GPT-3 runs: a single (3*d, d) projection computing Q, K, V at once, a
+causal mask applied before softmax, and an output projection whose init is
+scaled down by ``1/sqrt(2*n_layers)``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from . import functional as F
+from . import init
+from .module import Module, Parameter
+from .tensor import Tensor
+
+__all__ = ["CausalSelfAttention"]
+
+
+class CausalSelfAttention(Module):
+    """Masked multi-head self-attention for decoder-only transformers.
+
+    Parameters
+    ----------
+    d_model:
+        Hidden size; must be divisible by ``n_heads``.
+    n_heads:
+        Number of attention heads.
+    n_layers:
+        Depth of the parent transformer (for GPT residual init scaling).
+    dropout_p:
+        Attention/projection dropout probability.
+    """
+
+    def __init__(
+        self,
+        d_model: int,
+        n_heads: int,
+        n_layers: int = 1,
+        dropout_p: float = 0.0,
+        rng: np.random.Generator | None = None,
+    ):
+        super().__init__()
+        if d_model % n_heads:
+            raise ValueError(f"d_model={d_model} not divisible by n_heads={n_heads}")
+        rng = rng or np.random.default_rng()
+        self.d_model = d_model
+        self.n_heads = n_heads
+        self.d_head = d_model // n_heads
+        self.dropout_p = dropout_p
+        self._rng = rng
+        self.qkv = Parameter(init.gpt_init((3 * d_model, d_model), rng, n_layers), prunable=True)
+        self.qkv_bias = Parameter(init.zeros(3 * d_model))
+        self.proj = Parameter(
+            init.gpt_init((d_model, d_model), rng, n_layers, residual=True), prunable=True
+        )
+        self.proj_bias = Parameter(init.zeros(d_model))
+
+    def forward(self, x: Tensor) -> Tensor:
+        """Apply attention to ``x`` of shape (B, T, d_model)."""
+        b, t, d = x.shape
+        h, dh = self.n_heads, self.d_head
+
+        qkv = F.linear(x, self.qkv, self.qkv_bias)  # (B, T, 3d)
+        qkv = qkv.reshape(b, t, 3, h, dh)
+        qkv = qkv.transpose(2, 0, 3, 1, 4)  # (3, B, h, T, dh)
+        q, k, v = qkv[0], qkv[1], qkv[2]
+
+        # scaled dot-product attention with causal masking
+        att = (q @ k.swapaxes(-1, -2)) * (1.0 / np.sqrt(dh))  # (B, h, T, T)
+        causal = np.triu(np.ones((t, t), dtype=bool), k=1)
+        att = F.masked_fill(att, causal, -1e9)
+        att = F.softmax(att, axis=-1)
+        if self.dropout_p > 0:
+            att = F.dropout(att, self.dropout_p, training=self.training, rng=self._rng)
+        out = att @ v  # (B, h, T, dh)
+        out = out.transpose(0, 2, 1, 3).reshape(b, t, d)
+        out = F.linear(out, self.proj, self.proj_bias)
+        if self.dropout_p > 0:
+            out = F.dropout(out, self.dropout_p, training=self.training, rng=self._rng)
+        return out
+
+    def __repr__(self) -> str:
+        return f"CausalSelfAttention(d={self.d_model}, heads={self.n_heads})"

@@ -1,0 +1,151 @@
+"""Reverse-mode automatic differentiation machinery.
+
+This module holds the global autograd state (gradient tracking on/off), the
+topological-sort based backward pass, and small helpers shared by every
+differentiable operation in :mod:`repro.tensor`.
+
+The engine is deliberately tape-free: each :class:`repro.tensor.Tensor`
+produced by a differentiable op stores its parents and a backward closure.
+``backward()`` walks the graph in reverse topological order and accumulates
+gradients into ``.grad`` buffers (plain ``numpy.ndarray`` objects, never
+Tensors, so the graph cannot grow during the backward pass).
+"""
+
+from __future__ import annotations
+
+import contextlib
+import threading
+from typing import TYPE_CHECKING, Callable, Iterable
+
+import numpy as np
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from .tensor import Tensor
+
+__all__ = [
+    "is_grad_enabled",
+    "set_grad_enabled",
+    "no_grad",
+    "enable_grad",
+    "backward",
+    "unbroadcast",
+]
+
+_state = threading.local()
+
+
+def is_grad_enabled() -> bool:
+    """Return ``True`` when new ops should record the autograd graph."""
+    return getattr(_state, "grad_enabled", True)
+
+
+def set_grad_enabled(mode: bool) -> None:
+    """Globally enable or disable graph recording (thread-local)."""
+    _state.grad_enabled = bool(mode)
+
+
+@contextlib.contextmanager
+def no_grad():
+    """Context manager disabling graph recording, like ``torch.no_grad``."""
+    prev = is_grad_enabled()
+    set_grad_enabled(False)
+    try:
+        yield
+    finally:
+        set_grad_enabled(prev)
+
+
+@contextlib.contextmanager
+def enable_grad():
+    """Context manager (re-)enabling graph recording inside ``no_grad``."""
+    prev = is_grad_enabled()
+    set_grad_enabled(True)
+    try:
+        yield
+    finally:
+        set_grad_enabled(prev)
+
+
+def unbroadcast(grad: np.ndarray, shape: tuple[int, ...]) -> np.ndarray:
+    """Reduce ``grad`` back to ``shape`` by summing over broadcast axes.
+
+    NumPy broadcasting may have expanded an operand of shape ``shape`` up to
+    ``grad.shape``; the vector-Jacobian product of broadcasting is summation
+    over the expanded axes.
+    """
+    if grad.shape == shape:
+        return grad
+    # Sum over leading axes that were added by broadcasting.
+    extra = grad.ndim - len(shape)
+    if extra > 0:
+        grad = grad.sum(axis=tuple(range(extra)))
+    # Sum over axes that were size-1 in the original shape.
+    axes = tuple(i for i, s in enumerate(shape) if s == 1 and grad.shape[i] != 1)
+    if axes:
+        grad = grad.sum(axis=axes, keepdims=True)
+    return grad.reshape(shape)
+
+
+def _topo_order(root: "Tensor") -> list["Tensor"]:
+    """Iterative post-order DFS over the autograd graph rooted at ``root``."""
+    order: list["Tensor"] = []
+    visited: set[int] = set()
+    stack: list[tuple["Tensor", bool]] = [(root, False)]
+    while stack:
+        node, processed = stack.pop()
+        if processed:
+            order.append(node)
+            continue
+        if id(node) in visited:
+            continue
+        visited.add(id(node))
+        stack.append((node, True))
+        for parent in node._parents:
+            if id(parent) not in visited:
+                stack.append((parent, False))
+    return order
+
+
+def backward(root: "Tensor", grad: np.ndarray | None = None) -> None:
+    """Run the reverse pass from ``root``, accumulating into ``.grad``.
+
+    Parameters
+    ----------
+    root:
+        The tensor to differentiate. Must be scalar unless ``grad`` is given.
+    grad:
+        Incoming cotangent with the same shape as ``root``; defaults to ones
+        (i.e. ``d root / d root``).
+    """
+    if grad is None:
+        if root.data.size != 1:
+            raise RuntimeError(
+                "backward() on a non-scalar tensor requires an explicit "
+                f"gradient argument (got shape {root.data.shape})"
+            )
+        grad = np.ones_like(root.data)
+    grad = np.asarray(grad, dtype=root.data.dtype)
+    if grad.shape != root.data.shape:
+        raise ValueError(
+            f"gradient shape {grad.shape} does not match tensor shape "
+            f"{root.data.shape}"
+        )
+    root._accumulate_grad(grad)
+    for node in reversed(_topo_order(root)):
+        fn = node._backward
+        if fn is not None and node.grad is not None:
+            fn(node.grad)
+        if not node._retains_grad and node._parents:
+            # Interior node: free the gradient buffer once consumed.
+            node.grad = None
+
+
+def make_backward_guard(fns: Iterable[Callable]) -> Callable:
+    """Compose several per-parent backward closures into one (utility)."""
+    fns = tuple(fns)
+
+    def _run(g: np.ndarray) -> None:
+        for fn in fns:
+            fn(g)
+
+    return _run

@@ -1,0 +1,163 @@
+"""Activation checkpointing (recompute-in-backward).
+
+The paper notes (Section II-E) that AxoNN supports activation
+checkpointing [Chen et al., "Training deep nets with sublinear memory
+cost"]: instead of keeping every intermediate activation alive until the
+backward pass, a checkpointed segment stores only its *inputs* during the
+forward pass and re-runs the segment's forward when its gradient is
+needed. Memory for activations drops from O(L) to O(L/S + S) at the cost
+of one extra forward per segment.
+
+On this engine a checkpointed segment is a single graph node whose
+backward closure (1) re-executes the segment with gradient recording
+enabled, (2) backpropagates the incoming cotangent through the recomputed
+subgraph — parameter gradients accumulate exactly as they would have in
+an ordinary backward — and (3) forwards the input cotangents to the
+segment's parents.
+
+Stochastic segments (dropout) must pass their generators via ``rngs`` so
+the recomputation replays the same random draws; otherwise the recomputed
+activations (and therefore the gradients) would not match the forward.
+"""
+
+from __future__ import annotations
+
+import copy
+from typing import Callable, Sequence
+
+import numpy as np
+
+from .autograd import backward as run_backward
+from .autograd import enable_grad, is_grad_enabled, no_grad
+from .tensor import Tensor
+
+__all__ = ["checkpoint", "checkpoint_sequential", "recompute_activation_bytes"]
+
+
+def checkpoint(
+    fn: Callable[..., Tensor],
+    *inputs: Tensor,
+    rngs: Sequence[np.random.Generator] = (),
+) -> Tensor:
+    """Run ``fn(*inputs)`` without storing interior activations.
+
+    Parameters
+    ----------
+    fn:
+        A function of :class:`Tensor` arguments returning one Tensor (a
+        module's ``__call__`` qualifies). It is invoked once now (under
+        ``no_grad``) and once more during backward (recording).
+    inputs:
+        Segment inputs. Their ``.data`` buffers are the only activations
+        kept alive for this segment.
+    rngs:
+        Random generators used inside ``fn`` (e.g. each Dropout's); their
+        states are snapshotted and restored for the recomputation.
+
+    Returns
+    -------
+    Tensor
+        Output matching an un-checkpointed ``fn(*inputs)``, with a
+        backward path that recomputes the segment.
+    """
+    saved_states = [copy.deepcopy(r.bit_generator.state) for r in rngs]
+    with no_grad():
+        out_nograd = fn(*inputs)
+    if not isinstance(out_nograd, Tensor):
+        raise TypeError(f"checkpointed fn must return a Tensor, got {type(out_nograd)}")
+    if not is_grad_enabled():
+        return out_nograd
+
+    out = Tensor.__new__(Tensor)
+    out.data = out_nograd.data
+    out.grad = None
+    out.requires_grad = True  # params inside fn may need grads even if inputs don't
+    out._retains_grad = False
+    out._parents = inputs
+
+    def _bwd(g: np.ndarray) -> None:
+        for r, s in zip(rngs, saved_states):
+            r.bit_generator.state = copy.deepcopy(s)
+        # Fresh leaves so the recomputed graph is rooted at the segment
+        # boundary; parameters referenced inside fn are shared leaves and
+        # receive their gradients directly.
+        leaves = [Tensor(t.data, requires_grad=t.requires_grad) for t in inputs]
+        with enable_grad():
+            recomputed = fn(*leaves)
+        if recomputed.data.shape != g.shape:
+            raise RuntimeError(
+                "checkpoint recomputation produced a different shape: "
+                f"{recomputed.data.shape} vs cotangent {g.shape} "
+                "(non-deterministic segment? pass its rngs)"
+            )
+        if recomputed.requires_grad:
+            run_backward(recomputed, g)
+        for orig, leaf in zip(inputs, leaves):
+            if orig.requires_grad and leaf.grad is not None:
+                orig._accumulate_grad(leaf.grad)
+
+    out._backward = _bwd
+    return out
+
+
+def checkpoint_sequential(
+    modules: Sequence,
+    x: Tensor,
+    segments: int,
+    rngs_of: Callable[[object], Sequence[np.random.Generator]] | None = None,
+) -> Tensor:
+    """Checkpoint a module list in ``segments`` contiguous chunks.
+
+    The standard sublinear-memory schedule: only segment-boundary
+    activations stay alive through the forward pass. ``rngs_of(module)``
+    may supply each module's generators (defaults to collecting ``.rng``
+    attributes, which covers :class:`~repro.tensor.layers.Dropout`).
+    """
+    mods = list(modules)
+    if not 1 <= segments <= max(len(mods), 1):
+        raise ValueError(f"segments must be in [1, {len(mods)}], got {segments}")
+    if not mods:
+        return x
+
+    if rngs_of is None:
+        def rngs_of(m):  # noqa: D401 - tiny default
+            r = getattr(m, "rng", None)
+            return (r,) if isinstance(r, np.random.Generator) else ()
+
+    bounds = np.linspace(0, len(mods), segments + 1).astype(int)
+    for lo, hi in zip(bounds[:-1], bounds[1:]):
+        if lo == hi:
+            continue
+        chunk = mods[lo:hi]
+
+        def run_chunk(t: Tensor, _chunk=chunk) -> Tensor:
+            for m in _chunk:
+                t = m(t)
+            return t
+
+        seg_rngs = [r for m in chunk for r in rngs_of(m)]
+        x = checkpoint(run_chunk, x, rngs=seg_rngs)
+    return x
+
+
+def recompute_activation_bytes(
+    layer_activation_bytes: Sequence[int], segments: int
+) -> tuple[int, int]:
+    """Peak activation bytes (without, with) checkpointing into ``segments``.
+
+    Without checkpointing every activation is alive at the backward's
+    start: ``sum(bytes)``. With it, alive = the segment-boundary
+    activations plus, transiently, one segment's interior recomputation —
+    the classic ``O(L/S + S)`` trade-off, here computed exactly from the
+    per-layer byte list.
+    """
+    sizes = [int(b) for b in layer_activation_bytes]
+    total = sum(sizes)
+    if segments <= 1 or not sizes:
+        return total, total
+    bounds = np.linspace(0, len(sizes), segments + 1).astype(int)
+    boundary = sum(sizes[hi - 1] for lo, hi in zip(bounds[:-1], bounds[1:]) if hi > lo)
+    interior_peak = max(
+        sum(sizes[lo:hi]) for lo, hi in zip(bounds[:-1], bounds[1:]) if hi > lo
+    )
+    return total, boundary + interior_peak

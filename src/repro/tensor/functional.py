@@ -1,0 +1,496 @@
+"""Differentiable neural-network ops built on :class:`repro.tensor.Tensor`.
+
+Every function here is a vectorized NumPy expression with a hand-written
+vector-Jacobian product. Convolution is implemented with stride-tricks
+(im2col) in the forward pass and a kernel-position loop (O(kh*kw) vectorized
+adds) in the backward pass — the standard CPU-efficient formulation.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .tensor import Tensor, as_tensor
+
+__all__ = [
+    "relu",
+    "gelu",
+    "sigmoid",
+    "softmax",
+    "log_softmax",
+    "cross_entropy",
+    "mse_loss",
+    "linear",
+    "embedding",
+    "layer_norm",
+    "batch_norm",
+    "dropout",
+    "conv2d",
+    "max_pool2d",
+    "avg_pool2d",
+    "adaptive_avg_pool2d",
+    "flatten",
+    "cat",
+    "stack",
+    "pad2d",
+    "where_mask",
+    "masked_fill",
+]
+
+_SQRT_2_OVER_PI = float(np.sqrt(2.0 / np.pi))
+
+
+# ---------------------------------------------------------------------------
+# activations
+# ---------------------------------------------------------------------------
+def relu(x: Tensor) -> Tensor:
+    """Rectified linear unit."""
+    out_data = np.maximum(x.data, 0)
+
+    def _bwd(g: np.ndarray) -> None:
+        if x.requires_grad:
+            x._accumulate_grad(g * (x.data > 0))
+
+    return Tensor._from_op(out_data, (x,), _bwd)
+
+
+def gelu(x: Tensor) -> Tensor:
+    """Gaussian error linear unit (tanh approximation, as in GPT)."""
+    xd = x.data
+    inner = _SQRT_2_OVER_PI * (xd + 0.044715 * xd**3)
+    t = np.tanh(inner)
+    out_data = 0.5 * xd * (1.0 + t)
+
+    def _bwd(g: np.ndarray) -> None:
+        if x.requires_grad:
+            sech2 = 1.0 - t * t
+            dinner = _SQRT_2_OVER_PI * (1.0 + 3 * 0.044715 * xd * xd)
+            x._accumulate_grad(g * (0.5 * (1.0 + t) + 0.5 * xd * sech2 * dinner))
+
+    return Tensor._from_op(out_data, (x,), _bwd)
+
+
+def sigmoid(x: Tensor) -> Tensor:
+    """Logistic sigmoid."""
+    out_data = 1.0 / (1.0 + np.exp(-x.data))
+
+    def _bwd(g: np.ndarray) -> None:
+        if x.requires_grad:
+            x._accumulate_grad(g * out_data * (1.0 - out_data))
+
+    return Tensor._from_op(out_data, (x,), _bwd)
+
+
+def softmax(x: Tensor, axis: int = -1) -> Tensor:
+    """Numerically stable softmax along ``axis``."""
+    shifted = x.data - x.data.max(axis=axis, keepdims=True)
+    e = np.exp(shifted)
+    out_data = e / e.sum(axis=axis, keepdims=True)
+
+    def _bwd(g: np.ndarray) -> None:
+        if x.requires_grad:
+            dot = (g * out_data).sum(axis=axis, keepdims=True)
+            x._accumulate_grad(out_data * (g - dot))
+
+    return Tensor._from_op(out_data, (x,), _bwd)
+
+
+def log_softmax(x: Tensor, axis: int = -1) -> Tensor:
+    """Numerically stable log-softmax along ``axis``."""
+    shifted = x.data - x.data.max(axis=axis, keepdims=True)
+    lse = np.log(np.exp(shifted).sum(axis=axis, keepdims=True))
+    out_data = shifted - lse
+    sm = np.exp(out_data)
+
+    def _bwd(g: np.ndarray) -> None:
+        if x.requires_grad:
+            x._accumulate_grad(g - sm * g.sum(axis=axis, keepdims=True))
+
+    return Tensor._from_op(out_data, (x,), _bwd)
+
+
+# ---------------------------------------------------------------------------
+# losses
+# ---------------------------------------------------------------------------
+def cross_entropy(logits: Tensor, targets: np.ndarray, ignore_index: int | None = None) -> Tensor:
+    """Mean cross-entropy between ``logits`` and integer class ``targets``.
+
+    ``logits`` may be ``(N, C)`` or ``(N, T, C)``; targets are the matching
+    integer array. ``ignore_index`` entries contribute zero loss and zero
+    gradient (used for padding tokens in language modelling).
+    """
+    targets = np.asarray(targets)
+    orig_shape = logits.data.shape
+    flat_logits = logits.data.reshape(-1, orig_shape[-1])
+    flat_targets = targets.reshape(-1).astype(np.int64)
+
+    if ignore_index is not None:
+        valid = flat_targets != ignore_index
+    else:
+        valid = np.ones_like(flat_targets, dtype=bool)
+    n_valid = max(int(valid.sum()), 1)
+
+    shifted = flat_logits - flat_logits.max(axis=1, keepdims=True)
+    lse = np.log(np.exp(shifted).sum(axis=1, keepdims=True))
+    logp = shifted - lse
+    safe_targets = np.where(valid, flat_targets, 0)
+    picked = logp[np.arange(flat_targets.shape[0]), safe_targets]
+    loss = -(picked * valid).sum() / n_valid
+    out_data = np.asarray(loss, dtype=logits.data.dtype)
+
+    def _bwd(g: np.ndarray) -> None:
+        if logits.requires_grad:
+            sm = np.exp(logp)
+            sm[np.arange(flat_targets.shape[0]), safe_targets] -= 1.0
+            sm *= (valid / n_valid)[:, None]
+            logits._accumulate_grad((float(g) * sm).reshape(orig_shape).astype(logits.data.dtype))
+
+    return Tensor._from_op(out_data, (logits,), _bwd)
+
+
+def mse_loss(pred: Tensor, target) -> Tensor:
+    """Mean squared error."""
+    target = as_tensor(target, dtype=pred.data.dtype)
+    diff = pred - target
+    return (diff * diff).mean()
+
+
+# ---------------------------------------------------------------------------
+# linear / embedding / normalisation
+# ---------------------------------------------------------------------------
+def linear(x: Tensor, weight: Tensor, bias: Tensor | None = None) -> Tensor:
+    """Affine transform ``x @ weight.T + bias``.
+
+    ``weight`` has shape ``(out_features, in_features)`` (PyTorch layout),
+    ``x`` has shape ``(..., in_features)``.
+    """
+    out = x @ weight.T
+    if bias is not None:
+        out = out + bias
+    return out
+
+
+def embedding(weight: Tensor, indices: np.ndarray) -> Tensor:
+    """Row lookup ``weight[indices]`` with scatter-add backward."""
+    indices = np.asarray(indices, dtype=np.int64)
+    out_data = weight.data[indices]
+
+    def _bwd(g: np.ndarray) -> None:
+        if weight.requires_grad:
+            full = np.zeros_like(weight.data)
+            np.add.at(full, indices.reshape(-1), g.reshape(-1, weight.data.shape[1]))
+            weight._accumulate_grad(full)
+
+    return Tensor._from_op(out_data, (weight,), _bwd)
+
+
+def layer_norm(x: Tensor, weight: Tensor, bias: Tensor, eps: float = 1e-5) -> Tensor:
+    """Layer normalisation over the last axis with affine parameters."""
+    mu = x.data.mean(axis=-1, keepdims=True)
+    var = x.data.var(axis=-1, keepdims=True)
+    inv = 1.0 / np.sqrt(var + eps)
+    xhat = (x.data - mu) * inv
+    out_data = xhat * weight.data + bias.data
+    n = x.data.shape[-1]
+
+    def _bwd(g: np.ndarray) -> None:
+        if weight.requires_grad:
+            weight._accumulate_grad((g * xhat).reshape(-1, n).sum(axis=0))
+        if bias.requires_grad:
+            bias._accumulate_grad(g.reshape(-1, n).sum(axis=0))
+        if x.requires_grad:
+            gx = g * weight.data
+            mean_g = gx.mean(axis=-1, keepdims=True)
+            mean_gx = (gx * xhat).mean(axis=-1, keepdims=True)
+            x._accumulate_grad(inv * (gx - mean_g - xhat * mean_gx))
+
+    return Tensor._from_op(out_data, (x, weight, bias), _bwd)
+
+
+def batch_norm(
+    x: Tensor,
+    weight: Tensor,
+    bias: Tensor,
+    running_mean: np.ndarray,
+    running_var: np.ndarray,
+    training: bool,
+    momentum: float = 0.1,
+    eps: float = 1e-5,
+) -> Tensor:
+    """2-D batch normalisation for NCHW inputs.
+
+    ``running_mean``/``running_var`` are plain arrays updated in place when
+    ``training`` is true (they are buffers, not parameters).
+    """
+    if x.data.ndim != 4:
+        raise ValueError(f"batch_norm expects NCHW input, got ndim={x.data.ndim}")
+    axes = (0, 2, 3)
+    if training:
+        mu = x.data.mean(axis=axes)
+        var = x.data.var(axis=axes)
+        m = x.data.shape[0] * x.data.shape[2] * x.data.shape[3]
+        unbiased = var * m / max(m - 1, 1)
+        running_mean *= 1.0 - momentum
+        running_mean += momentum * mu
+        running_var *= 1.0 - momentum
+        running_var += momentum * unbiased
+    else:
+        mu = running_mean
+        var = running_var
+
+    inv = 1.0 / np.sqrt(var + eps)
+    bshape = (1, -1, 1, 1)
+    xhat = (x.data - mu.reshape(bshape)) * inv.reshape(bshape)
+    out_data = xhat * weight.data.reshape(bshape) + bias.data.reshape(bshape)
+
+    def _bwd(g: np.ndarray) -> None:
+        if weight.requires_grad:
+            weight._accumulate_grad((g * xhat).sum(axis=axes))
+        if bias.requires_grad:
+            bias._accumulate_grad(g.sum(axis=axes))
+        if x.requires_grad:
+            gx = g * weight.data.reshape(bshape)
+            if training:
+                m = x.data.shape[0] * x.data.shape[2] * x.data.shape[3]
+                mean_g = gx.mean(axis=axes, keepdims=True)
+                mean_gx = (gx * xhat).mean(axis=axes, keepdims=True)
+                x._accumulate_grad(inv.reshape(bshape) * (gx - mean_g - xhat * mean_gx))
+            else:
+                x._accumulate_grad(gx * inv.reshape(bshape))
+
+    return Tensor._from_op(out_data, (x, weight, bias), _bwd)
+
+
+def dropout(x: Tensor, p: float, training: bool, rng: np.random.Generator | None = None) -> Tensor:
+    """Inverted dropout: zero with probability ``p``, scale by ``1/(1-p)``."""
+    if not training or p <= 0.0:
+        return x
+    if p >= 1.0:
+        raise ValueError("dropout probability must be < 1")
+    rng = rng or np.random.default_rng()
+    mask = (rng.random(x.data.shape) >= p).astype(x.data.dtype) / (1.0 - p)
+    out_data = x.data * mask
+
+    def _bwd(g: np.ndarray) -> None:
+        if x.requires_grad:
+            x._accumulate_grad(g * mask)
+
+    return Tensor._from_op(out_data, (x,), _bwd)
+
+
+# ---------------------------------------------------------------------------
+# convolution and pooling
+# ---------------------------------------------------------------------------
+def _pad_nchw(x: np.ndarray, padding: int) -> np.ndarray:
+    if padding == 0:
+        return x
+    return np.pad(x, ((0, 0), (0, 0), (padding, padding), (padding, padding)))
+
+
+def _im2col(xp: np.ndarray, kh: int, kw: int, stride: int) -> np.ndarray:
+    """Strided view of shape ``(N, C, kh, kw, oh, ow)`` over padded input."""
+    n, c, hp, wp = xp.shape
+    oh = (hp - kh) // stride + 1
+    ow = (wp - kw) // stride + 1
+    sn, sc, sh, sw = xp.strides
+    return np.lib.stride_tricks.as_strided(
+        xp,
+        shape=(n, c, kh, kw, oh, ow),
+        strides=(sn, sc, sh, sw, sh * stride, sw * stride),
+        writeable=False,
+    )
+
+
+def conv2d(
+    x: Tensor,
+    weight: Tensor,
+    bias: Tensor | None = None,
+    stride: int = 1,
+    padding: int = 0,
+) -> Tensor:
+    """2-D cross-correlation on NCHW input.
+
+    ``weight`` has shape ``(out_channels, in_channels, kh, kw)``.
+    Forward uses an im2col strided view + one big tensordot; backward loops
+    only over the ``kh*kw`` kernel positions with vectorized adds.
+    """
+    n, c, h, w = x.data.shape
+    oc, ic, kh, kw = weight.data.shape
+    if ic != c:
+        raise ValueError(f"conv2d channel mismatch: input {c}, weight {ic}")
+    xp = _pad_nchw(x.data, padding)
+    oh = (xp.shape[2] - kh) // stride + 1
+    ow = (xp.shape[3] - kw) // stride + 1
+    cols = _im2col(xp, kh, kw, stride)  # (N, C, kh, kw, oh, ow)
+    out_data = np.tensordot(cols, weight.data, axes=((1, 2, 3), (1, 2, 3)))
+    out_data = np.ascontiguousarray(out_data.transpose(0, 3, 1, 2))  # (N, OC, oh, ow)
+    if bias is not None:
+        out_data += bias.data.reshape(1, -1, 1, 1)
+
+    parents = (x, weight) if bias is None else (x, weight, bias)
+
+    def _bwd(g: np.ndarray) -> None:
+        if bias is not None and bias.requires_grad:
+            bias._accumulate_grad(g.sum(axis=(0, 2, 3)))
+        if weight.requires_grad:
+            # dW[o,c,u,v] = sum_{n,i,j} g[n,o,i,j] * cols[n,c,u,v,i,j]
+            dw = np.tensordot(g, cols, axes=((0, 2, 3), (0, 4, 5)))
+            weight._accumulate_grad(dw.astype(weight.data.dtype))
+        if x.requires_grad:
+            dxp = np.zeros_like(xp)
+            for u in range(kh):
+                for v in range(kw):
+                    # contribution of kernel position (u, v)
+                    contrib = np.tensordot(g, weight.data[:, :, u, v], axes=(1, 0))
+                    # contrib: (N, oh, ow, C) -> (N, C, oh, ow)
+                    contrib = contrib.transpose(0, 3, 1, 2)
+                    dxp[:, :, u : u + stride * oh : stride, v : v + stride * ow : stride] += contrib
+            if padding:
+                dxp = dxp[:, :, padding:-padding, padding:-padding]
+            x._accumulate_grad(dxp)
+
+    return Tensor._from_op(out_data, parents, _bwd)
+
+
+def max_pool2d(x: Tensor, kernel_size: int, stride: int | None = None) -> Tensor:
+    """Max pooling on NCHW input (square window)."""
+    stride = stride or kernel_size
+    k = kernel_size
+    n, c, h, w = x.data.shape
+    oh = (h - k) // stride + 1
+    ow = (w - k) // stride + 1
+    cols = _im2col(x.data, k, k, stride)  # (N, C, k, k, oh, ow)
+    flat = cols.reshape(n, c, k * k, oh, ow)
+    arg = flat.argmax(axis=2)  # (N, C, oh, ow)
+    out_data = np.take_along_axis(flat, arg[:, :, None], axis=2)[:, :, 0]
+
+    def _bwd(g: np.ndarray) -> None:
+        if not x.requires_grad:
+            return
+        dx = np.zeros_like(x.data)
+        u = arg // k
+        v = arg % k
+        ni, ci, oi, oj = np.indices(arg.shape)
+        rows = oi * stride + u
+        colsi = oj * stride + v
+        np.add.at(dx, (ni, ci, rows, colsi), g)
+        x._accumulate_grad(dx)
+
+    return Tensor._from_op(np.ascontiguousarray(out_data), (x,), _bwd)
+
+
+def avg_pool2d(x: Tensor, kernel_size: int, stride: int | None = None) -> Tensor:
+    """Average pooling on NCHW input (square window)."""
+    stride = stride or kernel_size
+    k = kernel_size
+    cols = _im2col(x.data, k, k, stride)
+    out_data = cols.mean(axis=(2, 3))  # (N, C, oh, ow)
+    n, c, h, w = x.data.shape
+    oh, ow = out_data.shape[2], out_data.shape[3]
+
+    def _bwd(g: np.ndarray) -> None:
+        if not x.requires_grad:
+            return
+        dx = np.zeros_like(x.data)
+        share = g / (k * k)
+        for u in range(k):
+            for v in range(k):
+                dx[:, :, u : u + stride * oh : stride, v : v + stride * ow : stride] += share
+        x._accumulate_grad(dx)
+
+    return Tensor._from_op(np.ascontiguousarray(out_data), (x,), _bwd)
+
+
+def adaptive_avg_pool2d(x: Tensor, output_size: int = 1) -> Tensor:
+    """Adaptive average pooling; only the common ``output_size=1`` case."""
+    if output_size != 1:
+        raise NotImplementedError("only output_size=1 is supported")
+    n, c, h, w = x.data.shape
+    out_data = x.data.mean(axis=(2, 3), keepdims=True)
+
+    def _bwd(g: np.ndarray) -> None:
+        if x.requires_grad:
+            x._accumulate_grad(np.broadcast_to(g / (h * w), x.data.shape).astype(x.data.dtype))
+
+    return Tensor._from_op(out_data, (x,), _bwd)
+
+
+# ---------------------------------------------------------------------------
+# shape utilities
+# ---------------------------------------------------------------------------
+def flatten(x: Tensor, start_dim: int = 1) -> Tensor:
+    """Flatten all dims from ``start_dim`` on."""
+    shape = x.data.shape
+    new_shape = shape[:start_dim] + (-1,)
+    return x.reshape(new_shape)
+
+
+def cat(tensors: list[Tensor], axis: int = 0) -> Tensor:
+    """Concatenate tensors along ``axis``."""
+    datas = [t.data for t in tensors]
+    out_data = np.concatenate(datas, axis=axis)
+    sizes = [d.shape[axis] for d in datas]
+    offsets = np.cumsum([0] + sizes)
+
+    def _bwd(g: np.ndarray) -> None:
+        for t, lo, hi in zip(tensors, offsets[:-1], offsets[1:]):
+            if t.requires_grad:
+                sl = [slice(None)] * g.ndim
+                sl[axis] = slice(int(lo), int(hi))
+                t._accumulate_grad(g[tuple(sl)])
+
+    return Tensor._from_op(out_data, tuple(tensors), _bwd)
+
+
+def stack(tensors: list[Tensor], axis: int = 0) -> Tensor:
+    """Stack tensors along a new ``axis``."""
+    out_data = np.stack([t.data for t in tensors], axis=axis)
+
+    def _bwd(g: np.ndarray) -> None:
+        for i, t in enumerate(tensors):
+            if t.requires_grad:
+                t._accumulate_grad(np.take(g, i, axis=axis))
+
+    return Tensor._from_op(out_data, tuple(tensors), _bwd)
+
+
+def pad2d(x: Tensor, padding: int) -> Tensor:
+    """Zero-pad the two trailing spatial dims of an NCHW tensor."""
+    out_data = _pad_nchw(x.data, padding)
+
+    def _bwd(g: np.ndarray) -> None:
+        if x.requires_grad:
+            p = padding
+            x._accumulate_grad(g[:, :, p:-p, p:-p] if p else g)
+
+    return Tensor._from_op(out_data, (x,), _bwd)
+
+
+def where_mask(mask: np.ndarray, a: Tensor, b: Tensor) -> Tensor:
+    """Select ``a`` where boolean ``mask`` else ``b`` (mask non-diff)."""
+    out_data = np.where(mask, a.data, b.data)
+
+    def _bwd(g: np.ndarray) -> None:
+        if a.requires_grad:
+            from .autograd import unbroadcast
+
+            a._accumulate_grad(unbroadcast(g * mask, a.data.shape))
+        if b.requires_grad:
+            from .autograd import unbroadcast
+
+            b._accumulate_grad(unbroadcast(g * (~mask), b.data.shape))
+
+    return Tensor._from_op(out_data, (a, b), _bwd)
+
+
+def masked_fill(x: Tensor, mask: np.ndarray, value: float) -> Tensor:
+    """Fill positions where boolean ``mask`` is true with ``value``."""
+    out_data = np.where(mask, np.asarray(value, dtype=x.data.dtype), x.data)
+
+    def _bwd(g: np.ndarray) -> None:
+        if x.requires_grad:
+            from .autograd import unbroadcast
+
+            x._accumulate_grad(unbroadcast(g * (~mask), x.data.shape))
+
+    return Tensor._from_op(out_data, (x,), _bwd)

@@ -1,0 +1,76 @@
+"""Parameter initialisers.
+
+All initialisers take an explicit :class:`numpy.random.Generator` so model
+construction is reproducible — the statistical-efficiency experiment
+(Figure 4) depends on AxoNN and AxoNN+SAMO starting from identical weights.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = [
+    "kaiming_normal",
+    "kaiming_uniform",
+    "xavier_uniform",
+    "normal",
+    "zeros",
+    "ones",
+    "gpt_init",
+]
+
+
+def _fan(shape: tuple[int, ...]) -> tuple[int, int]:
+    """(fan_in, fan_out) for linear (O, I) and conv (O, I, kh, kw) shapes."""
+    if len(shape) == 2:
+        fan_out, fan_in = shape
+        return fan_in, fan_out
+    if len(shape) == 4:
+        o, i, kh, kw = shape
+        rf = kh * kw
+        return i * rf, o * rf
+    n = int(np.prod(shape))
+    return n, n
+
+
+def kaiming_normal(shape, rng: np.random.Generator, gain: float = np.sqrt(2.0)) -> np.ndarray:
+    """He-normal initialisation (for ReLU networks such as VGG/ResNet)."""
+    fan_in, _ = _fan(tuple(shape))
+    std = gain / np.sqrt(fan_in)
+    return rng.normal(0.0, std, size=shape).astype(np.float32)
+
+
+def kaiming_uniform(shape, rng: np.random.Generator, gain: float = np.sqrt(2.0)) -> np.ndarray:
+    """He-uniform initialisation."""
+    fan_in, _ = _fan(tuple(shape))
+    bound = gain * np.sqrt(3.0 / fan_in)
+    return rng.uniform(-bound, bound, size=shape).astype(np.float32)
+
+
+def xavier_uniform(shape, rng: np.random.Generator, gain: float = 1.0) -> np.ndarray:
+    """Glorot-uniform initialisation."""
+    fan_in, fan_out = _fan(tuple(shape))
+    bound = gain * np.sqrt(6.0 / (fan_in + fan_out))
+    return rng.uniform(-bound, bound, size=shape).astype(np.float32)
+
+
+def normal(shape, rng: np.random.Generator, std: float = 0.02) -> np.ndarray:
+    """Plain Gaussian initialisation (GPT uses std=0.02)."""
+    return rng.normal(0.0, std, size=shape).astype(np.float32)
+
+
+def gpt_init(shape, rng: np.random.Generator, n_layers: int, residual: bool = False) -> np.ndarray:
+    """GPT-2/3 initialisation: N(0, 0.02), residual projections scaled by
+    ``1/sqrt(2*n_layers)`` (Radford et al. / Brown et al.)."""
+    std = 0.02
+    if residual:
+        std /= np.sqrt(2.0 * n_layers)
+    return rng.normal(0.0, std, size=shape).astype(np.float32)
+
+
+def zeros(shape) -> np.ndarray:
+    return np.zeros(shape, dtype=np.float32)
+
+
+def ones(shape) -> np.ndarray:
+    return np.ones(shape, dtype=np.float32)

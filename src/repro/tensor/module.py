@@ -1,0 +1,211 @@
+"""Module system: :class:`Parameter`, :class:`Module`, :class:`Sequential`.
+
+Mirrors the familiar ``torch.nn`` contract at the scale this reproduction
+needs: recursive parameter discovery, train/eval mode, ``state_dict``.
+Parameter *names* are stable, dotted paths — the pruning and SAMO machinery
+key their per-layer index sets (``ind_i`` in the paper) off these names.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Iterator
+
+import numpy as np
+
+from .tensor import Tensor
+
+__all__ = ["Parameter", "Module", "Sequential", "ModuleList"]
+
+
+class Parameter(Tensor):
+    """A :class:`Tensor` registered as a trainable module attribute.
+
+    ``prunable`` marks weight matrices/filters the pruning algorithms may
+    zero out. Biases and normalisation affine parameters are conventionally
+    not pruned (matching You et al. and the lottery-ticket literature), so
+    they default to ``prunable=False`` unless constructed via layer code
+    that says otherwise.
+    """
+
+    __slots__ = ("prunable",)
+
+    def __init__(self, data, prunable: bool = False):
+        super().__init__(np.asarray(data, dtype=np.float32), requires_grad=True)
+        self.prunable = bool(prunable)
+
+
+class Module:
+    """Base class for all neural-network building blocks."""
+
+    def __init__(self):
+        self._parameters: "OrderedDict[str, Parameter]" = OrderedDict()
+        self._modules: "OrderedDict[str, Module]" = OrderedDict()
+        self._buffers: "OrderedDict[str, np.ndarray]" = OrderedDict()
+        self.training: bool = True
+
+    # -- attribute plumbing -------------------------------------------------
+    def __setattr__(self, name: str, value) -> None:
+        if isinstance(value, Parameter):
+            self.__dict__.setdefault("_parameters", OrderedDict())[name] = value
+        elif isinstance(value, Module):
+            self.__dict__.setdefault("_modules", OrderedDict())[name] = value
+        object.__setattr__(self, name, value)
+
+    def register_buffer(self, name: str, value: np.ndarray) -> None:
+        """Register non-trainable state (e.g. BN running statistics)."""
+        self._buffers[name] = value
+        object.__setattr__(self, name, value)
+
+    # -- traversal -----------------------------------------------------------
+    def named_parameters(self, prefix: str = "") -> Iterator[tuple[str, Parameter]]:
+        """Yield ``(dotted_name, parameter)`` pairs, depth-first."""
+        for name, p in self._parameters.items():
+            yield (f"{prefix}{name}", p)
+        for mname, mod in self._modules.items():
+            yield from mod.named_parameters(prefix=f"{prefix}{mname}.")
+
+    def parameters(self) -> Iterator[Parameter]:
+        for _, p in self.named_parameters():
+            yield p
+
+    def named_modules(self, prefix: str = "") -> Iterator[tuple[str, "Module"]]:
+        yield (prefix.rstrip("."), self)
+        for mname, mod in self._modules.items():
+            yield from mod.named_modules(prefix=f"{prefix}{mname}.")
+
+    def modules(self) -> Iterator["Module"]:
+        for _, m in self.named_modules():
+            yield m
+
+    def children(self) -> Iterator["Module"]:
+        """Immediate sub-modules, in registration order."""
+        yield from self._modules.values()
+
+    def named_buffers(self, prefix: str = "") -> Iterator[tuple[str, np.ndarray]]:
+        for name, b in self._buffers.items():
+            yield (f"{prefix}{name}", b)
+        for mname, mod in self._modules.items():
+            yield from mod.named_buffers(prefix=f"{prefix}{mname}.")
+
+    # -- mode ----------------------------------------------------------------
+    def train(self, mode: bool = True) -> "Module":
+        """Set training mode recursively."""
+        self.training = mode
+        for mod in self._modules.values():
+            mod.train(mode)
+        return self
+
+    def eval(self) -> "Module":
+        """Set evaluation mode recursively."""
+        return self.train(False)
+
+    # -- gradients / state ----------------------------------------------------
+    def zero_grad(self) -> None:
+        """Drop all accumulated parameter gradients."""
+        for p in self.parameters():
+            p.grad = None
+
+    def num_parameters(self, prunable_only: bool = False) -> int:
+        """Total parameter count (optionally only prunable tensors)."""
+        return sum(
+            p.size for p in self.parameters() if (p.prunable or not prunable_only)
+        )
+
+    def state_dict(self) -> "OrderedDict[str, np.ndarray]":
+        """Copy of all parameters and buffers keyed by dotted name."""
+        out: "OrderedDict[str, np.ndarray]" = OrderedDict()
+        for name, p in self.named_parameters():
+            out[name] = p.data.copy()
+        for name, b in self.named_buffers():
+            out[f"buffer:{name}"] = np.array(b, copy=True)
+        return out
+
+    def load_state_dict(self, state: dict) -> None:
+        """Load values saved by :meth:`state_dict` (shapes must match)."""
+        params = dict(self.named_parameters())
+        buffers = dict(self.named_buffers())
+        for key, value in state.items():
+            if key.startswith("buffer:"):
+                buf = buffers[key[len("buffer:") :]]
+                buf[...] = value
+            else:
+                p = params[key]
+                if p.data.shape != value.shape:
+                    raise ValueError(
+                        f"shape mismatch for {key}: {p.data.shape} vs {value.shape}"
+                    )
+                p.data[...] = value
+
+    # -- call ----------------------------------------------------------------
+    def forward(self, *args, **kwargs):
+        raise NotImplementedError
+
+    def __call__(self, *args, **kwargs):
+        return self.forward(*args, **kwargs)
+
+    def __repr__(self) -> str:
+        lines = [self.__class__.__name__ + "("]
+        for name, mod in self._modules.items():
+            sub = repr(mod).splitlines()
+            lines.append(f"  ({name}): " + sub[0])
+            lines.extend("  " + s for s in sub[1:])
+        lines.append(")")
+        return "\n".join(lines) if len(lines) > 2 else self.__class__.__name__ + "()"
+
+
+class Sequential(Module):
+    """Chain of modules applied in order."""
+
+    def __init__(self, *mods: Module):
+        super().__init__()
+        self._seq: list[Module] = []
+        for i, m in enumerate(mods):
+            setattr(self, str(i), m)
+            self._seq.append(m)
+
+    def append(self, mod: Module) -> "Sequential":
+        setattr(self, str(len(self._seq)), mod)
+        self._seq.append(mod)
+        return self
+
+    def __iter__(self):
+        return iter(self._seq)
+
+    def __len__(self) -> int:
+        return len(self._seq)
+
+    def __getitem__(self, idx: int) -> Module:
+        return self._seq[idx]
+
+    def forward(self, x):
+        for m in self._seq:
+            x = m(x)
+        return x
+
+
+class ModuleList(Module):
+    """List container whose entries are registered sub-modules."""
+
+    def __init__(self, mods: list[Module] | None = None):
+        super().__init__()
+        self._list: list[Module] = []
+        for m in mods or []:
+            self.append(m)
+
+    def append(self, mod: Module) -> "ModuleList":
+        setattr(self, str(len(self._list)), mod)
+        self._list.append(mod)
+        return self
+
+    def __iter__(self):
+        return iter(self._list)
+
+    def __len__(self) -> int:
+        return len(self._list)
+
+    def __getitem__(self, idx: int) -> Module:
+        return self._list[idx]
+
+    def forward(self, *args, **kwargs):  # pragma: no cover - container only
+        raise RuntimeError("ModuleList is a container and cannot be called")

@@ -1,0 +1,122 @@
+"""Mixed-precision helpers (Micikevicius et al., ICLR 2018).
+
+The paper's SAMO operates inside mixed-precision training: parameters and
+gradients exist in both fp16 and fp32; the forward/backward pass computes
+with fp16 values while the optimizer step runs in fp32.
+
+On CPU, raw float16 arithmetic through NumPy is an order of magnitude slower
+than float32 (no vectorised fp16 units), so we emulate half precision the
+standard way: values are *quantised through* ``np.float16`` (so they sit
+exactly on the fp16 grid and overflow/underflow like fp16) but may be held
+in float32 containers for compute. ``HALF`` is the storage dtype used by
+model-state accounting — byte counts always use true fp16 sizes.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = [
+    "HALF",
+    "SINGLE",
+    "to_half",
+    "half_bytes",
+    "single_bytes",
+    "quantize_to_half",
+    "DynamicLossScaler",
+]
+
+HALF = np.float16
+SINGLE = np.float32
+
+#: bytes per element in each precision (used by the memory model)
+HALF_BYTES = 2
+SINGLE_BYTES = 4
+
+
+def to_half(x: np.ndarray) -> np.ndarray:
+    """Cast to true float16 storage."""
+    return x.astype(HALF)
+
+
+def quantize_to_half(x: np.ndarray) -> np.ndarray:
+    """Round values onto the fp16 grid but return float32 (compute dtype).
+
+    This reproduces fp16 rounding/overflow semantics while keeping NumPy
+    compute in fast float32 — the numerical path the GPU would take with
+    fp16 storage + fp32 accumulation (tensor-core behaviour).
+    """
+    return x.astype(HALF).astype(SINGLE)
+
+
+def half_bytes(numel: int) -> int:
+    """Bytes to store ``numel`` halves."""
+    return HALF_BYTES * int(numel)
+
+
+def single_bytes(numel: int) -> int:
+    """Bytes to store ``numel`` singles."""
+    return SINGLE_BYTES * int(numel)
+
+
+class DynamicLossScaler:
+    """Dynamic loss scaling for fp16 gradient underflow protection.
+
+    Scales the loss by ``scale`` before backward; on overflow (non-finite
+    gradients) the step is skipped and the scale halved; after
+    ``growth_interval`` consecutive good steps the scale doubles.
+    """
+
+    def __init__(
+        self,
+        init_scale: float = 2.0**16,
+        growth_factor: float = 2.0,
+        backoff_factor: float = 0.5,
+        growth_interval: int = 2000,
+        min_scale: float = 1.0,
+        max_scale: float = 2.0**24,
+    ):
+        if init_scale <= 0:
+            raise ValueError("init_scale must be positive")
+        self.scale = float(init_scale)
+        self.growth_factor = growth_factor
+        self.backoff_factor = backoff_factor
+        self.growth_interval = growth_interval
+        self.min_scale = min_scale
+        self.max_scale = max_scale
+        self._good_steps = 0
+        self.num_overflows = 0
+
+    def check_overflow(self, grads) -> bool:
+        """True when any gradient contains inf/nan."""
+        for g in grads:
+            if g is None:
+                continue
+            arr = g if isinstance(g, np.ndarray) else g.data
+            if not np.all(np.isfinite(arr)):
+                return True
+        return False
+
+    def unscale(self, grads) -> None:
+        """Divide gradients by the current scale, in place."""
+        inv = 1.0 / self.scale
+        for g in grads:
+            if g is None:
+                continue
+            arr = g if isinstance(g, np.ndarray) else g.data
+            arr *= inv
+
+    def update(self, overflow: bool) -> None:
+        """Advance the scale state machine after a step attempt."""
+        if overflow:
+            self.num_overflows += 1
+            self.scale = max(self.scale * self.backoff_factor, self.min_scale)
+            self._good_steps = 0
+        else:
+            self._good_steps += 1
+            if self._good_steps >= self.growth_interval:
+                self.scale = min(self.scale * self.growth_factor, self.max_scale)
+                self._good_steps = 0
+
+    def __repr__(self) -> str:
+        return f"DynamicLossScaler(scale={self.scale:g}, overflows={self.num_overflows})"

@@ -1,0 +1,435 @@
+"""The :class:`Tensor` type: a NumPy array with reverse-mode autograd.
+
+Design goals (see DESIGN.md):
+
+* every differentiable op is a thin vectorized NumPy expression — no Python
+  loops over elements (per the hpc-parallel guides, vectorize everything);
+* the graph is recorded eagerly and freed eagerly: interior gradients are
+  dropped as soon as they are consumed so long training loops do not leak;
+* storage dtype is caller-controlled (float32 by default; float16 is used by
+  the mixed-precision machinery for parameter storage).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Sequence
+
+import numpy as np
+
+from . import autograd
+from .autograd import is_grad_enabled, unbroadcast
+
+__all__ = ["Tensor", "as_tensor"]
+
+Arrayish = "Tensor | np.ndarray | float | int | Sequence"
+
+
+def as_tensor(value, dtype=np.float32) -> "Tensor":
+    """Coerce ``value`` to a :class:`Tensor` (no copy when already one)."""
+    if isinstance(value, Tensor):
+        return value
+    return Tensor(np.asarray(value, dtype=dtype))
+
+
+class Tensor:
+    """A differentiable n-dimensional array.
+
+    Parameters
+    ----------
+    data:
+        Anything convertible to ``numpy.ndarray``. Floating dtypes are kept;
+        other dtypes are cast to float32.
+    requires_grad:
+        When true, gradients are accumulated into :attr:`grad` during
+        :meth:`backward`.
+    """
+
+    __slots__ = ("data", "grad", "requires_grad", "_backward", "_parents", "_retains_grad")
+
+    def __init__(self, data, requires_grad: bool = False):
+        arr = np.asarray(data)
+        if arr.dtype.kind != "f":
+            arr = arr.astype(np.float32)
+        self.data: np.ndarray = arr
+        self.grad: np.ndarray | None = None
+        self.requires_grad: bool = bool(requires_grad)
+        self._backward: Callable[[np.ndarray], None] | None = None
+        self._parents: tuple[Tensor, ...] = ()
+        # Leaves retain grads; interior nodes free them after consumption.
+        self._retains_grad: bool = bool(requires_grad)
+
+    # ------------------------------------------------------------------
+    # graph plumbing
+    # ------------------------------------------------------------------
+    @classmethod
+    def _from_op(
+        cls,
+        data: np.ndarray,
+        parents: tuple["Tensor", ...],
+        backward: Callable[[np.ndarray], None],
+    ) -> "Tensor":
+        """Build an op output, recording the graph only when useful."""
+        out = cls.__new__(cls)
+        out.data = data
+        out.grad = None
+        out._retains_grad = False
+        if is_grad_enabled() and any(p.requires_grad for p in parents):
+            out.requires_grad = True
+            out._parents = parents
+            out._backward = backward
+        else:
+            out.requires_grad = False
+            out._parents = ()
+            out._backward = None
+        return out
+
+    def _accumulate_grad(self, grad: np.ndarray) -> None:
+        if self.grad is None:
+            self.grad = grad.astype(self.data.dtype, copy=True)
+        else:
+            self.grad += grad
+
+    def backward(self, grad: np.ndarray | None = None) -> None:
+        """Backpropagate from this tensor (scalar unless ``grad`` given)."""
+        autograd.backward(self, grad)
+
+    def retain_grad(self) -> "Tensor":
+        """Keep this interior node's gradient after backward (for tests)."""
+        self._retains_grad = True
+        return self
+
+    def zero_grad(self) -> None:
+        """Drop the accumulated gradient."""
+        self.grad = None
+
+    def detach(self) -> "Tensor":
+        """Return a view of the data cut out of the autograd graph."""
+        return Tensor(self.data)
+
+    # ------------------------------------------------------------------
+    # introspection
+    # ------------------------------------------------------------------
+    @property
+    def shape(self) -> tuple[int, ...]:
+        return self.data.shape
+
+    @property
+    def ndim(self) -> int:
+        return self.data.ndim
+
+    @property
+    def size(self) -> int:
+        return self.data.size
+
+    @property
+    def dtype(self):
+        return self.data.dtype
+
+    def numpy(self) -> np.ndarray:
+        """The underlying array (not a copy)."""
+        return self.data
+
+    def item(self) -> float:
+        return float(self.data.reshape(-1)[0])
+
+    def __len__(self) -> int:
+        return len(self.data)
+
+    def __repr__(self) -> str:
+        flag = ", requires_grad=True" if self.requires_grad else ""
+        return f"Tensor(shape={self.data.shape}, dtype={self.data.dtype}{flag})"
+
+    # ------------------------------------------------------------------
+    # elementwise arithmetic
+    # ------------------------------------------------------------------
+    def __add__(self, other) -> "Tensor":
+        other = as_tensor(other, dtype=self.data.dtype)
+        a, b = self, other
+        out_data = a.data + b.data
+
+        def _bwd(g: np.ndarray) -> None:
+            if a.requires_grad:
+                a._accumulate_grad(unbroadcast(g, a.data.shape))
+            if b.requires_grad:
+                b._accumulate_grad(unbroadcast(g, b.data.shape))
+
+        return Tensor._from_op(out_data, (a, b), _bwd)
+
+    __radd__ = __add__
+
+    def __neg__(self) -> "Tensor":
+        a = self
+        out_data = -a.data
+
+        def _bwd(g: np.ndarray) -> None:
+            if a.requires_grad:
+                a._accumulate_grad(-g)
+
+        return Tensor._from_op(out_data, (a,), _bwd)
+
+    def __sub__(self, other) -> "Tensor":
+        return self + (-as_tensor(other, dtype=self.data.dtype))
+
+    def __rsub__(self, other) -> "Tensor":
+        return as_tensor(other, dtype=self.data.dtype) + (-self)
+
+    def __mul__(self, other) -> "Tensor":
+        other = as_tensor(other, dtype=self.data.dtype)
+        a, b = self, other
+        out_data = a.data * b.data
+
+        def _bwd(g: np.ndarray) -> None:
+            if a.requires_grad:
+                a._accumulate_grad(unbroadcast(g * b.data, a.data.shape))
+            if b.requires_grad:
+                b._accumulate_grad(unbroadcast(g * a.data, b.data.shape))
+
+        return Tensor._from_op(out_data, (a, b), _bwd)
+
+    __rmul__ = __mul__
+
+    def __truediv__(self, other) -> "Tensor":
+        other = as_tensor(other, dtype=self.data.dtype)
+        a, b = self, other
+        out_data = a.data / b.data
+
+        def _bwd(g: np.ndarray) -> None:
+            if a.requires_grad:
+                a._accumulate_grad(unbroadcast(g / b.data, a.data.shape))
+            if b.requires_grad:
+                b._accumulate_grad(
+                    unbroadcast(-g * a.data / (b.data * b.data), b.data.shape)
+                )
+
+        return Tensor._from_op(out_data, (a, b), _bwd)
+
+    def __rtruediv__(self, other) -> "Tensor":
+        return as_tensor(other, dtype=self.data.dtype) / self
+
+    def __pow__(self, exponent: float) -> "Tensor":
+        if not np.isscalar(exponent):
+            raise TypeError("Tensor ** only supports scalar exponents")
+        a = self
+        out_data = a.data ** exponent
+
+        def _bwd(g: np.ndarray) -> None:
+            if a.requires_grad:
+                a._accumulate_grad(g * exponent * a.data ** (exponent - 1))
+
+        return Tensor._from_op(out_data, (a,), _bwd)
+
+    # ------------------------------------------------------------------
+    # elementwise transcendental
+    # ------------------------------------------------------------------
+    def exp(self) -> "Tensor":
+        a = self
+        out_data = np.exp(a.data)
+
+        def _bwd(g: np.ndarray) -> None:
+            if a.requires_grad:
+                a._accumulate_grad(g * out_data)
+
+        return Tensor._from_op(out_data, (a,), _bwd)
+
+    def log(self) -> "Tensor":
+        a = self
+        out_data = np.log(a.data)
+
+        def _bwd(g: np.ndarray) -> None:
+            if a.requires_grad:
+                a._accumulate_grad(g / a.data)
+
+        return Tensor._from_op(out_data, (a,), _bwd)
+
+    def sqrt(self) -> "Tensor":
+        a = self
+        out_data = np.sqrt(a.data)
+
+        def _bwd(g: np.ndarray) -> None:
+            if a.requires_grad:
+                a._accumulate_grad(g * 0.5 / out_data)
+
+        return Tensor._from_op(out_data, (a,), _bwd)
+
+    def tanh(self) -> "Tensor":
+        a = self
+        out_data = np.tanh(a.data)
+
+        def _bwd(g: np.ndarray) -> None:
+            if a.requires_grad:
+                a._accumulate_grad(g * (1.0 - out_data * out_data))
+
+        return Tensor._from_op(out_data, (a,), _bwd)
+
+    def abs(self) -> "Tensor":
+        a = self
+        out_data = np.abs(a.data)
+
+        def _bwd(g: np.ndarray) -> None:
+            if a.requires_grad:
+                a._accumulate_grad(g * np.sign(a.data))
+
+        return Tensor._from_op(out_data, (a,), _bwd)
+
+    # ------------------------------------------------------------------
+    # matrix multiplication
+    # ------------------------------------------------------------------
+    def __matmul__(self, other) -> "Tensor":
+        other = as_tensor(other, dtype=self.data.dtype)
+        a, b = self, other
+        out_data = a.data @ b.data
+
+        def _bwd(g: np.ndarray) -> None:
+            if a.requires_grad:
+                if b.data.ndim == 1:
+                    ga = np.outer(g, b.data) if a.data.ndim == 2 else g[..., None] * b.data
+                else:
+                    ga = g @ np.swapaxes(b.data, -1, -2)
+                a._accumulate_grad(unbroadcast(ga, a.data.shape))
+            if b.requires_grad:
+                if a.data.ndim == 1:
+                    gb = np.outer(a.data, g)
+                else:
+                    gb = np.swapaxes(a.data, -1, -2) @ g
+                b._accumulate_grad(unbroadcast(gb, b.data.shape))
+
+        return Tensor._from_op(out_data, (a, b), _bwd)
+
+    # ------------------------------------------------------------------
+    # reductions
+    # ------------------------------------------------------------------
+    def sum(self, axis=None, keepdims: bool = False) -> "Tensor":
+        a = self
+        out_data = a.data.sum(axis=axis, keepdims=keepdims)
+
+        def _bwd(g: np.ndarray) -> None:
+            if not a.requires_grad:
+                return
+            gg = g
+            if axis is not None and not keepdims:
+                axes = axis if isinstance(axis, tuple) else (axis,)
+                axes = tuple(ax % a.data.ndim for ax in axes)
+                gg = np.expand_dims(gg, axes)
+            a._accumulate_grad(np.broadcast_to(gg, a.data.shape).astype(a.data.dtype))
+
+        return Tensor._from_op(np.asarray(out_data), (a,), _bwd)
+
+    def mean(self, axis=None, keepdims: bool = False) -> "Tensor":
+        a = self
+        out_data = a.data.mean(axis=axis, keepdims=keepdims)
+        if axis is None:
+            count = a.data.size
+        else:
+            axes = axis if isinstance(axis, tuple) else (axis,)
+            count = int(np.prod([a.data.shape[ax] for ax in axes]))
+
+        def _bwd(g: np.ndarray) -> None:
+            if not a.requires_grad:
+                return
+            gg = g / count
+            if axis is not None and not keepdims:
+                axes = axis if isinstance(axis, tuple) else (axis,)
+                axes = tuple(ax % a.data.ndim for ax in axes)
+                gg = np.expand_dims(gg, axes)
+            a._accumulate_grad(np.broadcast_to(gg, a.data.shape).astype(a.data.dtype))
+
+        return Tensor._from_op(np.asarray(out_data), (a,), _bwd)
+
+    def max(self, axis=None, keepdims: bool = False) -> "Tensor":
+        a = self
+        out_data = a.data.max(axis=axis, keepdims=keepdims)
+
+        def _bwd(g: np.ndarray) -> None:
+            if not a.requires_grad:
+                return
+            gg, od = g, out_data
+            if axis is not None and not keepdims:
+                axes = axis if isinstance(axis, tuple) else (axis,)
+                axes = tuple(ax % a.data.ndim for ax in axes)
+                gg = np.expand_dims(gg, axes)
+                od = np.expand_dims(od, axes)
+            mask = (a.data == od).astype(a.data.dtype)
+            # Split gradient evenly among ties (matches subgradient choice).
+            denom = mask.sum(axis=axis, keepdims=True) if axis is not None else mask.sum()
+            a._accumulate_grad(mask * gg / denom)
+
+        return Tensor._from_op(np.asarray(out_data), (a,), _bwd)
+
+    # ------------------------------------------------------------------
+    # shape manipulation
+    # ------------------------------------------------------------------
+    def reshape(self, *shape) -> "Tensor":
+        if len(shape) == 1 and isinstance(shape[0], (tuple, list)):
+            shape = tuple(shape[0])
+        a = self
+        out_data = a.data.reshape(shape)
+
+        def _bwd(g: np.ndarray) -> None:
+            if a.requires_grad:
+                a._accumulate_grad(g.reshape(a.data.shape))
+
+        return Tensor._from_op(out_data, (a,), _bwd)
+
+    def transpose(self, *axes) -> "Tensor":
+        if len(axes) == 1 and isinstance(axes[0], (tuple, list)):
+            axes = tuple(axes[0])
+        if not axes:
+            axes = tuple(reversed(range(self.data.ndim)))
+        a = self
+        out_data = a.data.transpose(axes)
+        inv = np.argsort(axes)
+
+        def _bwd(g: np.ndarray) -> None:
+            if a.requires_grad:
+                a._accumulate_grad(g.transpose(inv))
+
+        return Tensor._from_op(out_data, (a,), _bwd)
+
+    @property
+    def T(self) -> "Tensor":
+        return self.transpose()
+
+    def swapaxes(self, ax1: int, ax2: int) -> "Tensor":
+        axes = list(range(self.data.ndim))
+        axes[ax1], axes[ax2] = axes[ax2], axes[ax1]
+        return self.transpose(tuple(axes))
+
+    def __getitem__(self, idx) -> "Tensor":
+        a = self
+        out_data = a.data[idx]
+
+        def _bwd(g: np.ndarray) -> None:
+            if a.requires_grad:
+                full = np.zeros_like(a.data)
+                np.add.at(full, idx, g)
+                a._accumulate_grad(full)
+
+        return Tensor._from_op(np.ascontiguousarray(out_data), (a,), _bwd)
+
+    def astype(self, dtype) -> "Tensor":
+        """Differentiable dtype cast (gradient is cast back)."""
+        a = self
+        out_data = a.data.astype(dtype)
+
+        def _bwd(g: np.ndarray) -> None:
+            if a.requires_grad:
+                a._accumulate_grad(g.astype(a.data.dtype))
+
+        return Tensor._from_op(out_data, (a,), _bwd)
+
+    # comparisons produce plain bool arrays (non-differentiable)
+    def __gt__(self, other):
+        other = other.data if isinstance(other, Tensor) else other
+        return self.data > other
+
+    def __lt__(self, other):
+        other = other.data if isinstance(other, Tensor) else other
+        return self.data < other
+
+    def __ge__(self, other):
+        other = other.data if isinstance(other, Tensor) else other
+        return self.data >= other
+
+    def __le__(self, other):
+        other = other.data if isinstance(other, Tensor) else other
+        return self.data <= other

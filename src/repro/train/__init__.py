@@ -1,0 +1,18 @@
+"""Training loops, datasets and metrics for the functional experiments."""
+
+from .data import BlobImages, CharCorpus, batch_iterator
+from .metrics import evaluate_accuracy, evaluate_perplexity, perplexity_from_loss
+from .mixed_precision import DenseMixedPrecisionState
+from .trainer import Trainer, TrainingLog
+
+__all__ = [
+    "Trainer",
+    "TrainingLog",
+    "DenseMixedPrecisionState",
+    "CharCorpus",
+    "BlobImages",
+    "batch_iterator",
+    "perplexity_from_loss",
+    "evaluate_perplexity",
+    "evaluate_accuracy",
+]

@@ -1,0 +1,47 @@
+"""Evaluation metrics: perplexity and accuracy (paper Section V-C)."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from ..tensor import Tensor, functional as F, no_grad
+from ..tensor.module import Module
+
+__all__ = ["perplexity_from_loss", "evaluate_perplexity", "evaluate_accuracy"]
+
+
+def perplexity_from_loss(cross_entropy_nats: float) -> float:
+    """Perplexity = exp(cross-entropy), the paper's validation metric."""
+    return math.exp(min(cross_entropy_nats, 30.0))  # clamp to avoid overflow
+
+
+def evaluate_perplexity(model: Module, corpus, batch_size: int, seq_len: int,
+                        n_batches: int = 8, seed: int = 1234) -> float:
+    """Mean validation perplexity of a language model on a corpus."""
+    rng = np.random.default_rng(seed)
+    model.eval()
+    losses = []
+    with no_grad():
+        for _ in range(n_batches):
+            x, y = corpus.sample_batch(batch_size, seq_len, rng, split="val")
+            loss = model.loss(x, y)
+            losses.append(loss.item())
+    model.train()
+    return perplexity_from_loss(float(np.mean(losses)))
+
+
+def evaluate_accuracy(model: Module, images: np.ndarray, labels: np.ndarray,
+                      batch_size: int = 64) -> float:
+    """Top-1 accuracy of a classifier."""
+    model.eval()
+    correct = 0
+    with no_grad():
+        for i in range(0, len(labels), batch_size):
+            xb = Tensor(images[i : i + batch_size])
+            logits = model(xb)
+            pred = logits.data.argmax(axis=1)
+            correct += int((pred == labels[i : i + batch_size]).sum())
+    model.train()
+    return correct / len(labels)

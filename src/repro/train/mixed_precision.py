@@ -1,0 +1,131 @@
+"""Dense mixed-precision training state (the AxoNN baseline numerics).
+
+Mirrors :class:`repro.core.model_state.SAMOTrainingState` exactly, minus
+compression: fp32 masters for every parameter, fp16 gradients, parameters
+quantised to the fp16 grid for compute, optimizer kernels from
+:mod:`repro.optim.kernels`. Because both states quantise at the same
+points and share the same kernels, masked-dense training here is *bitwise*
+equivalent to SAMO training — the property test behind the paper's
+correctness claim (Section VI-A trains both to the same perplexity).
+
+``mask`` is optional: when given, gradients and parameters are masked each
+step (the standard way to train a pruned network densely).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..optim.kernels import adam_kernel, sgd_momentum_kernel
+from ..pruning.masks import MaskSet
+from ..core.config import SAMOConfig
+from ..tensor.module import Module
+
+__all__ = ["DenseMixedPrecisionState"]
+
+
+class DenseMixedPrecisionState:
+    """Dense fp32-master / fp16-compute training state."""
+
+    def __init__(self, model: Module, config: SAMOConfig | None = None, mask: MaskSet | None = None):
+        self.model = model
+        self.config = config or SAMOConfig()
+        self.mask = mask
+        self.step_count = 0
+        n_slots = self.config.optimizer_state_slots
+        if mask is not None:
+            mask.apply(model)
+        self.names: list[str] = []
+        self.params = []
+        self.theta32: list[np.ndarray] = []
+        self.grad16: list[np.ndarray | None] = []
+        self.opt_state: list[list[np.ndarray]] = []
+        for name, p in model.named_parameters():
+            self.names.append(name)
+            self.params.append(p)
+            self.theta32.append(p.data.astype(np.float32, copy=True))
+            self.grad16.append(None)
+            self.opt_state.append([np.zeros_like(p.data, dtype=np.float32) for _ in range(n_slots)])
+            # θ16: quantise compute parameters onto the fp16 grid
+            p.data[...] = p.data.astype(np.float16).astype(np.float32)
+
+    def compress_gradients(self) -> None:
+        """Quantise dense gradients to fp16 storage (accumulating)."""
+        for i, p in enumerate(self.params):
+            if p.grad is None:
+                continue
+            g = p.grad
+            if self.mask is not None and self.names[i] in self.mask:
+                keep = self.mask.bool_mask(self.names[i])
+                g = np.where(keep, g, 0.0)
+            with np.errstate(over="ignore"):  # inf -> scaler skips the step
+                g16 = g.astype(np.float16)
+            if self.grad16[i] is None:
+                self.grad16[i] = g16
+            else:
+                self.grad16[i] = (
+                    self.grad16[i].astype(np.float32) + g16.astype(np.float32)
+                ).astype(np.float16)
+            p.grad = None
+
+    def has_gradient_overflow(self) -> bool:
+        return any(
+            g is not None and not np.all(np.isfinite(g)) for g in self.grad16
+        )
+
+    def zero_grad(self) -> None:
+        self.grad16 = [None] * len(self.params)
+        self.model.zero_grad()
+
+    def clip_gradients(self, max_norm: float, loss_scale: float = 1.0) -> float:
+        """Global-norm clip of the stored fp16 gradients (pre-clip norm)."""
+        from ..optim.grad_clip import clip_stored_norm
+
+        return clip_stored_norm(self.grad16, max_norm, loss_scale)
+
+    def step(self, lr: float | None = None, loss_scale: float = 1.0) -> bool:
+        """Dense mixed-precision optimizer step; False on overflow."""
+        if self.has_gradient_overflow():
+            self.zero_grad()
+            return False
+        self.step_count += 1
+        cfg = self.config
+        lr = cfg.lr if lr is None else lr
+        inv_scale = 1.0 / float(loss_scale)
+        for i, p in enumerate(self.params):
+            if self.grad16[i] is None:
+                continue
+            grad32 = self.grad16[i].astype(np.float32) * inv_scale
+            theta32 = self.theta32[i]
+            if cfg.optimizer in ("adam", "adamw"):
+                adam_kernel(
+                    theta32, grad32, self.opt_state[i][0], self.opt_state[i][1],
+                    step=self.step_count, lr=lr, beta1=cfg.betas[0], beta2=cfg.betas[1],
+                    eps=cfg.eps, weight_decay=cfg.weight_decay,
+                    decoupled=cfg.optimizer == "adamw",
+                )
+            else:
+                sgd_momentum_kernel(
+                    theta32, grad32, self.opt_state[i][0], lr=lr,
+                    momentum=cfg.momentum, weight_decay=cfg.weight_decay,
+                    nesterov=cfg.nesterov, first_step=self.step_count == 1,
+                )
+            if self.mask is not None and self.names[i] in self.mask:
+                keep = self.mask.bool_mask(self.names[i])
+                theta32[~keep] = 0.0
+            p.data[...] = theta32.astype(np.float16).astype(np.float32)
+            self.grad16[i] = None
+        return True
+
+    def measured_bytes(self) -> dict[str, int]:
+        """Model-state bytes (the paper's 20·φ when Adam is used)."""
+        out = {"theta16": 0, "grad16": 0, "theta32": 0, "grad32": 0, "optimizer_states": 0}
+        for i, t32 in enumerate(self.theta32):
+            n = t32.size
+            out["theta16"] += 2 * n
+            out["grad16"] += 2 * n
+            out["theta32"] += 4 * n
+            out["grad32"] += 4 * n
+            out["optimizer_states"] += sum(s.nbytes for s in self.opt_state[i])
+        out["total"] = sum(v for k, v in out.items() if k != "total")
+        return out

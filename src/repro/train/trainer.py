@@ -1,0 +1,128 @@
+"""End-to-end training loops for the statistical-efficiency experiments.
+
+:class:`Trainer` runs mixed-precision training with dynamic loss scaling
+on either execution path:
+
+* ``mode='dense'``  — AxoNN-baseline numerics (optionally masked);
+* ``mode='samo'``   — AxoNN+SAMO numerics (requires a mask).
+
+Both paths share optimizer kernels and quantisation points, so with the
+same mask and data order they produce identical parameter trajectories —
+the reproduction of the paper's Figure 4 parity claim, testable exactly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..core.config import SAMOConfig
+from ..core.model_state import SAMOTrainingState
+from ..pruning.masks import MaskSet
+from ..tensor.module import Module
+from ..tensor.precision import DynamicLossScaler
+from .metrics import perplexity_from_loss
+from .mixed_precision import DenseMixedPrecisionState
+
+__all__ = ["Trainer", "TrainingLog"]
+
+
+@dataclass
+class TrainingLog:
+    """Per-iteration records of one run."""
+
+    losses: list[float] = field(default_factory=list)
+    perplexities: list[float] = field(default_factory=list)
+    skipped_steps: int = 0
+
+    def record(self, loss: float) -> None:
+        self.losses.append(loss)
+        self.perplexities.append(perplexity_from_loss(loss))
+
+
+class Trainer:
+    """Mixed-precision trainer over a loss-producing model.
+
+    Parameters
+    ----------
+    model:
+        Module exposing ``loss(*batch) -> Tensor`` (e.g. :class:`repro.models.GPT`)
+        or any module when a custom ``loss_fn`` is passed to :meth:`step`.
+    mode:
+        ``'dense'`` or ``'samo'``.
+    mask:
+        Required for ``'samo'``; optional (masked-dense) for ``'dense'``.
+    config:
+        Optimizer configuration shared by both paths.
+    lr_schedule:
+        Optional callable ``step -> lr``.
+    loss_scaler:
+        Optional :class:`DynamicLossScaler`; default disables scaling
+        (scale 1) since fp32-accumulated CPU training rarely overflows.
+    grad_clip:
+        Optional global-norm gradient clip (the GPT-3 recipe uses 1.0).
+        Applied to the *stored* gradients so the dense and SAMO paths
+        clip identically.
+    """
+
+    def __init__(
+        self,
+        model: Module,
+        mode: str = "dense",
+        mask: MaskSet | None = None,
+        config: SAMOConfig | None = None,
+        lr_schedule=None,
+        loss_scaler: DynamicLossScaler | None = None,
+        grad_clip: float | None = None,
+    ):
+        if mode not in ("dense", "samo"):
+            raise ValueError(f"mode must be 'dense' or 'samo', got {mode!r}")
+        if mode == "samo" and mask is None:
+            raise ValueError("SAMO mode requires a pruning mask")
+        if grad_clip is not None and grad_clip <= 0:
+            raise ValueError("grad_clip must be positive")
+        self.model = model
+        self.mode = mode
+        self.config = config or SAMOConfig()
+        self.lr_schedule = lr_schedule
+        self.scaler = loss_scaler
+        self.grad_clip = grad_clip
+        if mode == "samo":
+            self.state = SAMOTrainingState(model, mask, self.config)
+        else:
+            self.state = DenseMixedPrecisionState(model, self.config, mask=mask)
+        self.log = TrainingLog()
+        self.iteration = 0
+
+    def step(self, *batch, loss_fn=None) -> float:
+        """One training iteration on ``batch``; returns the loss value."""
+        scale = self.scaler.scale if self.scaler else 1.0
+        self.state.zero_grad()
+        loss = loss_fn(self.model, *batch) if loss_fn else self.model.loss(*batch)
+        loss.backward(np.full_like(loss.data, scale)) if scale != 1.0 else loss.backward()
+        self.state.compress_gradients()
+        if self.grad_clip is not None:
+            self.state.clip_gradients(self.grad_clip, loss_scale=scale)
+        lr = self.lr_schedule(self.iteration) if self.lr_schedule else None
+        stepped = self.state.step(lr=lr, loss_scale=scale)
+        if self.scaler:
+            self.scaler.update(overflow=not stepped)
+        if not stepped:
+            self.log.skipped_steps += 1
+        self.iteration += 1
+        val = loss.item() / 1.0
+        self.log.record(val)
+        return val
+
+    def train(self, batches, loss_fn=None) -> TrainingLog:
+        """Run over an iterable of batches."""
+        for batch in batches:
+            if not isinstance(batch, tuple):
+                batch = (batch,)
+            self.step(*batch, loss_fn=loss_fn)
+        return self.log
+
+    def model_state_bytes(self) -> dict[str, int]:
+        """Measured model-state bytes of the active storage scheme."""
+        return self.state.measured_bytes()

@@ -1,0 +1,31 @@
+"""Shared fixtures for the test suite."""
+
+import numpy as np
+import pytest
+
+
+@pytest.fixture
+def rng():
+    """Deterministic random generator for each test."""
+    return np.random.default_rng(12345)
+
+
+def numeric_grad(f, x, eps=1e-6):
+    """Central finite differences of scalar-valued f at array x."""
+    x = np.asarray(x, dtype=np.float64)
+    g = np.zeros_like(x)
+    it = np.nditer(x, flags=["multi_index"])
+    while not it.finished:
+        idx = it.multi_index
+        xp = x.copy()
+        xp[idx] += eps
+        xm = x.copy()
+        xm[idx] -= eps
+        g[idx] = (f(xp) - f(xm)) / (2 * eps)
+        it.iternext()
+    return g
+
+
+@pytest.fixture
+def gradcheck():
+    return numeric_grad

@@ -1,0 +1,56 @@
+"""CLI: every experiment subcommand prints its paper-style series."""
+
+import pytest
+
+from repro.cli import EXPERIMENTS, main
+
+
+FAST_COMMANDS = ["fig1", "fig2", "fig3", "fig8", "table1", "table2", "memory"]
+
+
+class TestCLI:
+    def test_list(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        for name in EXPERIMENTS:
+            assert name in out
+
+    def test_no_command_lists_and_fails(self, capsys):
+        assert main([]) == 2
+        assert "Available experiments" in capsys.readouterr().out
+
+    @pytest.mark.parametrize("cmd", FAST_COMMANDS)
+    def test_fast_commands_run(self, cmd, capsys):
+        assert main([cmd]) == 0
+        out = capsys.readouterr().out
+        assert len(out.splitlines()) > 3
+
+    def test_fig1_shows_paper_band(self, capsys):
+        main(["fig1"])
+        out = capsys.readouterr().out
+        assert "6.5x" in out and "22.0x" in out  # the paper's 6-22x band
+
+    def test_fig3_bubble_units(self, capsys):
+        main(["fig3"])
+        out = capsys.readouterr().out
+        assert "6, 6, 6" in out  # bubble = (G-1)(t_f + t_b) = 6 on each GPU
+
+    def test_memory_claim(self, capsys):
+        main(["memory"])
+        out = capsys.readouterr().out
+        assert "gpt3-2.7b" in out
+        assert "74%" in out  # the headline saving
+
+    def test_memory_sparsity_flag(self, capsys):
+        main(["memory", "--sparsity", "0.8"])
+        out = capsys.readouterr().out
+        assert "p=0.8" in out
+
+    def test_fig6_single_model_flag(self, capsys):
+        main(["fig6", "--model", "gpt3-xl"])
+        out = capsys.readouterr().out
+        assert "gpt3-xl" in out and "gpt3-2.7b" not in out
+
+    def test_unknown_command_exits(self):
+        with pytest.raises(SystemExit):
+            main(["nonsense"])

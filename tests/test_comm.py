@@ -1,0 +1,192 @@
+"""Thread-rank communicator: MPI semantics, determinism, grid layout."""
+
+import numpy as np
+import pytest
+
+from repro.comm import CommError, Communicator, GridLayout, World, run_parallel
+
+
+class TestCollectives:
+    def test_allreduce_sum(self):
+        def worker(comm):
+            return comm.allreduce(np.full(4, float(comm.rank + 1)))
+
+        for res in run_parallel(4, worker):
+            assert np.allclose(res, 10.0)
+
+    def test_allreduce_deterministic_across_runs(self):
+        """Invariant 5: rank-ordered reduction is bitwise reproducible."""
+        def worker(comm):
+            rng = np.random.default_rng(comm.rank)
+            return comm.allreduce(rng.standard_normal(1000).astype(np.float32))
+
+        r1 = run_parallel(4, worker)
+        r2 = run_parallel(4, worker)
+        assert all(np.array_equal(a, b) for a, b in zip(r1, r2))
+
+    def test_allreduce_ops(self):
+        def worker(comm):
+            v = np.array([float(comm.rank)])
+            return (
+                comm.allreduce(v, op="max")[0],
+                comm.allreduce(v, op="min")[0],
+                comm.allreduce(v, op="mean")[0],
+            )
+
+        for mx, mn, mean in run_parallel(3, worker):
+            assert (mx, mn, mean) == (2.0, 0.0, 1.0)
+
+    def test_allreduce_shape_mismatch_raises(self):
+        def worker(comm):
+            return comm.allreduce(np.zeros(comm.rank + 1))
+
+        with pytest.raises(CommError):
+            run_parallel(2, worker)
+
+    def test_bcast(self):
+        def worker(comm):
+            data = np.arange(5, dtype=np.float64) if comm.rank == 1 else None
+            return comm.bcast(data, root=1)
+
+        for res in run_parallel(3, worker):
+            assert np.array_equal(res, np.arange(5))
+
+    def test_gather_root_only(self):
+        def worker(comm):
+            return comm.gather(np.array([comm.rank]), root=0)
+
+        res = run_parallel(3, worker)
+        assert res[1] is None and res[2] is None
+        assert [int(a[0]) for a in res[0]] == [0, 1, 2]
+
+    def test_allgather(self):
+        def worker(comm):
+            return comm.allgather(np.array([comm.rank * 10]))
+
+        for res in run_parallel(3, worker):
+            assert [int(a[0]) for a in res] == [0, 10, 20]
+
+    def test_sequenced_collectives_dont_collide(self):
+        def worker(comm):
+            a = comm.allreduce(np.array([1.0]))
+            b = comm.allreduce(np.array([2.0]))
+            return (a[0], b[0])
+
+        for a, b in run_parallel(4, worker):
+            assert (a, b) == (4.0, 8.0)
+
+
+class TestPointToPoint:
+    def test_ring_exchange(self):
+        def worker(comm):
+            dst = (comm.rank + 1) % comm.size
+            src = (comm.rank - 1) % comm.size
+            got = comm.sendrecv(dst, src, np.array([comm.rank]))
+            return int(got[0])
+
+        assert run_parallel(4, worker) == [3, 0, 1, 2]
+
+    def test_fifo_per_channel(self):
+        def worker(comm):
+            if comm.rank == 0:
+                comm.send(1, np.array([1.0]))
+                comm.send(1, np.array([2.0]))
+                return None
+            return (comm.recv(0)[0], comm.recv(0)[0])
+
+        assert run_parallel(2, worker)[1] == (1.0, 2.0)
+
+    def test_tags_separate_channels(self):
+        def worker(comm):
+            if comm.rank == 0:
+                comm.send(1, np.array([10.0]), tag=7)
+                comm.send(1, np.array([20.0]), tag=3)
+                return None
+            # receive in reverse send order via tags
+            return (comm.recv(0, tag=3)[0], comm.recv(0, tag=7)[0])
+
+        assert run_parallel(2, worker)[1] == (20.0, 10.0)
+
+    def test_send_buffer_semantics(self):
+        """Mutating the source after send must not change the message."""
+        def worker(comm):
+            if comm.rank == 0:
+                buf = np.array([5.0])
+                comm.send(1, buf)
+                buf[0] = -1.0
+                return None
+            return comm.recv(0)[0]
+
+        assert run_parallel(2, worker)[1] == 5.0
+
+    def test_self_send_rejected(self):
+        def worker(comm):
+            if comm.rank == 0:
+                comm.send(0, np.array([1.0]))
+            return None
+
+        with pytest.raises(CommError):
+            run_parallel(2, worker)
+
+    def test_recv_timeout(self):
+        def worker(comm):
+            if comm.rank == 1:
+                comm.recv(0, timeout=0.1)
+            return None
+
+        with pytest.raises(CommError):
+            run_parallel(2, worker)
+
+    def test_rank_failure_propagates(self):
+        def worker(comm):
+            if comm.rank == 1:
+                raise RuntimeError("boom")
+            comm.barrier()
+
+        with pytest.raises(CommError, match="rank 1"):
+            run_parallel(2, worker)
+
+
+class TestWorldValidation:
+    def test_bad_world_size(self):
+        with pytest.raises(ValueError):
+            World(0)
+
+    def test_bad_rank(self):
+        with pytest.raises(CommError):
+            Communicator(World(2), 5)
+
+
+class TestGridLayout:
+    def test_decomposition(self):
+        grid = GridLayout(8, g_inter=4)
+        assert grid.g_data == 2
+        assert grid.stage_of(5) == 1 and grid.replica_of(5) == 1
+        assert grid.rank_at(1, 1) == 5
+
+    def test_pipeline_and_data_groups_partition_world(self):
+        grid = GridLayout(12, g_inter=3)
+        pgs = {tuple(grid.pipeline_group(r)) for r in range(12)}
+        dgs = {tuple(grid.data_group(r)) for r in range(12)}
+        assert len(pgs) == 4 and len(dgs) == 3
+        covered = sorted(r for g in pgs for r in g)
+        assert covered == list(range(12))
+
+    def test_groups_intersect_in_exactly_one_rank(self):
+        grid = GridLayout(12, g_inter=3)
+        for r in range(12):
+            inter = set(grid.pipeline_group(r)) & set(grid.data_group(r))
+            assert inter == {r}
+
+    def test_neighbours(self):
+        grid = GridLayout(6, g_inter=3)
+        assert grid.prev_stage(0) is None and grid.next_stage(0) == 1
+        assert grid.next_stage(2) is None and grid.prev_stage(2) == 1
+
+    def test_divisibility_enforced(self):
+        with pytest.raises(ValueError):
+            GridLayout(10, g_inter=3)
+
+    def test_rank_bounds(self):
+        with pytest.raises(IndexError):
+            GridLayout(4, 2).stage_of(4)

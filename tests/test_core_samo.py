@@ -1,0 +1,297 @@
+"""SAMO core: indexing, compression, memory model, training state.
+
+Pins down invariants 1-3 of DESIGN.md.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core import (
+    BREAK_EVEN_SPARSITY,
+    SAMOConfig,
+    SAMOOptimizer,
+    SAMOTrainingState,
+    compress,
+    dense_model_state_bytes,
+    expand,
+    expand_into,
+    flatten_indices,
+    index_bytes,
+    memory_savings_bytes,
+    memory_savings_percent,
+    samo_breakdown,
+    samo_model_state_bytes,
+    unflatten_indices,
+    validate_flat_indices,
+)
+from repro.models import GPT, GPT_CONFIGS
+from repro.pruning import magnitude_prune, random_prune
+from repro.tensor import Linear, Sequential, Tensor
+
+
+class TestIndexing:
+    def test_paper_example(self):
+        """2x2 tensor, non-zeros at (0,0),(1,1) -> flat [0, 3] (Sec III-B)."""
+        flat = flatten_indices(np.array([[0, 0], [1, 1]]), (2, 2))
+        assert np.array_equal(flat, [0, 3])
+
+    def test_roundtrip(self, rng):
+        shape = (3, 4, 5)
+        coords = np.stack([rng.integers(0, s, 10) for s in shape], axis=1)
+        coords = np.unique(coords, axis=0)
+        flat = flatten_indices(coords, shape)
+        back = unflatten_indices(flat, shape)
+        assert np.array_equal(np.sort(back.view("i8,i8,i8"), axis=0).view(back.dtype),
+                              np.sort(coords.view("i8,i8,i8"), axis=0).view(coords.dtype))
+
+    def test_arity_mismatch(self):
+        with pytest.raises(ValueError):
+            flatten_indices(np.array([[0, 0]]), (2, 2, 2))
+
+    def test_validation_catches_unsorted_dup_range(self):
+        with pytest.raises(ValueError):
+            validate_flat_indices(np.array([3, 1], dtype=np.int32), 10)
+        with pytest.raises(ValueError):
+            validate_flat_indices(np.array([1, 1], dtype=np.int32), 10)
+        with pytest.raises(ValueError):
+            validate_flat_indices(np.array([1, 100], dtype=np.int32), 10)
+
+    def test_index_bytes(self):
+        assert index_bytes(1000) == 4000  # int32
+
+
+class TestCompression:
+    def test_roundtrip_equals_masked(self, rng):
+        x = rng.normal(size=(6, 7)).astype(np.float32)
+        ind = np.sort(rng.choice(42, 20, replace=False)).astype(np.int32)
+        vals = compress(x, ind)
+        dense = expand(vals, ind, x.shape)
+        keep = np.zeros(42, bool)
+        keep[ind] = True
+        assert np.array_equal(dense.reshape(-1)[keep], x.reshape(-1)[keep])
+        assert np.all(dense.reshape(-1)[~keep] == 0)
+
+    def test_fused_dtype_cast(self, rng):
+        x = rng.normal(size=(4, 4)).astype(np.float32)
+        ind = np.arange(8, dtype=np.int32)
+        vals = compress(x, ind, out_dtype=np.float16)
+        assert vals.dtype == np.float16
+
+    def test_expand_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            expand(np.zeros(3, np.float32), np.array([0, 1], np.int32), (2, 2))
+
+    def test_expand_into_reuses_buffer(self, rng):
+        out = np.full((4, 4), 7.0, np.float32)
+        expand_into(np.ones(2, np.float32), np.array([0, 5], np.int32), out)
+        assert out[0, 0] == 1.0 and out[1, 1] == 1.0 and out.sum() == 2.0
+
+    @settings(max_examples=50, deadline=None)
+    @given(
+        n=st.integers(1, 200),
+        frac=st.floats(0.0, 1.0),
+        seed=st.integers(0, 1000),
+    )
+    def test_property_roundtrip(self, n, frac, seed):
+        """Invariant 1: expand(compress(x)) == x * mask for any pattern."""
+        rng = np.random.default_rng(seed)
+        x = rng.normal(size=n).astype(np.float32)
+        k = int(round(frac * n))
+        ind = np.sort(rng.choice(n, k, replace=False)).astype(np.int32)
+        dense = expand(compress(x, ind), ind, (n,))
+        mask = np.zeros(n, np.float32)
+        mask[ind] = 1.0
+        assert np.array_equal(dense, x * mask)
+
+
+class TestMemoryModel:
+    def test_dense_is_20_phi_for_adam(self):
+        assert dense_model_state_bytes(10**9) == 20 * 10**9
+
+    def test_samo_formula_eq2(self):
+        phi = 10**9
+        for p in (0.0, 0.3, 0.8, 0.9):
+            f = 1 - p
+            expected = round(24 * f * phi) + 2 * phi
+            assert samo_model_state_bytes(phi, p) == pytest.approx(expected, abs=30)
+
+    def test_break_even_at_quarter(self):
+        assert memory_savings_percent(BREAK_EVEN_SPARSITY) == pytest.approx(0.0, abs=0.01)
+        assert memory_savings_percent(0.24) < 0
+        assert memory_savings_percent(0.26) > 0
+
+    def test_figure2_landmarks(self):
+        """66-78% savings in the 0.8-0.9 regime; -30% at p=0 (Fig. 2)."""
+        assert memory_savings_percent(0.8) == pytest.approx(66.0, abs=0.5)
+        assert memory_savings_percent(0.9) == pytest.approx(78.0, abs=0.5)
+        assert memory_savings_percent(0.0) == pytest.approx(-30.0, abs=0.5)
+
+    def test_savings_monotone_in_sparsity(self):
+        vals = [memory_savings_percent(p / 20) for p in range(21)]
+        assert all(a < b for a, b in zip(vals, vals[1:]))
+
+    def test_breakdown_sums(self):
+        b = samo_breakdown(1000, 0.9)
+        assert b.total == sum(b.as_dict()[k] for k in
+                              ("theta16", "grad16", "theta32", "grad32",
+                               "optimizer_states", "index", "downcast_temp"))
+
+    def test_theta16_always_dense(self):
+        b = samo_breakdown(1000, 0.99)
+        assert b.theta16 == 2000  # never compressed
+
+    def test_sgd_state_variant(self):
+        # SGD+momentum: 4 bytes state/param -> dense 16 phi
+        assert dense_model_state_bytes(100, optimizer_state_bytes_per_param=4) == 1600
+
+    def test_invalid_sparsity(self):
+        with pytest.raises(ValueError):
+            samo_breakdown(100, 1.5)
+
+
+def tiny_net(seed=0):
+    rng = np.random.default_rng(seed)
+    return Sequential(Linear(12, 24, rng=rng), Linear(24, 6, rng=rng))
+
+
+class TestSAMOTrainingState:
+    def make(self, sparsity=0.8, optimizer="adam"):
+        net = tiny_net()
+        mask = magnitude_prune(net, sparsity)
+        state = SAMOTrainingState(net, mask, SAMOConfig(optimizer=optimizer, lr=0.01))
+        return net, mask, state
+
+    def test_construction_applies_mask_and_quantises(self):
+        net, mask, state = self.make()
+        state.consistency_check()
+
+    def test_warns_below_break_even(self):
+        net = tiny_net()
+        mask = magnitude_prune(net, 0.1)
+        with pytest.warns(UserWarning):
+            SAMOTrainingState(net, mask)
+
+    def test_full_step_cycle(self, rng):
+        net, mask, state = self.make()
+        x = Tensor(rng.normal(size=(4, 12)).astype(np.float32))
+        net(x).sum().backward()
+        state.compress_gradients()
+        assert all(e.param.grad is None for e in state.compressed)  # freed
+        assert state.step()
+        state.consistency_check()
+
+    def test_pruned_positions_stay_zero_over_training(self, rng):
+        net, mask, state = self.make(optimizer="adamw")
+        for _ in range(5):
+            x = Tensor(rng.normal(size=(4, 12)).astype(np.float32))
+            net(x).sum().backward()
+            state.compress_gradients()
+            state.step()
+        for e in state.compressed:
+            keep = np.zeros(int(np.prod(e.shape)), bool)
+            keep[e.ind] = True
+            assert np.all(e.param.data.reshape(-1)[~keep] == 0.0)
+
+    def test_gradient_accumulation_across_microbatches(self, rng):
+        net, mask, state = self.make()
+        x = Tensor(rng.normal(size=(4, 12)).astype(np.float32))
+        net(x).sum().backward()
+        state.compress_gradients()
+        g1 = state.compressed[0].grad16_c.astype(np.float32).copy()
+        net(x).sum().backward()
+        state.compress_gradients()
+        g2 = state.compressed[0].grad16_c.astype(np.float32)
+        assert np.allclose(g2, 2 * g1, rtol=1e-2)
+
+    def test_overflow_skips_step(self, rng):
+        net, mask, state = self.make()
+        x = Tensor(rng.normal(size=(4, 12)).astype(np.float32))
+        net(x).sum().backward()
+        state.compress_gradients()
+        state.compressed[0].grad16_c[0] = np.float16(np.inf)
+        before = state.compressed[0].theta32_c.copy()
+        assert not state.step()
+        assert np.array_equal(state.compressed[0].theta32_c, before)
+        assert state.step_count == 0
+
+    def test_loss_scale_unscaling(self, rng):
+        """Training with scale S and unscale == training without scale."""
+        nets = []
+        for scale in (1.0, 1024.0):
+            net = tiny_net()
+            mask = magnitude_prune(net, 0.8)
+            state = SAMOTrainingState(net, mask, SAMOConfig(optimizer="adam", lr=0.01))
+            x = Tensor(np.linspace(-1, 1, 48).reshape(4, 12).astype(np.float32))
+            out = net(x).sum()
+            out.backward(np.full_like(out.data, scale))
+            state.compress_gradients()
+            state.step(loss_scale=scale)
+            nets.append(net)
+        for p1, p2 in zip(nets[0].parameters(), nets[1].parameters()):
+            assert np.allclose(p1.data, p2.data, atol=1e-3)
+
+    def test_measured_bytes_match_analytics_exactly(self):
+        """Invariant 3: byte accounting equals Eq. 2 on prunable params."""
+        net, mask, state = self.make(sparsity=0.75)
+        measured = state.measured_bytes()
+        phi_p = sum(int(np.prod(e.shape)) for e in state.compressed)
+        nnz = sum(e.nnz for e in state.compressed)
+        assert measured["index"] == 4 * nnz
+        b = samo_breakdown(phi_p, 1 - nnz / phi_p)
+        # components over prunable tensors only (dense entries add on top)
+        assert measured["theta32"] - sum(d.theta32.nbytes for d in state.dense) == b.theta32
+
+    def test_sgd_state_slots(self):
+        net, mask, state = self.make(optimizer="sgd")
+        assert all(len(e.opt_state_c) == 1 for e in state.compressed)
+
+    def test_config_validation(self):
+        with pytest.raises(ValueError):
+            SAMOConfig(optimizer="rmsprop")
+        with pytest.raises(ValueError):
+            SAMOConfig(lr=0.0)
+        with pytest.raises(ValueError):
+            SAMOConfig(compress_nonprunable=True)
+
+
+class TestSAMOOptimizerFacade:
+    def test_sparse_allreduce_views_and_bytes(self, rng):
+        net = tiny_net()
+        mask = random_prune(net, 0.9, rng)
+        opt = SAMOOptimizer(net, mask)
+        x = Tensor(rng.normal(size=(2, 12)).astype(np.float32))
+        net(x).sum().backward()
+        opt.compress_gradients()
+        views = opt.compressed_gradient_views()
+        assert len(views) > 0
+        nnz = mask.total_kept()
+        dense_bias_elems = sum(
+            p.size for n, p in net.named_parameters() if n not in mask
+        )
+        assert opt.gradient_message_bytes() == 2 * (nnz + dense_bias_elems)
+
+    def test_average_gradients(self, rng):
+        net = tiny_net()
+        mask = random_prune(net, 0.5, rng)
+        opt = SAMOOptimizer(net, mask)
+        x = Tensor(rng.normal(size=(2, 12)).astype(np.float32))
+        net(x).sum().backward()
+        opt.compress_gradients()
+        before = {n: g.astype(np.float32).copy() for n, g in opt.compressed_gradient_views()}
+        opt.average_gradients(4)
+        for n, g in opt.compressed_gradient_views():
+            assert np.allclose(g.astype(np.float32), before[n] / 4, rtol=1e-2)
+
+    def test_gpt_memory_reduction_band(self):
+        """Measured SAMO bytes on a tiny GPT land in the 70-80% band of
+        the dense 20-phi baseline (the Fig. 2 prediction at p=0.9)."""
+        cfg = GPT_CONFIGS["gpt3-tiny"]
+        model = GPT(cfg, seed=0)
+        phi = model.num_parameters()
+        mask = magnitude_prune(model, 0.9)
+        opt = SAMOOptimizer(model, mask)
+        total = opt.state.measured_bytes()["total"]
+        dense = dense_model_state_bytes(phi)
+        savings = 100 * (dense - total) / dense
+        assert 70.0 < savings < 80.0

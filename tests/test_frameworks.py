@@ -1,0 +1,241 @@
+"""Framework simulators: qualitative shape of Figs. 5-8 and Table II."""
+
+import pytest
+
+from repro.cluster import SUMMIT
+from repro.models import (
+    TABLE_I,
+    get_spec,
+    gpu_counts,
+    narayanan_transformer_flops,
+    percent_of_peak,
+)
+from repro.parallel import (
+    BatchBreakdown,
+    FRAMEWORKS,
+    microbatches_per_gpu,
+    simulate_batch,
+    simulate_deepspeed_batch,
+    simulate_samo_batch,
+    simulate_sputnik_batch,
+    strong_scaling,
+    transmission_time,
+)
+
+GPT_MODELS = ("gpt3-xl", "gpt3-2.7b", "gpt3-6.7b", "gpt3-13b")
+
+
+class TestEquations:
+    def test_transmission_eq9(self):
+        # 4 * B/(mbs*G_data) * t_msg
+        assert transmission_time(512, 64, 1, 0.01) == pytest.approx(4 * 8 * 0.01)
+
+    def test_transmission_zero_for_single_stage(self):
+        assert transmission_time(512, 512, 1, 0.01, g_inter=1) == 0.0
+
+    def test_transmission_monotone_in_g_inter(self):
+        """Eq. 11: fixing G, t_send grows with G_inter."""
+        G, B = 256, 512
+        times = [
+            transmission_time(B, G // gi, 1, 0.01, g_inter=gi) for gi in (2, 4, 8)
+        ]
+        assert times == sorted(times) and times[0] < times[-1]
+
+    def test_microbatch_divisibility_enforced(self):
+        with pytest.raises(ValueError):
+            microbatches_per_gpu(512, 100, 1)
+
+
+class TestFrameworkOrdering:
+    @pytest.mark.parametrize("name", GPT_MODELS)
+    def test_samo_fastest_sputnik_slowest(self, name):
+        """The consistent Fig. 6/7 ordering at every profiled GPU count."""
+        spec = get_spec(name)
+        for g in gpu_counts(TABLE_I[name]):
+            r = {fw: simulate_batch(spec, g, fw) for fw in FRAMEWORKS}
+            assert r["axonn+samo"].total < r["axonn"].total, (name, g)
+            assert r["axonn+samo"].total < r["deepspeed-3d"].total, (name, g)
+            assert r["sputnik"].total > r["axonn"].total, (name, g)
+
+    @pytest.mark.parametrize("name", GPT_MODELS)
+    def test_speedup_grows_with_scale(self, name):
+        """Paper: largest speedups at the largest GPU counts. GPT-3 13B is
+        nearly flat in the paper too (19/19/22/26), so it only gets a
+        no-collapse check."""
+        spec = get_spec(name)
+        counts = gpu_counts(TABLE_I[name])
+        speeds = []
+        for g in counts:
+            a = simulate_batch(spec, g, "axonn")
+            s = simulate_batch(spec, g, "axonn+samo")
+            speeds.append(s.speedup_over(a))
+        if name == "gpt3-13b":
+            assert speeds[-1] > speeds[0] - 2.0
+        else:
+            assert speeds[-1] > speeds[0]
+
+    def test_speedup_bands_match_paper(self):
+        """Simulated speedups stay within a loose band of the annotations."""
+        paper = {
+            "gpt3-xl": (10, 47), "gpt3-2.7b": (10, 34),
+            "gpt3-6.7b": (11, 23), "gpt3-13b": (19, 26),
+        }
+        for name, (lo, hi) in paper.items():
+            spec = get_spec(name)
+            for g in gpu_counts(TABLE_I[name]):
+                s = simulate_batch(spec, g, "axonn+samo").speedup_over(
+                    simulate_batch(spec, g, "axonn")
+                )
+                assert lo - 8 <= s <= hi + 10, (name, g, s)
+
+    def test_sputnik_roughly_2x_samo(self):
+        """'AxoNN+SAMO ends up being nearly twice as fast as Sputnik'."""
+        for name in GPT_MODELS:
+            spec = get_spec(name)
+            g = gpu_counts(TABLE_I[name])[1]
+            ratio = simulate_batch(spec, g, "sputnik").total / simulate_batch(
+                spec, g, "axonn+samo"
+            ).total
+            assert 1.4 < ratio < 2.6, (name, ratio)
+
+    def test_strong_scaling_times_decrease(self):
+        spec = get_spec("gpt3-2.7b")
+        out = strong_scaling(spec, gpu_counts(TABLE_I["gpt3-2.7b"]))
+        for fw, series in out.items():
+            totals = [b.total for b in series]
+            assert totals == sorted(totals, reverse=True), fw
+
+
+class TestCNNBehaviour:
+    def test_pure_data_parallel(self):
+        for name in ("vgg19", "wideresnet-101"):
+            b = simulate_batch(get_spec(name), 32, "axonn")
+            assert b.config.g_inter == 1 and b.p2p == 0.0 and b.bubble == 0.0
+
+    def test_deepspeed_equals_axonn_for_cnns(self):
+        """Paper Fig. 5: both use the same NCCL data parallelism."""
+        for name in ("vgg19", "wideresnet-101"):
+            spec = get_spec(name)
+            a = simulate_batch(spec, 64, "axonn")
+            d = simulate_batch(spec, 64, "deepspeed-3d")
+            assert a.total == pytest.approx(d.total, rel=1e-6)
+
+    def test_sputnik_rejects_convolutions(self):
+        with pytest.raises(ValueError):
+            simulate_batch(get_spec("vgg19"), 16, "sputnik")
+
+    def test_vgg_benefits_more_than_wrn(self):
+        """Paper: VGG speedups (18-44%) > WRN (7-15%), because WRN spends
+        proportionally more time in compute."""
+        for g in (64, 128):
+            sv = simulate_batch(get_spec("vgg19"), g, "axonn+samo").speedup_over(
+                simulate_batch(get_spec("vgg19"), g, "axonn"))
+            sw = simulate_batch(get_spec("wideresnet-101"), g, "axonn+samo").speedup_over(
+                simulate_batch(get_spec("wideresnet-101"), g, "axonn"))
+            assert sv > sw
+
+    def test_cnn_speedup_bands(self):
+        vgg = [simulate_batch(get_spec("vgg19"), g, "axonn+samo").speedup_over(
+            simulate_batch(get_spec("vgg19"), g, "axonn")) for g in (16, 32, 64, 128)]
+        wrn = [simulate_batch(get_spec("wideresnet-101"), g, "axonn+samo").speedup_over(
+            simulate_batch(get_spec("wideresnet-101"), g, "axonn")) for g in (16, 32, 64, 128)]
+        assert 5 <= min(vgg) and max(vgg) <= 55
+        assert 3 <= min(wrn) and max(wrn) <= 20
+
+    def test_batch_divisibility_enforced(self):
+        with pytest.raises(ValueError):
+            simulate_batch(get_spec("vgg19"), 48, "axonn")  # 128 % 48 != 0
+
+
+class TestBreakdown:
+    def test_fig8_phase_shift(self):
+        """p2p savings dominate at 128 GPUs; bubble+collective by 512."""
+        spec = get_spec("gpt3-2.7b")
+        saves = {}
+        for g in (128, 512):
+            a = simulate_batch(spec, g, "axonn")
+            s = simulate_batch(spec, g, "axonn+samo")
+            saves[g] = {
+                "p2p": (a.p2p - s.p2p) / a.total,
+                "rest": (a.bubble - s.bubble + a.collective - s.collective) / a.total,
+            }
+        assert saves[128]["p2p"] > saves[128]["rest"]
+        assert saves[512]["rest"] > saves[512]["p2p"]
+
+    def test_total_is_sum_of_phases(self):
+        b = simulate_batch(get_spec("gpt3-xl"), 128, "axonn")
+        assert b.total == pytest.approx(b.compute + b.p2p + b.bubble + b.collective + b.other)
+
+    def test_communication_property(self):
+        b = simulate_batch(get_spec("gpt3-xl"), 128, "axonn")
+        assert b.communication == pytest.approx(b.p2p + b.bubble + b.collective)
+
+    def test_samo_total_comm_reduction_band(self):
+        """Paper: total communication reduction is ~33-40% of AxoNN's
+        batch time for 2.7B at 128-512 GPUs."""
+        spec = get_spec("gpt3-2.7b")
+        for g in (128, 256, 512):
+            a = simulate_batch(spec, g, "axonn")
+            s = simulate_batch(spec, g, "axonn+samo")
+            red = (a.communication - s.communication) / a.total
+            assert 0.15 < red < 0.45, (g, red)
+
+    def test_compress_overhead_band(self):
+        """SAMO overhead is ~5-13% of AxoNN's batch time (paper: 8-12%)."""
+        spec = get_spec("gpt3-2.7b")
+        for g in (128, 256, 512):
+            a = simulate_batch(spec, g, "axonn")
+            s = simulate_batch(spec, g, "axonn+samo")
+            frac = s.notes["overhead"] / a.total
+            assert 0.04 < frac < 0.14, (g, frac)
+
+    def test_as_row_keys(self):
+        row = simulate_batch(get_spec("gpt3-xl"), 64, "axonn").as_row()
+        assert {"framework", "gpus", "total_s", "G_inter"} <= set(row)
+
+    def test_unknown_framework(self):
+        with pytest.raises(KeyError):
+            simulate_batch(get_spec("gpt3-xl"), 64, "megatron")
+
+    def test_wrapper_modules_agree_with_engine(self):
+        spec = get_spec("gpt3-xl")
+        assert simulate_samo_batch(spec, 128).total == simulate_batch(spec, 128, "axonn+samo").total
+        assert simulate_deepspeed_batch(spec, 128).total == simulate_batch(spec, 128, "deepspeed-3d").total
+        assert simulate_sputnik_batch(spec, 128).total == simulate_batch(spec, 128, "sputnik").total
+
+
+class TestTableII:
+    def test_throughput_ordering_and_band(self):
+        """Table II: SAMO > AxoNN ~ DeepSpeed > Sputnik; AxoNN ~20-45%,
+        SAMO ~30-55%, declining with scale."""
+        spec = get_spec("gpt3-13b")
+        flops = narayanan_transformer_flops(2048, 2048, 40, 5120, 50257)
+        prev_samo = 100.0
+        for g in (256, 512, 1024, 2048):
+            pct = {
+                fw: percent_of_peak(flops, simulate_batch(spec, g, fw).total, g)
+                for fw in FRAMEWORKS
+            }
+            assert pct["axonn+samo"] > pct["axonn"]
+            assert pct["axonn+samo"] > pct["deepspeed-3d"]
+            assert pct["sputnik"] < pct["axonn"]
+            assert pct["axonn+samo"] < prev_samo  # utilisation declines
+            prev_samo = pct["axonn+samo"]
+            assert 10 < pct["axonn"] < 50
+            assert 15 < pct["axonn+samo"] < 60
+
+    def test_memory_claim_reproduction(self):
+        """Sec I: 2.7B total memory ~80 GB dense -> ~20 GB with SAMO (-74%).
+
+        Total = model state + per-GPU framework overhead x G_inter."""
+        from repro.parallel import StorageMode, choose_g_inter, model_state_bytes
+
+        spec = get_spec("gpt3-2.7b")
+        gi_dense = choose_g_inter(spec, 128, StorageMode.DENSE)
+        gi_samo = choose_g_inter(spec, 128, StorageMode.SAMO, 0.9)
+        dense_total = model_state_bytes(spec, StorageMode.DENSE) + SUMMIT.framework_overhead_bytes * gi_dense
+        samo_total = model_state_bytes(spec, StorageMode.SAMO, 0.9) + SUMMIT.framework_overhead_bytes * gi_samo
+        reduction = 100 * (dense_total - samo_total) / dense_total
+        assert 70 < reduction < 80  # paper: 74%
+        assert dense_total / 1e9 == pytest.approx(80.16, rel=0.2)
+        assert samo_total / 1e9 == pytest.approx(20.28, rel=0.25)

@@ -1,0 +1,244 @@
+"""Gradient and semantics checks of the neural-network functional ops."""
+
+import numpy as np
+import pytest
+
+from repro.tensor import Tensor, functional as F
+
+
+class TestActivations:
+    @pytest.mark.parametrize("fn,npfn", [
+        (F.relu, lambda v: np.maximum(v, 0)),
+        (F.sigmoid, lambda v: 1 / (1 + np.exp(-v))),
+    ])
+    def test_forward(self, fn, npfn, rng):
+        x = rng.normal(size=(4, 5))
+        assert np.allclose(fn(Tensor(x)).data, npfn(x), atol=1e-6)
+
+    @pytest.mark.parametrize("fn", [F.relu, F.gelu, F.sigmoid])
+    def test_gradcheck(self, fn, gradcheck, rng):
+        x = rng.normal(size=(3, 4)) + 0.1  # avoid relu kink
+        t = Tensor(x, requires_grad=True)
+        fn(t).sum().backward()
+        num = gradcheck(lambda v: fn(Tensor(v)).data.sum(), x)
+        assert np.allclose(t.grad, num, atol=1e-4)
+
+    def test_softmax_rows_sum_to_one(self, rng):
+        out = F.softmax(Tensor(rng.normal(size=(6, 9))))
+        assert np.allclose(out.data.sum(axis=-1), 1.0, atol=1e-6)
+
+    def test_softmax_grad(self, gradcheck, rng):
+        x = rng.normal(size=(2, 5))
+        t = Tensor(x, requires_grad=True)
+        (F.softmax(t) * Tensor(np.arange(5, dtype=np.float64))).sum().backward()
+        num = gradcheck(
+            lambda v: (F.softmax(Tensor(v)).data * np.arange(5)).sum(), x
+        )
+        assert np.allclose(t.grad, num, atol=1e-5)
+
+    def test_log_softmax_matches_log_of_softmax(self, rng):
+        x = Tensor(rng.normal(size=(3, 7)))
+        assert np.allclose(F.log_softmax(x).data, np.log(F.softmax(x).data), atol=1e-6)
+
+    def test_softmax_numerically_stable(self):
+        out = F.softmax(Tensor(np.array([[1000.0, 1000.0, -1000.0]])))
+        assert np.all(np.isfinite(out.data))
+
+
+class TestLosses:
+    def test_cross_entropy_matches_manual(self, rng):
+        logits = rng.normal(size=(8, 5))
+        targets = rng.integers(0, 5, size=8)
+        loss = F.cross_entropy(Tensor(logits), targets)
+        sm = np.exp(logits - logits.max(1, keepdims=True))
+        sm /= sm.sum(1, keepdims=True)
+        manual = -np.log(sm[np.arange(8), targets]).mean()
+        assert np.isclose(loss.item(), manual, atol=1e-5)
+
+    def test_cross_entropy_grad(self, gradcheck, rng):
+        logits = rng.normal(size=(4, 3))
+        targets = np.array([0, 2, 1, 1])
+        t = Tensor(logits, requires_grad=True)
+        F.cross_entropy(t, targets).backward()
+        num = gradcheck(lambda v: F.cross_entropy(Tensor(v), targets).data, logits)
+        assert np.allclose(t.grad, num, atol=1e-5)
+
+    def test_cross_entropy_3d_input(self, rng):
+        logits = rng.normal(size=(2, 6, 5))
+        targets = rng.integers(0, 5, size=(2, 6))
+        loss = F.cross_entropy(Tensor(logits), targets)
+        assert np.isfinite(loss.item())
+
+    def test_cross_entropy_ignore_index(self, rng):
+        logits = rng.normal(size=(4, 3))
+        targets = np.array([0, -1, 1, -1])
+        t = Tensor(logits, requires_grad=True)
+        F.cross_entropy(t, targets, ignore_index=-1).backward()
+        assert np.allclose(t.grad[1], 0.0) and np.allclose(t.grad[3], 0.0)
+        assert not np.allclose(t.grad[0], 0.0)
+
+    def test_mse(self, rng):
+        a = Tensor(rng.normal(size=(5,)), requires_grad=True)
+        b = rng.normal(size=(5,))
+        F.mse_loss(a, b).backward()
+        assert np.allclose(a.grad, 2 * (a.data - b) / 5, atol=1e-6)
+
+
+class TestNormalisation:
+    def test_layer_norm_stats(self, rng):
+        from repro.tensor import LayerNorm
+
+        ln = LayerNorm(16)
+        out = ln(Tensor(rng.normal(size=(4, 16)) * 3 + 5))
+        assert np.allclose(out.data.mean(axis=-1), 0.0, atol=1e-5)
+        assert np.allclose(out.data.std(axis=-1), 1.0, atol=1e-2)
+
+    def test_layer_norm_gradcheck(self, gradcheck, rng):
+        from repro.tensor import LayerNorm
+
+        ln = LayerNorm(8)
+        x = rng.normal(size=(3, 8))
+        t = Tensor(x, requires_grad=True)
+        ln(t).sum().backward()
+        num = gradcheck(lambda v: ln(Tensor(v)).data.sum(), x)
+        assert np.allclose(t.grad, num, atol=1e-5)
+
+    def test_batch_norm_training_stats(self, rng):
+        from repro.tensor import BatchNorm2d
+
+        bn = BatchNorm2d(3)
+        x = Tensor(rng.normal(size=(8, 3, 4, 4)) * 2 + 1)
+        out = bn(x)
+        assert np.allclose(out.data.mean(axis=(0, 2, 3)), 0.0, atol=1e-5)
+        assert not np.allclose(bn.running_mean, 0.0)  # updated in place
+
+    def test_batch_norm_eval_uses_running_stats(self, rng):
+        from repro.tensor import BatchNorm2d
+
+        bn = BatchNorm2d(3)
+        x = Tensor(rng.normal(size=(8, 3, 4, 4)))
+        for _ in range(10):
+            bn(x)
+        bn.eval()
+        out_eval = bn(x)
+        bn.train()
+        out_train = bn(x)
+        assert not np.allclose(out_eval.data, out_train.data)
+
+    def test_batch_norm_requires_4d(self, rng):
+        from repro.tensor import BatchNorm2d
+
+        with pytest.raises(ValueError):
+            BatchNorm2d(3)(Tensor(rng.normal(size=(8, 3))))
+
+
+class TestConvPool:
+    def test_conv_matches_naive(self, rng):
+        x = rng.normal(size=(2, 3, 6, 6))
+        w = rng.normal(size=(4, 3, 3, 3))
+        out = F.conv2d(Tensor(x), Tensor(w), stride=1, padding=1).data
+        # naive reference
+        xp = np.pad(x, ((0, 0), (0, 0), (1, 1), (1, 1)))
+        ref = np.zeros((2, 4, 6, 6))
+        for n in range(2):
+            for o in range(4):
+                for i in range(6):
+                    for j in range(6):
+                        ref[n, o, i, j] = (xp[n, :, i : i + 3, j : j + 3] * w[o]).sum()
+        assert np.allclose(out, ref, atol=1e-5)
+
+    def test_conv_weight_gradcheck(self, gradcheck, rng):
+        x = rng.normal(size=(1, 2, 5, 5))
+        w = rng.normal(size=(3, 2, 3, 3))
+        tw = Tensor(w, requires_grad=True)
+        F.conv2d(Tensor(x), tw, stride=2, padding=1).sum().backward()
+        num = gradcheck(
+            lambda v: F.conv2d(Tensor(x), Tensor(v), stride=2, padding=1).data.sum(), w
+        )
+        assert np.allclose(tw.grad, num, atol=1e-4)
+
+    def test_conv_bias_grad(self, rng):
+        x = rng.normal(size=(2, 2, 4, 4))
+        w = rng.normal(size=(3, 2, 3, 3))
+        b = Tensor(np.zeros(3), requires_grad=True)
+        F.conv2d(Tensor(x), Tensor(w), b, padding=1).sum().backward()
+        assert np.allclose(b.grad, 2 * 4 * 4)
+
+    def test_conv_channel_mismatch_raises(self, rng):
+        with pytest.raises(ValueError):
+            F.conv2d(Tensor(rng.normal(size=(1, 3, 4, 4))), Tensor(rng.normal(size=(2, 4, 3, 3))))
+
+    def test_maxpool_values(self):
+        x = np.arange(16, dtype=np.float64).reshape(1, 1, 4, 4)
+        out = F.max_pool2d(Tensor(x), 2).data
+        assert np.allclose(out[0, 0], [[5, 7], [13, 15]])
+
+    def test_maxpool_grad_routes_to_argmax(self):
+        x = np.arange(16, dtype=np.float64).reshape(1, 1, 4, 4)
+        t = Tensor(x, requires_grad=True)
+        F.max_pool2d(t, 2).sum().backward()
+        assert t.grad.sum() == 4 and t.grad[0, 0, 3, 3] == 1
+
+    def test_avgpool(self, gradcheck, rng):
+        x = rng.normal(size=(1, 2, 4, 4))
+        t = Tensor(x, requires_grad=True)
+        F.avg_pool2d(t, 2).sum().backward()
+        assert np.allclose(t.grad, 0.25)
+
+    def test_adaptive_avg_pool(self, rng):
+        x = rng.normal(size=(2, 3, 5, 5))
+        out = F.adaptive_avg_pool2d(Tensor(x))
+        assert out.shape == (2, 3, 1, 1)
+        assert np.allclose(out.data[..., 0, 0], x.mean(axis=(2, 3)), atol=1e-6)
+
+
+class TestShapeUtilities:
+    def test_cat_grad_split(self, rng):
+        a = Tensor(rng.normal(size=(2, 3)), requires_grad=True)
+        b = Tensor(rng.normal(size=(4, 3)), requires_grad=True)
+        F.cat([a, b], axis=0).sum().backward()
+        assert a.grad.shape == (2, 3) and b.grad.shape == (4, 3)
+
+    def test_stack(self, rng):
+        ts = [Tensor(rng.normal(size=(3,)), requires_grad=True) for _ in range(4)]
+        out = F.stack(ts, axis=0)
+        assert out.shape == (4, 3)
+        out.sum().backward()
+        assert all(np.allclose(t.grad, 1.0) for t in ts)
+
+    def test_pad2d_roundtrip_grad(self, rng):
+        t = Tensor(rng.normal(size=(1, 1, 3, 3)), requires_grad=True)
+        F.pad2d(t, 2).sum().backward()
+        assert np.allclose(t.grad, 1.0)
+
+    def test_flatten(self, rng):
+        t = Tensor(rng.normal(size=(2, 3, 4)))
+        assert F.flatten(t).shape == (2, 12)
+
+    def test_embedding_scatter_grad(self, rng):
+        w = Tensor(rng.normal(size=(10, 4)), requires_grad=True)
+        idx = np.array([[1, 1, 3]])
+        F.embedding(w, idx).sum().backward()
+        assert np.allclose(w.grad[1], 2.0) and np.allclose(w.grad[3], 1.0)
+        assert np.allclose(w.grad[0], 0.0)
+
+    def test_masked_fill(self, rng):
+        x = Tensor(rng.normal(size=(3, 3)), requires_grad=True)
+        mask = np.eye(3, dtype=bool)
+        out = F.masked_fill(x, mask, -1e9)
+        assert np.all(out.data[mask] == -1e9)
+        out.sum().backward()
+        assert np.allclose(x.grad, (~mask).astype(float))
+
+    def test_dropout_train_vs_eval(self, rng):
+        x = Tensor(np.ones((100, 100)))
+        out_train = F.dropout(x, 0.5, training=True, rng=rng)
+        out_eval = F.dropout(x, 0.5, training=False)
+        assert np.allclose(out_eval.data, 1.0)
+        kept = out_train.data != 0
+        assert 0.3 < kept.mean() < 0.7
+        assert np.allclose(out_train.data[kept], 2.0)  # inverted scaling
+
+    def test_dropout_p1_raises(self):
+        with pytest.raises(ValueError):
+            F.dropout(Tensor(np.ones(3)), 1.0, training=True)

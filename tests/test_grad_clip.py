@@ -1,0 +1,132 @@
+"""Gradient clipping on stored mixed-precision gradients: norm math,
+loss-scale interaction, and preservation of the dense ≡ SAMO invariant."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core import SAMOConfig, SAMOTrainingState
+from repro.optim import clip_grad_norm, clip_stored_norm, global_grad_norm
+from repro.pruning import magnitude_prune
+from repro.tensor import Linear, Sequential, Tensor
+from repro.train import Trainer
+from repro.train.mixed_precision import DenseMixedPrecisionState
+
+
+class TestClipStoredNorm:
+    def test_under_threshold_untouched(self):
+        a = np.array([0.3, 0.4], dtype=np.float16)  # norm 0.5
+        before = a.copy()
+        norm = clip_stored_norm([a], max_norm=1.0)
+        assert norm == pytest.approx(0.5, rel=1e-3)
+        assert np.array_equal(a, before)
+
+    def test_over_threshold_scaled(self):
+        a = np.array([3.0, 4.0], dtype=np.float16)  # norm 5
+        norm = clip_stored_norm([a], max_norm=1.0)
+        assert norm == pytest.approx(5.0, rel=1e-3)
+        post = np.sqrt(float(np.sum(a.astype(np.float64) ** 2)))
+        assert post == pytest.approx(1.0, rel=1e-2)
+
+    def test_loss_scale_divided_out(self):
+        """A scale-1024 gradient of true norm 5 must clip to scaled norm
+        1024 * max_norm, i.e. the unscaled gradient norm becomes max_norm."""
+        a = (np.array([3.0, 4.0]) * 16.0).astype(np.float16)
+        norm = clip_stored_norm([a], max_norm=1.0, loss_scale=16.0)
+        assert norm == pytest.approx(5.0, rel=1e-3)
+        post_unscaled = np.sqrt(float(np.sum((a.astype(np.float64) / 16.0) ** 2)))
+        assert post_unscaled == pytest.approx(1.0, rel=1e-2)
+
+    def test_none_entries_skipped(self):
+        a = np.array([2.0], dtype=np.float16)
+        norm = clip_stored_norm([None, a, None], max_norm=10.0)
+        assert norm == pytest.approx(2.0, rel=1e-3)
+
+    def test_overflow_left_alone(self):
+        a = np.array([np.inf, 1.0], dtype=np.float16)
+        norm = clip_stored_norm([a], max_norm=1.0)
+        assert not np.isfinite(norm)
+        assert np.isinf(a[0])  # untouched; step() will skip on overflow
+
+    def test_invalid_max_norm(self):
+        with pytest.raises(ValueError):
+            clip_stored_norm([np.ones(2, np.float16)], max_norm=0.0)
+
+    @settings(max_examples=30, deadline=None)
+    @given(seed=st.integers(0, 1000), max_norm=st.floats(0.1, 10.0))
+    def test_property_post_norm_bounded(self, seed, max_norm):
+        rng = np.random.default_rng(seed)
+        arrays = [rng.standard_normal(rng.integers(1, 50)).astype(np.float16)
+                  for _ in range(3)]
+        clip_stored_norm(arrays, max_norm)
+        post = np.sqrt(sum(float(np.sum(a.astype(np.float64) ** 2)) for a in arrays))
+        # fp16 re-quantisation can overshoot by a rounding hair only.
+        assert post <= max_norm * 1.01
+
+
+class TestClipParamGrads:
+    def test_clip_grad_norm_scales(self, rng):
+        net = Sequential(Linear(4, 4, rng=rng))
+        x = Tensor(np.full((2, 4), 10.0, dtype=np.float32))
+        net(x).sum().backward()
+        pre = global_grad_norm(net.parameters())
+        returned = clip_grad_norm(net.parameters(), max_norm=pre / 2)
+        assert returned == pytest.approx(pre)
+        assert global_grad_norm(net.parameters()) == pytest.approx(pre / 2, rel=1e-5)
+
+
+def _nets(seed=0):
+    rng1 = np.random.default_rng(seed)
+    rng2 = np.random.default_rng(seed)
+    a = Sequential(Linear(10, 14, rng=rng1), Linear(14, 4, rng=rng1))
+    b = Sequential(Linear(10, 14, rng=rng2), Linear(14, 4, rng=rng2))
+    return a, b
+
+
+class TestEquivalenceWithClipping:
+    def test_samo_equals_masked_dense_under_clipping(self):
+        """Invariant 2 extended: clipping must not break the bitwise
+        dense ≡ SAMO trajectory equality."""
+        net_a, net_b = _nets(seed=3)
+        mask = magnitude_prune(net_a, 0.8)
+        cfg = SAMOConfig(optimizer="adamw", lr=1e-2, warn_below_break_even=False)
+
+        samo = SAMOTrainingState(net_a, mask, cfg)
+        dense = DenseMixedPrecisionState(net_b, cfg, mask=mask)
+
+        rng = np.random.default_rng(0)
+        for _ in range(4):
+            x = (rng.standard_normal((6, 10)) * 50).astype(np.float32)  # big grads
+            net_a(Tensor(x)).sum().backward()
+            net_b(Tensor(x.copy())).sum().backward()
+            samo.compress_gradients()
+            dense.compress_gradients()
+            n1 = samo.clip_gradients(1.0)
+            n2 = dense.clip_gradients(1.0)
+            assert n1 == pytest.approx(n2, rel=1e-6)
+            assert n1 > 1.0  # clipping actually engaged
+            samo.step()
+            dense.step()
+
+        params_a = {n: p.data for n, p in net_a.named_parameters()}
+        for name, p in net_b.named_parameters():
+            assert np.array_equal(params_a[name], p.data), name
+
+    def test_trainer_grad_clip_flag(self):
+        net_a, net_b = _nets(seed=5)
+        mask = magnitude_prune(net_a, 0.8)
+        cfg = SAMOConfig(optimizer="sgd", lr=0.1, warn_below_break_even=False)
+        clipped = Trainer(net_a, mode="samo", mask=mask, config=cfg, grad_clip=0.5)
+        free = Trainer(net_b, mode="samo", mask=magnitude_prune(net_b, 0.8), config=cfg)
+
+        x = Tensor(np.full((4, 10), 20.0, dtype=np.float32))
+        clipped.step(loss_fn=lambda m, : m(x).sum())
+        free.step(loss_fn=lambda m, : m(x).sum())
+        a = np.concatenate([e.theta32_c for e in clipped.state.compressed])
+        b = np.concatenate([e.theta32_c for e in free.state.compressed])
+        assert not np.array_equal(a, b)  # the clip changed the update
+
+    def test_trainer_rejects_bad_clip(self):
+        net, _ = _nets()
+        with pytest.raises(ValueError, match="grad_clip"):
+            Trainer(net, grad_clip=-1.0)

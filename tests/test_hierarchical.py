@@ -1,0 +1,130 @@
+"""Hierarchical collectives: cost models and the executable p2p-built
+all-reduce (topology-aware NCCL substitute)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.cluster import (
+    SUMMIT,
+    best_allreduce_time,
+    hierarchical_allreduce,
+    hierarchical_allreduce_time,
+    ring_allreduce_time,
+    tree_broadcast_time,
+)
+from repro.comm import CommError, run_parallel
+
+
+MB = 1024 * 1024
+
+
+class TestCostModel:
+    def test_trivial_cases(self):
+        assert hierarchical_allreduce_time(MB, 1) == 0.0
+        assert hierarchical_allreduce_time(0, 48) == 0.0
+
+    def test_beats_flat_ring_at_scale(self):
+        """Large payload over many nodes: the hierarchical schedule cuts the
+        cross-node bytes by the node arity and must win."""
+        nbytes = 256 * MB
+        for g in (48, 192, 768):
+            flat = ring_allreduce_time(nbytes, g)
+            hier = hierarchical_allreduce_time(nbytes, g)
+            assert hier < flat, f"G={g}"
+
+    def test_single_node_group_close_to_flat_nvlink(self):
+        """Inside one node there is no cross-node phase; cost is the two
+        NVLink phases (reduce-scatter + allgather ~= one NVLink allreduce)."""
+        t = hierarchical_allreduce_time(64 * MB, 6)
+        # two phases of (5/6) * n over 30 GB/s effective NVLink
+        expected_bw = 2 * (5 / 6) * 64 * MB / (50e9 * 0.6)
+        assert t == pytest.approx(expected_bw + 2 * 5 * SUMMIT.coll_alpha, rel=1e-6)
+
+    def test_monotone_in_bytes(self):
+        ts = [hierarchical_allreduce_time(n * MB, 96) for n in (1, 8, 64)]
+        assert ts[0] < ts[1] < ts[2]
+
+    def test_tree_broadcast_log_rounds(self):
+        t8 = tree_broadcast_time(MB, 8)
+        t64 = tree_broadcast_time(MB, 64)
+        assert t64 == pytest.approx(2 * t8)  # 6 rounds vs 3
+
+    def test_tree_beats_ring_broadcast_small_payload(self):
+        from repro.cluster import broadcast_time
+
+        # 1 KiB over 512 ranks: ring pays 511 alphas, tree pays 9.
+        assert tree_broadcast_time(1024, 512) < broadcast_time(1024, 512)
+
+    def test_best_picks_minimum(self):
+        for g, n in ((6, MB), (768, 256 * MB), (2, 1024)):
+            b = best_allreduce_time(n, g)
+            assert b == min(
+                ring_allreduce_time(n, g), hierarchical_allreduce_time(n, g)
+            )
+
+    @settings(max_examples=40, deadline=None)
+    @given(
+        nbytes=st.integers(1, 10**9),
+        group=st.integers(2, 4096),
+    )
+    def test_property_nonnegative_and_bounded(self, nbytes, group):
+        t = hierarchical_allreduce_time(nbytes, group)
+        assert t > 0
+        # Never worse than 3 serialized flat rings (sanity envelope).
+        assert t < 3 * ring_allreduce_time(nbytes, group) + 1.0
+
+
+class TestExecutable:
+    @pytest.mark.parametrize("world,gpn", [(4, 2), (6, 3), (6, 6), (8, 1)])
+    def test_matches_backend_allreduce(self, world, gpn):
+        def worker(comm):
+            rng = np.random.default_rng(comm.rank)
+            x = rng.standard_normal(65).astype(np.float32)
+            want = comm.allreduce(x, op="sum")
+            got = hierarchical_allreduce(comm, x, gpus_per_node=gpn)
+            return np.allclose(got, want, atol=1e-4)
+
+        assert all(run_parallel(world, worker))
+
+    def test_mean_op(self):
+        def worker(comm):
+            x = np.full(8, float(comm.rank), dtype=np.float32)
+            return hierarchical_allreduce(comm, x, gpus_per_node=2, op="mean")
+
+        for res in run_parallel(4, worker):
+            assert np.allclose(res, 1.5)
+
+    def test_preserves_shape_and_dtype(self):
+        def worker(comm):
+            x = np.ones((3, 4), dtype=np.float32)
+            out = hierarchical_allreduce(comm, x, gpus_per_node=2)
+            return out.shape, out.dtype
+
+        for shape, dtype in run_parallel(4, worker):
+            assert shape == (3, 4) and dtype == np.float32
+
+    def test_world_not_multiple_of_node_rejected(self):
+        def worker(comm):
+            return hierarchical_allreduce(comm, np.ones(4), gpus_per_node=4)
+
+        with pytest.raises(CommError, match="whole number"):
+            run_parallel(6, worker)
+
+    def test_bad_op_rejected(self):
+        def worker(comm):
+            return hierarchical_allreduce(comm, np.ones(2), 1, op="max")
+
+        with pytest.raises(CommError, match="op must be"):
+            run_parallel(2, worker)
+
+    def test_deterministic_across_runs(self):
+        def worker(comm):
+            rng = np.random.default_rng(100 + comm.rank)
+            x = rng.standard_normal(257).astype(np.float32)
+            return hierarchical_allreduce(comm, x, gpus_per_node=3)
+
+        a = run_parallel(6, worker)
+        b = run_parallel(6, worker)
+        for ra, rb in zip(a, b):
+            assert np.array_equal(ra, rb)

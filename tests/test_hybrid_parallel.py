@@ -1,0 +1,174 @@
+"""Full functional AxoNN+SAMO: hybrid inter-layer x data parallelism.
+
+Four thread ranks form a 2 (pipeline stages) x 2 (data replicas) grid —
+the paper's G_inter x G_data decomposition executing for real:
+
+* activations/gradients flow along each pipeline (point-to-point);
+* each stage all-reduces its **compressed** fp16 gradients across the
+  data-parallel replicas before the SAMO optimizer step (Section IV-A);
+* the result must match single-process SAMO training on the full batch.
+"""
+
+import numpy as np
+import pytest
+
+from repro.comm import Communicator, GridLayout, World, run_parallel
+from repro.core import SAMOConfig, SAMOTrainingState
+from repro.parallel import PipelineStageTrainer, StageModule, partition_module_list
+from repro.pruning import magnitude_prune
+from repro.tensor import GELU, Linear, Sequential, Tensor, functional as F
+
+HID = 12
+N_BLOCKS = 4
+G_INTER, G_DATA = 2, 2
+WORLD = G_INTER * G_DATA
+
+
+def make_blocks(seed=3):
+    rng = np.random.default_rng(seed)
+    return [Sequential(Linear(HID, HID, rng=rng), GELU()) for _ in range(N_BLOCKS)]
+
+
+def make_data(n=8, seed=11):
+    rng = np.random.default_rng(seed)
+    x = rng.normal(size=(n, HID)).astype(np.float32)
+    y = rng.integers(0, HID, size=n)
+    return x, y
+
+
+def loss_head(out: Tensor, targets) -> Tensor:
+    return F.cross_entropy(out, targets)
+
+
+def build_stage_mask(stage_blocks, sparsity):
+    """Deterministic per-stage mask (same on every data replica)."""
+    return magnitude_prune(StageModule(stage_blocks), sparsity)
+
+
+def run_hybrid(steps=3, sparsity=0.75):
+    """2x2 hybrid run; returns (last-stage losses per replica, stage params)."""
+    x, y = make_data()
+    grid = GridLayout(WORLD, g_inter=G_INTER)
+    # dedicated worlds: one per pipeline (replica), one per data group (stage)
+    pipe_worlds = [World(G_INTER) for _ in range(G_DATA)]
+    data_worlds = [World(G_DATA) for _ in range(G_INTER)]
+
+    def worker(comm):
+        rank = comm.rank
+        stage = grid.stage_of(rank)
+        replica = grid.replica_of(rank)
+        pipe_comm = Communicator(pipe_worlds[replica], stage)
+        data_comm = Communicator(data_worlds[stage], replica)
+
+        blocks = make_blocks()
+        stages = partition_module_list(blocks, G_INTER)
+        mask = build_stage_mask(stages[stage], sparsity)
+        tr = PipelineStageTrainer(
+            pipe_comm,
+            stages[stage],
+            head=(lambda b: Tensor(b)) if stage == 0 else None,
+            loss_head=loss_head if stage == G_INTER - 1 else None,
+            mask=mask,
+            config=SAMOConfig(optimizer="adam", lr=1e-2),
+        )
+
+        def sync(state):
+            # sparse all-reduce of compressed gradients + dense biases
+            for e in state.compressed:
+                if e.grad16_c is not None:
+                    total = data_comm.allreduce(e.grad16_c.astype(np.float32))
+                    e.grad16_c = (total / G_DATA).astype(np.float16)
+            for d in state.dense:
+                if d.grad16 is not None:
+                    total = data_comm.allreduce(d.grad16.astype(np.float32))
+                    d.grad16 = (total / G_DATA).astype(np.float16)
+
+        tr.grad_sync = sync
+
+        # each replica trains on its half of the batch, one microbatch of 4
+        sl = slice(replica * 4, (replica + 1) * 4)
+        losses = []
+        for _ in range(steps):
+            losses.append(tr.train_step([x[sl]], [y[sl]]))
+        params = {n: p.data.copy() for n, p in tr.module.named_parameters()}
+        return stage, replica, losses, params
+
+    return x, y, run_parallel(WORLD, worker)
+
+
+def run_reference(steps=3, sparsity=0.75):
+    """Single-process SAMO training on the same two microbatches."""
+    x, y = make_data()
+    blocks = make_blocks()
+    model = StageModule(blocks)
+    # the hybrid prunes per stage; reproduce the same union mask by pruning
+    # each stage module separately and renaming
+    stages = partition_module_list(blocks, G_INTER)
+    stage_masks = [build_stage_mask(s, sparsity) for s in stages]
+    indices, shapes = {}, {}
+    offset = 0
+    for si, (s, m) in enumerate(zip(stages, stage_masks)):
+        for name in m.indices:
+            idx = int(name.split(".")[0][1:])
+            global_name = f"b{idx + offset}." + name.split(".", 1)[1]
+            indices[global_name] = m.indices[name]
+            shapes[global_name] = m.shapes[name]
+        offset += len(s)
+    from repro.pruning import MaskSet
+
+    mask = MaskSet(indices, shapes)
+    state = SAMOTrainingState(model, mask, SAMOConfig(optimizer="adam", lr=1e-2))
+    losses = []
+    for _ in range(steps):
+        vals = []
+        for sl in (slice(0, 4), slice(4, 8)):
+            loss = F.cross_entropy(model(Tensor(x[sl])), y[sl])
+            loss.backward()
+            vals.append(loss.item())
+            state.compress_gradients()
+        # average over the two "replicas" as the hybrid's all-reduce does
+        for e in state.compressed:
+            e.grad16_c = (e.grad16_c.astype(np.float32) / G_DATA).astype(np.float16)
+        for d in state.dense:
+            d.grad16 = (d.grad16.astype(np.float32) / G_DATA).astype(np.float16)
+        state.step()
+        losses.append(float(np.mean(vals)))
+    return model, losses
+
+
+class TestHybridAxoNNSAMO:
+    def test_replicas_stay_identical(self):
+        _, _, results = run_hybrid()
+        by_stage = {}
+        for stage, replica, _, params in results:
+            by_stage.setdefault(stage, []).append(params)
+        for stage, plist in by_stage.items():
+            for name in plist[0]:
+                assert np.array_equal(plist[0][name], plist[1][name]), (stage, name)
+
+    def test_matches_single_process_reference(self):
+        """Hybrid 2x2 AxoNN+SAMO == single-process SAMO (fp16-rounding
+        tolerance: the hybrid averages shard gradients where the reference
+        accumulates microbatch gradients then averages)."""
+        _, _, results = run_hybrid(steps=2)
+        ref_model, _ = run_reference(steps=2)
+        ref = dict(ref_model.named_parameters())
+        for stage, replica, _, params in results:
+            offset = stage * (N_BLOCKS // G_INTER)
+            for name, arr in params.items():
+                idx = int(name.split(".")[0][1:])
+                ref_name = f"b{idx + offset}." + name.split(".", 1)[1]
+                assert np.allclose(arr, ref[ref_name].data, atol=5e-3), (stage, name)
+
+    def test_training_reduces_loss(self):
+        _, _, results = run_hybrid(steps=8)
+        last_stage_losses = [r[2] for r in results if r[0] == G_INTER - 1 and r[2][0] is not None]
+        for losses in last_stage_losses:
+            assert losses[-1] < losses[0]
+
+    def test_pruned_weights_zero_on_every_rank(self):
+        _, _, results = run_hybrid(steps=3, sparsity=0.8)
+        for _, _, _, params in results:
+            for name, arr in params.items():
+                if name.endswith("weight"):
+                    assert (arr == 0).mean() > 0.7, name

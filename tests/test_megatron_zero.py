@@ -1,0 +1,272 @@
+"""Executable intra-layer (Megatron) parallelism and ZeRO-1 sharding:
+P-way parallel execution must match serial execution exactly."""
+
+import numpy as np
+import pytest
+
+from repro.comm import CommError, run_parallel
+from repro.optim.kernels import adam_kernel
+from repro.parallel import (
+    ColumnParallelLinear,
+    RowParallelLinear,
+    TensorParallelMLP,
+    Zero1DataParallel,
+    shard_dim,
+    zero_memory_bytes,
+)
+from repro.tensor import GELU, Linear, Sequential, Tensor
+from repro.tensor import functional as F
+
+
+D_IN, D_HID = 8, 16
+SEED = 42
+
+
+def _serial_mlp():
+    """Reference MLP drawing weights from the same seeded stream the
+    parallel layers use."""
+    rng = np.random.default_rng(SEED)
+    fc_in = Linear(D_IN, D_HID, rng=None)
+    bound = 1.0 / np.sqrt(D_IN)
+    fc_in.weight.data[...] = rng.uniform(-bound, bound, (D_HID, D_IN)).astype(np.float32)
+    fc_in.bias.data[...] = 0.0
+    fc_out = Linear(D_HID, D_IN, rng=None)
+    bound = 1.0 / np.sqrt(D_HID)
+    fc_out.weight.data[...] = rng.uniform(-bound, bound, (D_IN, D_HID)).astype(np.float32)
+    fc_out.bias.data[...] = 0.0
+    return Sequential(fc_in, GELU(), fc_out)
+
+
+class TestShardDim:
+    def test_divides(self):
+        assert shard_dim(16, 4) == 4
+
+    def test_rejects_indivisible(self):
+        with pytest.raises(ValueError, match="not divisible"):
+            shard_dim(10, 4)
+
+
+class TestColumnParallel:
+    @pytest.mark.parametrize("world", [1, 2, 4])
+    def test_gathered_forward_matches_serial(self, world, rng):
+        x_data = rng.standard_normal((6, D_IN)).astype(np.float32)
+        serial = _serial_mlp()
+        want = F.linear(Tensor(x_data), serial[0].weight, serial[0].bias).data
+
+        def worker(comm):
+            layer = ColumnParallelLinear(
+                D_IN, D_HID, comm, gather_output=True,
+                rng=np.random.default_rng(SEED),
+            )
+            return layer(Tensor(x_data)).data
+
+        for got in run_parallel(world, worker):
+            assert np.allclose(got, want, atol=1e-5)
+
+    def test_local_output_is_shard(self, rng):
+        x_data = rng.standard_normal((3, D_IN)).astype(np.float32)
+
+        def worker(comm):
+            layer = ColumnParallelLinear(
+                D_IN, D_HID, comm, rng=np.random.default_rng(SEED)
+            )
+            return layer(Tensor(x_data)).data.shape
+
+        for shape in run_parallel(2, worker):
+            assert shape == (3, D_HID // 2)
+
+    def test_gathered_backward_matches_serial(self, rng):
+        x_data = rng.standard_normal((4, D_IN)).astype(np.float32)
+        serial = _serial_mlp()
+        xs = Tensor(x_data.copy(), requires_grad=True)
+        F.linear(xs, serial[0].weight, serial[0].bias).sum().backward()
+        want_x = xs.grad.copy()
+        want_w = serial[0].weight.grad.copy()
+
+        def worker(comm):
+            layer = ColumnParallelLinear(
+                D_IN, D_HID, comm, gather_output=True,
+                rng=np.random.default_rng(SEED),
+            )
+            x = Tensor(x_data.copy(), requires_grad=True)
+            layer(x).sum().backward()
+            return x.grad, layer.weight.grad, comm.rank
+
+        world = 2
+        for gx, gw, rank in run_parallel(world, worker):
+            assert np.allclose(gx, want_x, atol=1e-5)
+            rows = D_HID // world
+            assert np.allclose(gw, want_w[rank * rows : (rank + 1) * rows], atol=1e-5)
+
+
+class TestTensorParallelMLP:
+    @pytest.mark.parametrize("world", [1, 2, 4])
+    def test_forward_matches_serial(self, world, rng):
+        x_data = rng.standard_normal((5, D_IN)).astype(np.float32)
+        serial = _serial_mlp()
+        want = serial(Tensor(x_data)).data
+
+        def worker(comm):
+            mlp = TensorParallelMLP(D_IN, D_HID, comm, rng=np.random.default_rng(SEED))
+            return mlp(Tensor(x_data)).data
+
+        for got in run_parallel(world, worker):
+            assert np.allclose(got, want, atol=1e-4)
+
+    def test_backward_matches_serial(self, rng):
+        x_data = rng.standard_normal((5, D_IN)).astype(np.float32)
+        serial = _serial_mlp()
+        xs = Tensor(x_data.copy(), requires_grad=True)
+        serial(xs).sum().backward()
+        want_x = xs.grad.copy()
+        w_in_full = serial[0].weight.grad.copy()
+        w_out_full = serial[2].weight.grad.copy()
+
+        world = 2
+
+        def worker(comm):
+            mlp = TensorParallelMLP(D_IN, D_HID, comm, rng=np.random.default_rng(SEED))
+            x = Tensor(x_data.copy(), requires_grad=True)
+            mlp(x).sum().backward()
+            return x.grad, mlp.fc_in.weight.grad, mlp.fc_out.weight.grad, comm.rank
+
+        for gx, g_in, g_out, rank in run_parallel(world, worker):
+            assert np.allclose(gx, want_x, atol=1e-4)
+            rows = D_HID // world
+            assert np.allclose(g_in, w_in_full[rank * rows : (rank + 1) * rows], atol=1e-4)
+            cols = D_HID // world
+            assert np.allclose(g_out, w_out_full[:, rank * cols : (rank + 1) * cols], atol=1e-4)
+
+    def test_row_parallel_unsharded_input(self, rng):
+        """input_is_sharded=False slices a replicated activation itself."""
+        x_data = rng.standard_normal((3, D_HID)).astype(np.float32)
+        serial = _serial_mlp()
+        want = F.linear(Tensor(x_data), serial[2].weight, serial[2].bias).data
+
+        def worker(comm):
+            r = np.random.default_rng(SEED)
+            r.uniform(-1.0 / np.sqrt(D_IN), 1.0 / np.sqrt(D_IN), (D_HID, D_IN))  # skip fc_in draw
+            layer = RowParallelLinear(
+                D_HID, D_IN, comm, input_is_sharded=False, rng=r
+            )
+            return layer(Tensor(x_data)).data
+
+        for got in run_parallel(2, worker):
+            assert np.allclose(got, want, atol=1e-5)
+
+
+class TestZeroMemoryModel:
+    def test_stage1_matches_rajbhandari(self):
+        phi = 1_000_000
+        assert zero_memory_bytes(phi, 1, stage=1) == 20 * phi
+        assert zero_memory_bytes(phi, 4, stage=1) == 4 * phi + 4 * phi
+
+    def test_stages_ordered(self):
+        phi, n = 10**6, 16
+        s1 = zero_memory_bytes(phi, n, 1)
+        s2 = zero_memory_bytes(phi, n, 2)
+        s3 = zero_memory_bytes(phi, n, 3)
+        assert s1 > s2 > s3
+
+    def test_invalid_args(self):
+        with pytest.raises(ValueError):
+            zero_memory_bytes(10, 0)
+        with pytest.raises(ValueError):
+            zero_memory_bytes(10, 2, stage=4)
+
+
+def _make_replica(seed=7):
+    rng = np.random.default_rng(seed)
+    return Sequential(Linear(6, 10, rng=rng), GELU(), Linear(10, 4, rng=rng))
+
+
+class TestZero1Executable:
+    def _per_rank_batches(self, world, steps=3):
+        rng = np.random.default_rng(0)
+        return [
+            [rng.standard_normal((4, 6)).astype(np.float32) for _ in range(world)]
+            for _ in range(steps)
+        ]
+
+    def test_matches_serial_adam(self):
+        """ZeRO-1 over P ranks == serial AdamW on the mean gradient,
+        modulo the fp16 parameter wire format (replicated exactly)."""
+        world, steps = 4, 3
+        batches = self._per_rank_batches(world, steps)
+        lr = 1e-2
+
+        # Serial reference with the identical fp16 round-trip.
+        model = _make_replica()
+        params = [p for _, p in model.named_parameters()]
+        master = [p.data.astype(np.float32).copy() for p in params]
+        ms = [np.zeros_like(w) for w in master]
+        vs = [np.zeros_like(w) for w in master]
+        for p, w in zip(params, master):
+            p.data[...] = w  # identical start
+        for step, xs in enumerate(batches, start=1):
+            grads = [np.zeros_like(w) for w in master]
+            for x in xs:  # average gradient over the world's shards
+                model.zero_grad()
+                model(Tensor(x)).sum().backward()
+                for g, p in zip(grads, params):
+                    g += p.grad / world
+            for w, g, m, v in zip(master, grads, ms, vs):
+                adam_kernel(w, g, m, v, step=step, lr=lr,
+                            beta1=0.9, beta2=0.999, eps=1e-8,
+                            weight_decay=0.0, decoupled=True)
+            for p, w in zip(params, master):
+                p.data[...] = w.astype(np.float16).astype(np.float32)
+        want = [p.data.copy() for p in params]
+
+        def worker(comm):
+            replica = _make_replica()
+            zero = Zero1DataParallel(replica, comm, lr=lr)
+            for xs in batches:
+                replica(Tensor(xs[comm.rank])).sum().backward()
+                zero.step()
+            return [p.data.copy() for _, p in replica.named_parameters()]
+
+        for got in run_parallel(world, worker):
+            for a, b in zip(got, want):
+                assert np.allclose(a, b, atol=1e-3)
+
+    def test_replicas_stay_identical(self):
+        world = 3
+
+        def worker(comm):
+            replica = _make_replica()
+            zero = Zero1DataParallel(replica, comm, lr=5e-3)
+            rng = np.random.default_rng(10 + comm.rank)
+            for _ in range(2):
+                x = rng.standard_normal((4, 6)).astype(np.float32)
+                replica(Tensor(x)).sum().backward()
+                zero.step()
+            return np.concatenate([p.data.reshape(-1) for _, p in replica.named_parameters()])
+
+        results = run_parallel(world, worker)
+        for r in results[1:]:
+            assert np.array_equal(r, results[0])
+
+    def test_shard_bytes_scale_inverse_with_world(self):
+        sizes = {}
+        for world in (1, 2, 4):
+            def worker(comm):
+                return Zero1DataParallel(_make_replica(), comm).shard_bytes()
+
+            sizes[world] = run_parallel(world, worker)[0]
+        assert sizes[2] <= 0.6 * sizes[1]
+        assert sizes[4] <= 0.6 * sizes[2]
+
+    def test_uneven_total_padded(self):
+        """Parameter count not divisible by world size still works."""
+        def worker(comm):
+            rng = np.random.default_rng(1)
+            model = Sequential(Linear(3, 5, rng=rng))  # 3*5+5 = 20 params
+            zero = Zero1DataParallel(model, comm, lr=1e-2)
+            model(Tensor(np.ones((2, 3), np.float32))).sum().backward()
+            zero.step()
+            return np.concatenate([p.data.reshape(-1) for p in model.parameters()])
+
+        results = run_parallel(3, worker)  # 20 % 3 != 0
+        for r in results[1:]:
+            assert np.array_equal(r, results[0])

@@ -1,0 +1,247 @@
+"""Module system, layers, attention, and the model zoo (Table I shapes)."""
+
+import numpy as np
+import pytest
+
+from repro.models import (
+    GPT,
+    GPT_CONFIGS,
+    TABLE_I,
+    build_vgg,
+    build_wide_resnet,
+    get_spec,
+    gpt_spec,
+    gpu_counts,
+    narayanan_transformer_flops,
+    percent_of_peak,
+    table_rows,
+    vgg_spec,
+    wide_resnet_spec,
+)
+from repro.tensor import (
+    CausalSelfAttention,
+    Linear,
+    Module,
+    Parameter,
+    Sequential,
+    Tensor,
+    functional as F,
+)
+
+
+class TestModuleSystem:
+    def test_named_parameters_dotted_paths(self):
+        class Net(Module):
+            def __init__(self):
+                super().__init__()
+                self.fc1 = Linear(4, 8)
+                self.inner = Sequential(Linear(8, 8), Linear(8, 2))
+
+        names = [n for n, _ in Net().named_parameters()]
+        assert "fc1.weight" in names and "inner.0.weight" in names and "inner.1.bias" in names
+
+    def test_prunable_flags(self):
+        lin = Linear(4, 8)
+        assert lin.weight.prunable and not lin.bias.prunable
+
+    def test_state_dict_roundtrip(self, rng):
+        m1, m2 = Linear(4, 8, rng=rng), Linear(4, 8, rng=rng)
+        m2.load_state_dict(m1.state_dict())
+        assert np.array_equal(m1.weight.data, m2.weight.data)
+
+    def test_state_dict_shape_mismatch_raises(self):
+        m1, m2 = Linear(4, 8), Linear(4, 9)
+        with pytest.raises(ValueError):
+            m2.load_state_dict(m1.state_dict())
+
+    def test_train_eval_recursive(self):
+        net = Sequential(Linear(4, 4), Sequential(Linear(4, 4)))
+        net.eval()
+        assert all(not m.training for m in net.modules())
+        net.train()
+        assert all(m.training for m in net.modules())
+
+    def test_zero_grad(self, rng):
+        m = Linear(4, 2, rng=rng)
+        m(Tensor(rng.normal(size=(3, 4)).astype(np.float32))).sum().backward()
+        assert m.weight.grad is not None
+        m.zero_grad()
+        assert m.weight.grad is None
+
+    def test_num_parameters_prunable_only(self):
+        m = Linear(4, 8)
+        assert m.num_parameters() == 4 * 8 + 8
+        assert m.num_parameters(prunable_only=True) == 4 * 8
+
+    def test_buffers_in_state_dict(self):
+        from repro.tensor import BatchNorm2d
+
+        bn = BatchNorm2d(3)
+        sd = bn.state_dict()
+        assert "buffer:running_mean" in sd
+
+
+class TestAttention:
+    def test_causality(self, rng):
+        """Changing a future token must not affect earlier outputs."""
+        att = CausalSelfAttention(16, 4, rng=np.random.default_rng(0))
+        att.eval()
+        x = rng.normal(size=(1, 6, 16)).astype(np.float32)
+        y1 = att(Tensor(x)).data.copy()
+        x2 = x.copy()
+        x2[0, 5] += 10.0  # perturb the last position
+        y2 = att(Tensor(x2)).data
+        assert np.allclose(y1[0, :5], y2[0, :5], atol=1e-5)
+        assert not np.allclose(y1[0, 5], y2[0, 5], atol=1e-3)
+
+    def test_head_divisibility_check(self):
+        with pytest.raises(ValueError):
+            CausalSelfAttention(10, 3)
+
+    def test_backward_produces_grads(self, rng):
+        att = CausalSelfAttention(8, 2, rng=np.random.default_rng(0))
+        att(Tensor(rng.normal(size=(2, 4, 8)).astype(np.float32))).sum().backward()
+        assert att.qkv.grad is not None and att.proj.grad is not None
+
+
+class TestGPT:
+    def test_forward_shape(self, rng):
+        m = GPT(GPT_CONFIGS["gpt3-tiny"], seed=0)
+        toks = rng.integers(0, 128, size=(2, 16))
+        assert m(toks).shape == (2, 16, 128)
+
+    def test_loss_near_uniform_at_init(self, rng):
+        m = GPT(GPT_CONFIGS["gpt3-tiny"], seed=0)
+        toks = rng.integers(0, 128, size=(4, 32))
+        loss = m.loss(toks[:, :-1], toks[:, 1:]).item()
+        assert abs(loss - np.log(128)) < 0.5
+
+    def test_context_overflow_raises(self, rng):
+        m = GPT(GPT_CONFIGS["gpt3-tiny"], seed=0)
+        with pytest.raises(ValueError):
+            m(rng.integers(0, 128, size=(1, 100)))
+
+    def test_seeded_construction_identical(self):
+        m1, m2 = GPT(GPT_CONFIGS["gpt3-tiny"], seed=3), GPT(GPT_CONFIGS["gpt3-tiny"], seed=3)
+        for p1, p2 in zip(m1.parameters(), m2.parameters()):
+            assert np.array_equal(p1.data, p2.data)
+
+    def test_tied_lm_head_no_extra_params(self):
+        cfg = GPT_CONFIGS["gpt3-tiny"]
+        m = GPT(cfg)
+        spec = m.spec()
+        # runnable count matches spec count exactly (weight tying included)
+        assert m.num_parameters() == spec.param_count
+
+
+class TestSpecs:
+    @pytest.mark.parametrize("name,expected_b", [
+        ("gpt3-xl", 1.316), ("gpt3-2.7b", 2.652), ("gpt3-6.7b", 6.658), ("gpt3-13b", 12.85),
+    ])
+    def test_gpt_param_counts_match_table1(self, name, expected_b):
+        assert get_spec(name).param_count / 1e9 == pytest.approx(expected_b, rel=0.02)
+
+    def test_vgg19_matches_torchvision_count(self):
+        # 143.67M per Table I
+        assert vgg_spec("E").param_count == pytest.approx(143.67e6, rel=0.001)
+
+    def test_wideresnet101_matches_torchvision_count(self):
+        # 126.89M per Table I
+        assert wide_resnet_spec().param_count == pytest.approx(126.89e6, rel=0.002)
+
+    def test_prunable_fraction_high(self):
+        for name in TABLE_I:
+            spec = get_spec(name)
+            assert spec.prunable_count / spec.param_count > 0.95, name
+
+    def test_stage_boundary_elems_gpt(self):
+        spec = get_spec("gpt3-2.7b")
+        assert spec.stage_boundary_message_elems(2) == 2048 * 2560
+
+    def test_contiguous_slice(self):
+        spec = get_spec("gpt3-xl")
+        sub = spec.contiguous_slice(1, 5)
+        assert sub.num_layers == 4
+
+    def test_boundary_index_error(self):
+        with pytest.raises(IndexError):
+            get_spec("gpt3-xl").stage_boundary_message_elems(0)
+
+    def test_gpu_counts_match_table1(self):
+        assert gpu_counts(TABLE_I["gpt3-2.7b"]) == [64, 128, 256, 512]
+        assert gpu_counts(TABLE_I["vgg19"]) == [16, 32, 64, 128]
+        assert gpu_counts(TABLE_I["gpt3-13b"]) == [256, 512, 1024, 2048]
+
+    def test_table_rows_complete(self):
+        rows = table_rows()
+        assert len(rows) == 6
+        assert {r["Neural Network"] for r in rows} == set(TABLE_I)
+
+    def test_unknown_model_raises(self):
+        with pytest.raises(KeyError):
+            get_spec("gpt5")
+
+
+class TestFlops:
+    def test_narayanan_formula_2p7b(self):
+        f = narayanan_transformer_flops(512, 2048, 32, 2560, 50257)
+        assert f == pytest.approx(2.47e16, rel=0.05)
+
+    def test_spec_flops_close_to_narayanan(self):
+        """Layer-level accounting should agree with the closed form ~10%."""
+        spec = get_spec("gpt3-2.7b")
+        closed = narayanan_transformer_flops(512, 2048, 32, 2560, 50257)
+        assert spec.total_flops_per_batch() == pytest.approx(closed, rel=0.1)
+
+    def test_percent_of_peak(self):
+        # 1.6e16 flops in 1s on 128 GPUs of 125 Tflop/s = 100%
+        assert percent_of_peak(1.6e16, 1.0, 128) == pytest.approx(100.0)
+
+    def test_percent_of_peak_rejects_zero_time(self):
+        with pytest.raises(ValueError):
+            percent_of_peak(1e12, 0.0, 1)
+
+
+class TestRunnableCNNs:
+    def test_vgg_tiny_forward_backward(self, rng):
+        m = build_vgg("vgg-tiny")
+        x = Tensor(rng.normal(size=(2, 3, 32, 32)).astype(np.float32))
+        out = m(x)
+        assert out.shape == (2, 10)
+        F.cross_entropy(out, np.array([1, 2])).backward()
+        assert all(p.grad is not None for p in m.parameters())
+
+    def test_wrn_tiny_forward_backward(self, rng):
+        m = build_wide_resnet("wrn-tiny")
+        x = Tensor(rng.normal(size=(2, 3, 32, 32)).astype(np.float32))
+        out = m(x)
+        assert out.shape == (2, 10)
+        out.sum().backward()
+
+    def test_unknown_variants_raise(self):
+        with pytest.raises(KeyError):
+            build_vgg("vgg99")
+        with pytest.raises(KeyError):
+            build_wide_resnet("wrn-999")
+
+
+class TestActivationAccounting:
+    """Korthikanti et al. per-layer activation bytes (used by the
+    checkpointing ablation)."""
+
+    def test_formula_values(self):
+        from repro.models import transformer_activation_bytes
+
+        # s=2048, h=2560, a=32: 34sbh + 5as^2b vs 2sbh checkpointed.
+        full = transformer_activation_bytes(2048, 2560, 32)
+        ckpt = transformer_activation_bytes(2048, 2560, 32, checkpointed=True)
+        assert full == 34 * 2048 * 2560 + 5 * 32 * 2048 * 2048
+        assert ckpt == 2 * 2048 * 2560
+        assert full > 20 * ckpt
+
+    def test_scales_linearly_with_microbatch(self):
+        from repro.models import transformer_activation_bytes
+
+        one = transformer_activation_bytes(128, 256, 4, microbatch=1)
+        four = transformer_activation_bytes(128, 256, 4, microbatch=4)
+        assert four == 4 * one

@@ -1,0 +1,230 @@
+"""Optimizer kernels, classes, schedules, clipping."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.optim import (
+    SGD,
+    Adam,
+    AdamW,
+    Constant,
+    StepDecay,
+    WarmupCosine,
+    adam_kernel,
+    clip_grad_norm,
+    global_grad_norm,
+    sgd_momentum_kernel,
+)
+from repro.tensor import Linear, Parameter, Sequential, Tensor
+
+
+def quad_problem(seed=0, n=8):
+    """Parameters minimising ||p - target||^2."""
+    rng = np.random.default_rng(seed)
+    p = Parameter(rng.normal(size=n).astype(np.float32))
+    target = rng.normal(size=n).astype(np.float32)
+    return p, target
+
+
+class TestAdamKernel:
+    def test_matches_reference_formula(self, rng):
+        n = 16
+        p = rng.normal(size=n).astype(np.float32)
+        g = rng.normal(size=n).astype(np.float32)
+        m = np.zeros(n, np.float32)
+        v = np.zeros(n, np.float32)
+        p2, m2, v2 = p.copy(), m.copy(), v.copy()
+        adam_kernel(p, g, m, v, step=1, lr=0.1, beta1=0.9, beta2=0.999,
+                    eps=1e-8, weight_decay=0.0, decoupled=False)
+        # reference
+        m2 = 0.1 * g
+        v2 = 0.001 * g * g
+        mh, vh = m2 / (1 - 0.9), v2 / (1 - 0.999)
+        ref = p2 - 0.1 * mh / (np.sqrt(vh) + 1e-8)
+        assert np.allclose(p, ref, atol=1e-6)
+
+    def test_decoupled_decay_shrinks_params_with_zero_grad(self):
+        p = np.ones(4, np.float32)
+        adam_kernel(p, np.zeros(4, np.float32), np.zeros(4, np.float32),
+                    np.zeros(4, np.float32), step=1, lr=0.1, beta1=0.9,
+                    beta2=0.999, eps=1e-8, weight_decay=0.1, decoupled=True)
+        assert np.allclose(p, 0.99, atol=1e-6)
+
+    def test_coupled_decay_enters_moments(self):
+        p = np.ones(4, np.float32)
+        m = np.zeros(4, np.float32)
+        adam_kernel(p, np.zeros(4, np.float32), m, np.zeros(4, np.float32),
+                    step=1, lr=0.1, beta1=0.9, beta2=0.999, eps=1e-8,
+                    weight_decay=0.1, decoupled=False)
+        assert np.all(m != 0)
+
+    def test_zero_grad_zero_state_is_noop(self):
+        p = np.ones(4, np.float32)
+        before = p.copy()
+        adam_kernel(p, np.zeros(4, np.float32), np.zeros(4, np.float32),
+                    np.zeros(4, np.float32), step=1, lr=0.1, beta1=0.9,
+                    beta2=0.999, eps=1e-8, weight_decay=0.0, decoupled=False)
+        assert np.array_equal(p, before)
+
+    def test_step_must_be_positive(self):
+        with pytest.raises(ValueError):
+            adam_kernel(np.ones(1), np.ones(1), np.zeros(1), np.zeros(1),
+                        step=0, lr=0.1, beta1=0.9, beta2=0.999, eps=1e-8,
+                        weight_decay=0.0, decoupled=False)
+
+    @settings(max_examples=25, deadline=None)
+    @given(lr=st.floats(1e-5, 1e-1), seed=st.integers(0, 100))
+    def test_property_compressed_equals_dense_on_kept(self, lr, seed):
+        """Adam on a gathered slice == gathered result of dense Adam with
+        zero gradients at pruned positions — SAMO's core soundness."""
+        rng = np.random.default_rng(seed)
+        n = 32
+        p = rng.normal(size=n).astype(np.float32)
+        g = rng.normal(size=n).astype(np.float32)
+        ind = np.sort(rng.choice(n, size=n // 2, replace=False))
+        keep = np.zeros(n, bool)
+        keep[ind] = True
+
+        # dense path: masked grads, zeroed pruned params
+        pd = np.where(keep, p, 0.0).astype(np.float32)
+        gd = np.where(keep, g, 0.0).astype(np.float32)
+        md, vd = np.zeros(n, np.float32), np.zeros(n, np.float32)
+        adam_kernel(pd, gd, md, vd, step=1, lr=lr, beta1=0.9, beta2=0.999,
+                    eps=1e-8, weight_decay=0.0, decoupled=False)
+
+        # compressed path
+        pc = p[ind].copy()
+        gc = g[ind].copy()
+        mc, vc = np.zeros(ind.size, np.float32), np.zeros(ind.size, np.float32)
+        adam_kernel(pc, gc, mc, vc, step=1, lr=lr, beta1=0.9, beta2=0.999,
+                    eps=1e-8, weight_decay=0.0, decoupled=False)
+        assert np.array_equal(pc, pd[ind])
+        assert np.all(pd[~keep] == 0.0)
+
+
+class TestSGDKernel:
+    def test_plain_sgd(self):
+        p = np.ones(4, np.float32)
+        sgd_momentum_kernel(p, np.ones(4, np.float32), np.zeros(4, np.float32),
+                            lr=0.1, momentum=0.0, weight_decay=0.0,
+                            nesterov=False, first_step=True)
+        assert np.allclose(p, 0.9)
+
+    def test_momentum_accumulates(self):
+        p = np.zeros(1, np.float32)
+        buf = np.zeros(1, np.float32)
+        g = np.ones(1, np.float32)
+        sgd_momentum_kernel(p, g, buf, lr=1.0, momentum=0.9, weight_decay=0.0,
+                            nesterov=False, first_step=True)
+        assert p[0] == pytest.approx(-1.0)
+        sgd_momentum_kernel(p, g, buf, lr=1.0, momentum=0.9, weight_decay=0.0,
+                            nesterov=False, first_step=False)
+        assert p[0] == pytest.approx(-1.0 - 1.9)
+
+    def test_nesterov_differs(self):
+        p1, p2 = np.zeros(1, np.float32), np.zeros(1, np.float32)
+        b1, b2 = np.zeros(1, np.float32), np.zeros(1, np.float32)
+        g = np.ones(1, np.float32)
+        for first in (True, False):
+            sgd_momentum_kernel(p1, g, b1, lr=0.1, momentum=0.9, weight_decay=0.0,
+                                nesterov=False, first_step=first)
+            sgd_momentum_kernel(p2, g, b2, lr=0.1, momentum=0.9, weight_decay=0.0,
+                                nesterov=True, first_step=first)
+        assert p1[0] != p2[0]
+
+
+class TestOptimizerClasses:
+    @pytest.mark.parametrize("opt_cls,kw", [
+        (Adam, {}), (AdamW, {}), (SGD, {"momentum": 0.9}),
+    ])
+    def test_minimises_quadratic(self, opt_cls, kw):
+        p, target = quad_problem()
+        opt = opt_cls([p], lr=0.05, **kw)
+        for _ in range(300):
+            p.grad = 2 * (p.data - target)
+            opt.step()
+            p.grad = None
+        assert np.allclose(p.data, target, atol=0.02)
+
+    def test_empty_params_rejected(self):
+        with pytest.raises(ValueError):
+            Adam([], lr=0.1)
+
+    def test_bad_lr_rejected(self):
+        p, _ = quad_problem()
+        with pytest.raises(ValueError):
+            SGD([p], lr=-1.0)
+
+    def test_nesterov_without_momentum_rejected(self):
+        p, _ = quad_problem()
+        with pytest.raises(ValueError):
+            SGD([p], lr=0.1, momentum=0.0, nesterov=True)
+
+    def test_state_bytes(self):
+        p = Parameter(np.zeros(100, np.float32))
+        assert Adam([p], lr=0.1).state_bytes() == 800  # two fp32 moments
+        assert SGD([p], lr=0.1, momentum=0.9).state_bytes() == 400
+        assert SGD([p], lr=0.1, momentum=0.0).state_bytes() == 0
+
+    def test_none_grads_skipped(self):
+        p, _ = quad_problem()
+        before = p.data.copy()
+        Adam([p], lr=0.1).step()
+        assert np.array_equal(p.data, before)
+
+    def test_set_lr(self):
+        p, _ = quad_problem()
+        opt = Adam([p], lr=0.1)
+        opt.set_lr(0.5)
+        assert opt.lr == 0.5
+
+
+class TestSchedules:
+    def test_warmup_cosine_shape(self):
+        s = WarmupCosine(peak_lr=1.0, warmup_steps=10, total_steps=110, min_lr=0.1)
+        assert s(0) == pytest.approx(0.1, abs=0.01)  # ramping from ~0
+        assert s(9) == pytest.approx(1.0)
+        assert s(60) == pytest.approx(0.55, abs=0.01)  # cosine midpoint
+        assert s(110) == 0.1
+        assert s(1000) == 0.1
+
+    def test_warmup_cosine_monotone_decay(self):
+        s = WarmupCosine(1.0, 5, 50)
+        vals = [s(i) for i in range(5, 50)]
+        assert all(a >= b for a, b in zip(vals, vals[1:]))
+
+    def test_warmup_cosine_validation(self):
+        with pytest.raises(ValueError):
+            WarmupCosine(1.0, 10, 5)
+
+    def test_step_decay(self):
+        s = StepDecay(1.0, milestones=[10, 20], gamma=0.1)
+        assert s(5) == 1.0 and s(15) == pytest.approx(0.1) and s(25) == pytest.approx(0.01)
+
+    def test_constant(self):
+        assert Constant(0.3)(12345) == 0.3
+
+
+class TestClipping:
+    def test_norm_computation(self):
+        p = Parameter(np.zeros(4, np.float32))
+        p.grad = np.full(4, 2.0, np.float32)
+        assert global_grad_norm([p]) == pytest.approx(4.0)
+
+    def test_clip_scales_down(self):
+        p = Parameter(np.zeros(4, np.float32))
+        p.grad = np.full(4, 2.0, np.float32)
+        pre = clip_grad_norm([p], max_norm=1.0)
+        assert pre == pytest.approx(4.0)
+        assert global_grad_norm([p]) == pytest.approx(1.0)
+
+    def test_clip_noop_under_threshold(self):
+        p = Parameter(np.zeros(4, np.float32))
+        p.grad = np.full(4, 0.1, np.float32)
+        clip_grad_norm([p], max_norm=10.0)
+        assert np.allclose(p.grad, 0.1)
+
+    def test_none_grads_ignored(self):
+        p = Parameter(np.zeros(4, np.float32))
+        assert global_grad_norm([p]) == 0.0

@@ -1,0 +1,210 @@
+"""Functional inter-layer parallel training over thread ranks.
+
+Verifies the executable pipeline (activations downstream, activation
+gradients upstream) against single-process training — the runnable
+counterpart of the AxoNN schedule whose *timing* the simulator models.
+"""
+
+import numpy as np
+import pytest
+
+from repro.comm import run_parallel
+from repro.core import SAMOConfig
+from repro.parallel import PipelineStageTrainer, StageModule, partition_module_list
+from repro.pruning import magnitude_prune
+from repro.tensor import GELU, Linear, Sequential, Tensor, functional as F
+from repro.train import DenseMixedPrecisionState
+
+HID = 16
+N_BLOCKS = 4
+
+
+def make_blocks(seed=0):
+    rng = np.random.default_rng(seed)
+    return [Sequential(Linear(HID, HID, rng=rng), GELU()) for _ in range(N_BLOCKS)]
+
+
+def make_batch(seed=1, n=6):
+    rng = np.random.default_rng(seed)
+    x = rng.normal(size=(n, HID)).astype(np.float32)
+    y = rng.integers(0, HID, size=n)
+    return x, y
+
+
+def loss_head(out: Tensor, targets) -> Tensor:
+    return F.cross_entropy(out, targets)
+
+
+class TestPartitionModuleList:
+    def test_contiguous_cover(self):
+        blocks = make_blocks()
+        stages = partition_module_list(blocks, 2)
+        assert [len(s) for s in stages] == [2, 2]
+        assert stages[0] + stages[1] == blocks
+
+    def test_uneven(self):
+        stages = partition_module_list(make_blocks(), 3)
+        assert sum(len(s) for s in stages) == N_BLOCKS
+        assert all(len(s) >= 1 for s in stages)
+
+    def test_range_check(self):
+        with pytest.raises(ValueError):
+            partition_module_list(make_blocks(), 5)
+
+
+def run_pipeline(n_stages, steps=3, samo_sparsity=None, seed=0):
+    """Run a pipeline training job; returns last-stage losses."""
+    x, y = make_batch()
+    # split the batch into 2 microbatches
+    mbs = [x[:3], x[3:]]
+    tgts = [y[:3], y[3:]]
+
+    def worker(comm):
+        blocks = make_blocks(seed)  # same init everywhere; each rank keeps its slice
+        stages = partition_module_list(blocks, comm.size)
+        tr = PipelineStageTrainer(
+            comm,
+            stages[comm.rank],
+            head=(lambda b: Tensor(b)) if comm.rank == 0 else None,
+            loss_head=loss_head if comm.rank == comm.size - 1 else None,
+            samo_sparsity=samo_sparsity,
+            config=SAMOConfig(optimizer="adam", lr=1e-2),
+        )
+        out = [tr.train_step(mbs, tgts) for _ in range(steps)]
+        params = {n: p.data.copy() for n, p in tr.module.named_parameters()}
+        return out, params
+
+    return run_parallel(n_stages, worker)
+
+
+def run_single_process(steps=3, samo_sparsity=None, seed=0):
+    """Reference: same model, same microbatch accumulation, one process."""
+    x, y = make_batch()
+    mbs = [x[:3], x[3:]]
+    tgts = [y[:3], y[3:]]
+    blocks = make_blocks(seed)
+    model = StageModule(blocks)
+    if samo_sparsity is not None:
+        from repro.core import SAMOTrainingState
+
+        mask = magnitude_prune(model, samo_sparsity)
+        state = SAMOTrainingState(model, mask, SAMOConfig(optimizer="adam", lr=1e-2))
+    else:
+        state = DenseMixedPrecisionState(model, SAMOConfig(optimizer="adam", lr=1e-2))
+    losses = []
+    for _ in range(steps):
+        vals = []
+        for mb, tgt in zip(mbs, tgts):
+            loss = F.cross_entropy(model(Tensor(mb)), tgt)
+            loss.backward()
+            vals.append(loss.item())
+            state.compress_gradients()
+        state.step()
+        losses.append(float(np.mean(vals)))
+    return losses, model
+
+
+class TestPipelineExecution:
+    def test_two_stage_matches_single_process(self):
+        results = run_pipeline(2)
+        pipeline_losses = results[1][0]  # last stage reports losses
+        ref_losses, _ = run_single_process()
+        assert pipeline_losses == pytest.approx(ref_losses, rel=1e-5)
+
+    def test_four_stage_matches_single_process(self):
+        results = run_pipeline(4)
+        pipeline_losses = results[3][0]
+        ref_losses, _ = run_single_process()
+        assert pipeline_losses == pytest.approx(ref_losses, rel=1e-5)
+
+    def test_losses_decrease(self):
+        results = run_pipeline(2, steps=6)
+        losses = results[1][0]
+        assert losses[-1] < losses[0]
+
+    def test_non_last_stages_report_none(self):
+        results = run_pipeline(3, steps=1)
+        assert results[0][0] == [None] and results[1][0] == [None]
+        assert results[2][0][0] is not None
+
+    def test_samo_pipeline_trains(self):
+        """SAMO-compressed stages train through the pipeline too."""
+        results = run_pipeline(2, steps=6, samo_sparsity=0.7)
+        losses = results[1][0]
+        assert losses[-1] < losses[0]
+
+    def test_samo_pipeline_pruned_weights_stay_zero(self):
+        results = run_pipeline(2, steps=3, samo_sparsity=0.8)
+        for _, params in results:
+            for name, arr in params.items():
+                if name.endswith("weight"):
+                    # 80% of each stage's weights pruned -> most entries zero
+                    zero_frac = float((arr == 0).mean())
+                    assert zero_frac > 0.7, (name, zero_frac)
+
+    def test_stage_parameter_updates_match_reference(self):
+        """Every stage's weights equal the single-process run's slice."""
+        results = run_pipeline(2, steps=2)
+        _, ref_model = run_single_process(steps=2)
+        ref = dict(ref_model.named_parameters())
+        # stage 0 holds blocks 0-1 (named b0, b1 within the stage)
+        for stage, offset in ((0, 0), (1, 2)):
+            for name, arr in results[stage][1].items():
+                # stage-local bK maps to reference b{K+offset}
+                idx = int(name.split(".")[0][1:])
+                ref_name = f"b{idx + offset}." + name.split(".", 1)[1]
+                assert np.allclose(arr, ref[ref_name].data, atol=1e-6), (stage, name)
+
+    def test_microbatch_target_mismatch_raises(self):
+        def worker(comm):
+            tr = PipelineStageTrainer(
+                comm, make_blocks()[:2],
+                head=lambda b: Tensor(b),
+                loss_head=loss_head,
+            )
+            tr.train_step([np.zeros((2, HID), np.float32)], [])
+
+        with pytest.raises(Exception):
+            run_parallel(1, worker)
+
+
+class TestCheckpointedStages:
+    """Activation checkpointing composed into the executable pipeline:
+    losses and parameters must match the non-checkpointed run exactly."""
+
+    def _run(self, checkpoint_segments, steps=3):
+        x, y = make_batch()
+        mbs = [x[:3], x[3:]]
+        tgts = [y[:3], y[3:]]
+
+        def worker(comm):
+            blocks = make_blocks(0)
+            stages = partition_module_list(blocks, comm.size)
+            tr = PipelineStageTrainer(
+                comm,
+                stages[comm.rank],
+                head=(lambda b: Tensor(b)) if comm.rank == 0 else None,
+                loss_head=loss_head if comm.rank == comm.size - 1 else None,
+                samo_sparsity=0.8,
+                config=SAMOConfig(optimizer="adam", lr=1e-2),
+                checkpoint_segments=checkpoint_segments,
+            )
+            out = [tr.train_step(mbs, tgts) for _ in range(steps)]
+            params = {n: p.data.copy() for n, p in tr.module.named_parameters()}
+            return out, params
+
+        return run_parallel(2, worker)
+
+    def test_checkpointed_matches_plain(self):
+        plain = self._run(checkpoint_segments=0)
+        ckpt = self._run(checkpoint_segments=2)
+        plain_losses = plain[-1][0]
+        ckpt_losses = ckpt[-1][0]
+        assert plain_losses == pytest.approx(ckpt_losses, rel=1e-6)
+        for (_, pp), (_, cp) in zip(plain, ckpt):
+            for name in pp:
+                assert np.allclose(pp[name], cp[name], atol=1e-6), name
+
+    def test_invalid_segment_count(self):
+        with pytest.raises(ValueError, match="checkpoint_segments"):
+            StageModule(make_blocks()[:2], checkpoint_segments=3)

@@ -1,0 +1,242 @@
+"""Pipeline schedule simulation (Fig. 3) and partitioner / G_inter choice."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.cluster import SUMMIT
+from repro.models import get_spec, gpt_spec
+from repro.parallel import (
+    StorageMode,
+    activation_bytes_per_gpu,
+    balanced_partition,
+    bubble_time,
+    choose_g_inter,
+    memory_per_gpu,
+    model_state_bytes,
+    simulate_pipeline,
+)
+
+
+class TestPipelineSimulation:
+    def test_figure3_exactly(self):
+        """G=3, 5 microbatches, t_b = 2 t_f: bubble = 6 units per GPU."""
+        tr = simulate_pipeline(3, 5, 1.0, 2.0)
+        assert tr.makespan == 21.0
+        for g in range(3):
+            assert tr.idle_time(g) == pytest.approx(6.0)
+            assert tr.busy_time(g) == pytest.approx(15.0)
+
+    @settings(max_examples=30, deadline=None)
+    @given(
+        g=st.integers(1, 8),
+        m_extra=st.integers(0, 12),
+        tf=st.floats(0.5, 3.0),
+        tb_mult=st.floats(1.0, 3.0),
+    )
+    def test_property_bubble_matches_eq7(self, g, m_extra, tf, tb_mult):
+        """Invariant 4: with m >= G and free messages, per-GPU idle equals
+        (G-1)(t_f + t_b) — the paper's Eq. 6/7 numerator."""
+        m = g + m_extra
+        tb = tf * tb_mult
+        tr = simulate_pipeline(g, m, tf, tb)
+        expected_idle = (g - 1) * (tf + tb)
+        for gpu in range(g):
+            assert tr.idle_time(gpu) == pytest.approx(expected_idle, rel=1e-6)
+
+    def test_makespan_formula(self):
+        """makespan = (m + G - 1) (t_f+t_b) for uniform 1F1B."""
+        for g, m in [(2, 4), (4, 8), (5, 5)]:
+            tr = simulate_pipeline(g, m, 1.0, 2.0)
+            assert tr.makespan == pytest.approx((m + g - 1) * 3.0)
+
+    def test_single_stage_no_bubble(self):
+        tr = simulate_pipeline(1, 6, 1.0, 2.0)
+        assert tr.idle_time(0) == 0.0
+
+    def test_messages_delay_makespan(self):
+        fast = simulate_pipeline(4, 8, 1.0, 2.0, msg_time=0.0)
+        slow = simulate_pipeline(4, 8, 1.0, 2.0, msg_time=0.5)
+        assert slow.makespan > fast.makespan
+
+    def test_all_tasks_executed_once(self):
+        tr = simulate_pipeline(4, 6, 1.0, 2.0)
+        fwd = [(t.gpu, t.microbatch) for t in tr.tasks if t.kind == "F"]
+        assert len(fwd) == len(set(fwd)) == 24
+
+    def test_ascii_render(self):
+        art = simulate_pipeline(3, 5, 1.0, 2.0).ascii(1.0)
+        assert art.count("GPU") == 3 and "[0]" in art
+
+    def test_bubble_monotone_in_g(self):
+        """Eq. 8: bubble strictly increases with G_inter."""
+        idles = [simulate_pipeline(g, 16, 1.0 / g, 2.0 / g).idle_time(0) for g in (2, 4, 8)]
+        assert idles == sorted(idles) and idles[0] < idles[-1]
+
+    def test_invalid_args(self):
+        with pytest.raises(ValueError):
+            simulate_pipeline(0, 4, 1.0, 1.0)
+
+
+class TestBubbleFormula:
+    def test_eq7_values(self):
+        assert bubble_time(1, 1.0, 2.0) == 0.0
+        assert bubble_time(3, 1.0, 2.0) == pytest.approx(2.0)
+        assert bubble_time(8, 1.0, 3.0) == pytest.approx(3.5)
+
+    def test_monotone(self):
+        vals = [bubble_time(g, 1.0, 2.0) for g in range(1, 64)]
+        assert all(a < b for a, b in zip(vals, vals[1:]))
+
+    def test_diminishing_returns(self):
+        """Eq. 8's 1/G^2 gradient: increments shrink with G."""
+        d1 = bubble_time(2, 1, 2) - bubble_time(1, 1, 2)
+        d2 = bubble_time(32, 1, 2) - bubble_time(31, 1, 2)
+        assert d2 < d1
+
+
+class TestStorageModes:
+    def test_dense_is_20phi(self):
+        spec = get_spec("gpt3-2.7b")
+        assert model_state_bytes(spec, StorageMode.DENSE) == 20 * spec.param_count
+
+    def test_samo_much_smaller_at_p09(self):
+        spec = get_spec("gpt3-2.7b")
+        dense = model_state_bytes(spec, StorageMode.DENSE)
+        samo = model_state_bytes(spec, StorageMode.SAMO, sparsity=0.9)
+        assert 0.20 < samo / dense < 0.25  # 22% of dense (78% saving)
+
+    def test_sparse_kernel_smallest(self):
+        spec = get_spec("gpt3-2.7b")
+        assert model_state_bytes(spec, StorageMode.SPARSE_KERNEL, 0.9) < model_state_bytes(
+            spec, StorageMode.SAMO, 0.9
+        )
+
+    def test_zero1_shards_optimizer(self):
+        spec = get_spec("gpt3-2.7b")
+        z1 = model_state_bytes(spec, StorageMode.ZERO1, g_data=1)
+        z64 = model_state_bytes(spec, StorageMode.ZERO1, g_data=64)
+        assert z64 < z1
+        assert z1 == pytest.approx(20 * spec.param_count, rel=0.01)
+
+    def test_unknown_mode(self):
+        with pytest.raises(KeyError):
+            model_state_bytes(get_spec("gpt3-xl"), "fancy")
+
+
+class TestGInterSelection:
+    def test_paper_configuration_2p7b(self):
+        """Dense 2.7B needs G_inter=8; SAMO needs 2 (Fig. 8 consistency)."""
+        spec = get_spec("gpt3-2.7b")
+        assert choose_g_inter(spec, 128, StorageMode.DENSE) == 8
+        assert choose_g_inter(spec, 128, StorageMode.SAMO, sparsity=0.9) == 2
+
+    def test_samo_reduces_g_inter_for_all_gpts(self):
+        for name in ("gpt3-xl", "gpt3-2.7b", "gpt3-6.7b", "gpt3-13b"):
+            spec = get_spec(name)
+            g = spec.batch_size  # enough GPUs that divisibility is easy
+            dense = choose_g_inter(spec, g, StorageMode.DENSE)
+            samo = choose_g_inter(spec, g, StorageMode.SAMO, sparsity=0.9)
+            assert samo < dense, name
+
+    def test_cnn_fits_one_gpu(self):
+        assert choose_g_inter(get_spec("vgg19"), 16, StorageMode.DENSE) == 1
+
+    def test_infeasible_raises(self):
+        spec = get_spec("gpt3-13b")
+        with pytest.raises(RuntimeError):
+            choose_g_inter(spec, 1, StorageMode.DENSE)  # 13B on one V100
+
+    def test_memory_per_gpu_decreases_with_g_inter(self):
+        spec = get_spec("gpt3-6.7b")
+        m = [memory_per_gpu(spec, g, StorageMode.DENSE) for g in (8, 16, 32)]
+        assert m == sorted(m, reverse=True)
+
+    def test_activation_bytes_scale_with_mbs(self):
+        spec = get_spec("gpt3-xl")
+        assert activation_bytes_per_gpu(spec, 2) == 2 * activation_bytes_per_gpu(spec, 1)
+
+
+class TestBalancedPartition:
+    def test_covers_all_layers_contiguously(self):
+        spec = get_spec("gpt3-2.7b")
+        plan = balanced_partition(spec, 8)
+        assert plan.boundaries[0] == 0 and plan.boundaries[-1] == spec.num_layers
+        assert plan.n_stages == 8
+        assert all(a < b for a, b in zip(plan.boundaries, plan.boundaries[1:]))
+
+    def test_flops_conserved(self):
+        spec = get_spec("gpt3-xl")
+        plan = balanced_partition(spec, 4)
+        assert sum(plan.stage_flops) == pytest.approx(spec.fwd_flops_per_sample())
+
+    def test_transformer_imbalance_low(self):
+        """Uniform blocks should partition to within ~35% of mean."""
+        spec = get_spec("gpt3-13b")
+        plan = balanced_partition(spec, 8)
+        assert plan.imbalance < 1.35
+
+    @settings(max_examples=20, deadline=None)
+    @given(g=st.integers(1, 16))
+    def test_property_any_stage_count_valid(self, g):
+        spec = gpt_spec("gpt3-xl")
+        if g > spec.num_layers:
+            return
+        plan = balanced_partition(spec, g)
+        assert plan.n_stages == g
+        assert min(b - a for a, b in zip(plan.boundaries, plan.boundaries[1:])) >= 1
+
+    def test_out_of_range_rejected(self):
+        spec = get_spec("gpt3-xl")
+        with pytest.raises(ValueError):
+            balanced_partition(spec, spec.num_layers + 1)
+
+
+class TestSchedulingPolicies:
+    """The Section II-E scheduling flags: async sends, 1F1B preference,
+    bounded in-flight forwards."""
+
+    def test_defaults_unchanged(self):
+        """Default flags reproduce the Figure 3 schedule exactly."""
+        tr = simulate_pipeline(3, 5, 1.0, 2.0)
+        assert tr.makespan == pytest.approx(21.0)
+        for g in range(3):
+            assert tr.idle_time(g) == pytest.approx(6.0)
+
+    def test_blocking_sends_never_faster(self):
+        for msg in (0.0, 0.2, 0.5):
+            a = simulate_pipeline(4, 8, 1.0, 2.0, msg_time=msg)
+            b = simulate_pipeline(4, 8, 1.0, 2.0, msg_time=msg, blocking_sends=True)
+            assert b.makespan >= a.makespan - 1e-9
+
+    def test_blocking_sends_equal_when_messages_free(self):
+        a = simulate_pipeline(4, 8, 1.0, 2.0, msg_time=0.0)
+        b = simulate_pipeline(4, 8, 1.0, 2.0, msg_time=0.0, blocking_sends=True)
+        assert b.makespan == pytest.approx(a.makespan)
+
+    def test_peak_in_flight_bounds(self):
+        tr = simulate_pipeline(4, 12, 1.0, 2.0)
+        # 1F1B warmup window: stage g holds at most G_inter - g forwards.
+        for g in range(4):
+            assert tr.peak_in_flight[g] <= 4 - g
+
+    def test_unbounded_reaches_m(self):
+        tr = simulate_pipeline(
+            4, 12, 1.0, 2.0, prefer_backward=False, bound_in_flight=False
+        )
+        assert tr.peak_in_flight[0] == 12
+
+    def test_fifo_completes_all_tasks(self):
+        tr = simulate_pipeline(5, 9, 1.0, 2.0, msg_time=0.3, prefer_backward=False)
+        assert len(tr.tasks) == 2 * 5 * 9
+
+    def test_all_policy_combinations_complete(self):
+        import itertools
+
+        for blk, pref, bound in itertools.product((False, True), repeat=3):
+            tr = simulate_pipeline(
+                3, 6, 1.0, 1.5, msg_time=0.1,
+                blocking_sends=blk, prefer_backward=pref, bound_in_flight=bound,
+            )
+            assert len(tr.tasks) == 2 * 3 * 6
+            assert tr.makespan > 0

@@ -1,0 +1,248 @@
+"""MaskSet invariants and pruning algorithms (incl. hypothesis properties)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.models import GPT, GPT_CONFIGS, build_vgg
+from repro.pruning import (
+    EarlyBirdPruner,
+    IterativePruner,
+    MaskSet,
+    magnitude_prune,
+    prunable_parameters,
+    random_mask_for_shapes,
+    random_prune,
+    rounds_for_sparsity,
+)
+from repro.tensor import Linear, Sequential, Tensor
+
+
+def small_model(seed=0):
+    rng = np.random.default_rng(seed)
+    return Sequential(Linear(16, 32, rng=rng), Linear(32, 8, rng=rng))
+
+
+class TestMaskSet:
+    def test_indices_sorted_unique_int32(self, rng):
+        m = random_prune(small_model(), 0.7, rng)
+        for name, idx in m.indices.items():
+            assert idx.dtype == np.int32
+            assert np.all(np.diff(idx) > 0)
+
+    def test_sparsity_accounting(self, rng):
+        m = random_prune(small_model(), 0.9, rng)
+        assert m.sparsity == pytest.approx(0.9, abs=0.01)
+        assert m.total_kept() + round(0.9 * m.total_size()) == pytest.approx(m.total_size(), abs=2)
+
+    def test_out_of_range_rejected(self):
+        with pytest.raises(ValueError):
+            MaskSet({"w": np.array([0, 100])}, {"w": (4, 4)})
+
+    def test_missing_shape_rejected(self):
+        with pytest.raises(KeyError):
+            MaskSet({"w": np.array([0])}, {})
+
+    def test_bool_mask_roundtrip(self, rng):
+        m = random_prune(small_model(), 0.5, rng)
+        for name in m:
+            bm = m.bool_mask(name)
+            rebuilt = MaskSet.from_bool_masks({name: bm})
+            assert np.array_equal(rebuilt.indices[name], m.indices[name])
+
+    def test_apply_zeroes_pruned(self, rng):
+        net = small_model()
+        m = random_prune(net, 0.8, rng)
+        m.apply(net)
+        for name, p in prunable_parameters(net).items():
+            keep = m.bool_mask(name)
+            assert np.all(p.data[~keep] == 0.0)
+
+    def test_mask_gradients(self, rng):
+        net = small_model()
+        m = random_prune(net, 0.8, rng)
+        x = Tensor(rng.normal(size=(4, 16)).astype(np.float32))
+        net(x).sum().backward()
+        m.mask_gradients(net)
+        for name, p in prunable_parameters(net).items():
+            keep = m.bool_mask(name)
+            assert np.all(p.grad[~keep] == 0.0)
+
+    def test_distance_self_zero_disjoint_one(self):
+        shapes = {"w": (10,)}
+        a = MaskSet({"w": np.arange(5)}, shapes)
+        b = MaskSet({"w": np.arange(5, 10)}, shapes)
+        assert a.distance(a) == 0.0
+        assert a.distance(b) == 1.0
+
+    def test_distance_symmetric(self, rng):
+        net = small_model()
+        a = random_prune(net, 0.5, np.random.default_rng(0))
+        b = random_prune(net, 0.5, np.random.default_rng(1))
+        assert a.distance(b) == pytest.approx(b.distance(a))
+
+    def test_intersect(self):
+        shapes = {"w": (10,)}
+        a = MaskSet({"w": np.arange(6)}, shapes)
+        b = MaskSet({"w": np.arange(3, 10)}, shapes)
+        c = a.intersect(b)
+        assert np.array_equal(c.indices["w"], np.arange(3, 6))
+
+    def test_distance_mismatched_layers_raises(self):
+        a = MaskSet({"w": np.array([0])}, {"w": (4,)})
+        b = MaskSet({"v": np.array([0])}, {"v": (4,)})
+        with pytest.raises(ValueError):
+            a.distance(b)
+
+    @settings(max_examples=25, deadline=None)
+    @given(
+        size=st.integers(min_value=4, max_value=200),
+        sparsity=st.floats(min_value=0.0, max_value=0.95),
+    )
+    def test_property_random_mask_sparsity(self, size, sparsity):
+        """Per-layer kept count is exact to one element (invariant 7)."""
+        m = random_mask_for_shapes({"w": (size,)}, sparsity, np.random.default_rng(0))
+        expected_keep = size - round(sparsity * size)
+        assert m.total_kept() == expected_keep
+
+    @settings(max_examples=25, deadline=None)
+    @given(sparsity=st.floats(min_value=0.05, max_value=0.95))
+    def test_property_global_magnitude_exact_count(self, sparsity):
+        net = small_model(seed=42)
+        m = magnitude_prune(net, sparsity)
+        total = m.total_size()
+        assert m.total_kept() == total - round(sparsity * total)
+
+
+class TestMagnitude:
+    def test_keeps_largest(self):
+        net = Sequential(Linear(4, 4))
+        w = net[0].weight
+        w.data[...] = np.arange(16, dtype=np.float32).reshape(4, 4)
+        m = magnitude_prune(net, 0.5)
+        kept = m.indices["0.weight"]
+        assert np.all(kept >= 8)  # the 8 largest magnitudes
+
+    def test_layer_scope_uniform_sparsity(self):
+        net = small_model()
+        # make first layer huge values, second tiny — layer scope must still
+        # prune each to the target
+        net[0].weight.data[...] *= 100
+        m = magnitude_prune(net, 0.6, scope="layer")
+        assert m.layer_sparsity("0.weight") == pytest.approx(0.6, abs=0.01)
+        assert m.layer_sparsity("1.weight") == pytest.approx(0.6, abs=0.01)
+
+    def test_global_scope_can_be_nonuniform(self):
+        net = small_model()
+        net[0].weight.data[...] = 10.0
+        net[1].weight.data[...] = 0.01
+        m = magnitude_prune(net, 0.3)
+        assert m.layer_sparsity("0.weight") < 0.05
+        assert m.layer_sparsity("1.weight") > 0.5
+
+    def test_invalid_sparsity(self):
+        with pytest.raises(ValueError):
+            magnitude_prune(small_model(), 1.0)
+
+    def test_ties_resolved_exactly(self):
+        """All-equal weights: threshold ties must still give exact counts."""
+        net = Sequential(Linear(8, 8, rng=np.random.default_rng(0)))
+        net[0].weight.data[...] = 1.0
+        m = magnitude_prune(net, 0.5)
+        assert m.total_kept() == 32
+
+
+class TestEarlyBird:
+    def test_converges_on_static_model(self):
+        """If weights stop changing, masks coincide and EB must trigger."""
+        net = small_model()
+        eb = EarlyBirdPruner(sparsity=0.8, epsilon=0.1, window=3)
+        for _ in range(3):
+            eb.observe(net)
+        assert eb.converged
+        assert eb.ticket.sparsity == pytest.approx(0.8, abs=0.01)
+
+    def test_does_not_converge_while_mask_churns(self, rng):
+        net = small_model()
+        eb = EarlyBirdPruner(sparsity=0.8, epsilon=0.01, window=3)
+        for _ in range(4):
+            # randomise weights each epoch -> masks keep changing
+            for p in net.parameters():
+                p.data[...] = rng.normal(size=p.data.shape).astype(np.float32)
+            eb.observe(net)
+        assert not eb.converged
+
+    def test_distance_history_recorded(self):
+        net = small_model()
+        eb = EarlyBirdPruner(sparsity=0.5, window=2)
+        eb.observe(net)
+        eb.observe(net)
+        assert len(eb.distance_history) == 1 and eb.distance_history[0] == 0.0
+
+    def test_ticket_before_observe_raises(self):
+        with pytest.raises(RuntimeError):
+            EarlyBirdPruner().ticket
+
+    def test_on_real_training(self):
+        """EB finds a stable ticket on a tiny GPT within a few epochs."""
+        from repro.core import SAMOConfig
+        from repro.train import CharCorpus, Trainer
+
+        cfg = GPT_CONFIGS["gpt3-tiny"]
+        model = GPT(cfg, seed=0)
+        corpus = CharCorpus(vocab_size=cfg.vocab_size, length=5000, seed=0)
+        trainer = Trainer(model, mode="dense", config=SAMOConfig(optimizer="adamw", lr=3e-3))
+        eb = EarlyBirdPruner(sparsity=0.9, epsilon=0.15, window=2)
+        rng = np.random.default_rng(0)
+        for _ in range(4):
+            for _ in range(3):
+                x, y = corpus.sample_batch(4, 32, rng)
+                trainer.step(x, y)
+            eb.observe(model)
+            if eb.converged:
+                break
+        assert eb.epochs_observed >= 2
+        assert eb.ticket.sparsity == pytest.approx(0.9, abs=0.01)
+
+
+class TestIterative:
+    def test_rounds_for_sparsity(self):
+        assert rounds_for_sparsity(0.9, 0.2) == 11  # 0.8^11 ~ 0.086
+        assert rounds_for_sparsity(0.2, 0.2) == 1
+
+    def test_reaches_target(self):
+        net = small_model()
+        pruner = IterativePruner(net, target_sparsity=0.5, per_round=0.3)
+        while not pruner.done:
+            pruner.prune_round()
+        assert pruner.mask.sparsity == pytest.approx(0.5, abs=0.02)
+
+    def test_rewind_restores_survivors(self):
+        net = small_model()
+        init = {n: p.data.copy() for n, p in net.named_parameters()}
+        pruner = IterativePruner(net, target_sparsity=0.3, per_round=0.3)
+        for p in net.parameters():
+            p.data += 1.0  # "train"
+        mask = pruner.prune_round()
+        for name, p in prunable_parameters(net).items():
+            keep = mask.bool_mask(name)
+            assert np.allclose(p.data[keep], init[name][keep])
+            assert np.all(p.data[~keep] == 0.0)
+
+    def test_masks_nested(self):
+        """Each round's kept set is a subset of the previous round's."""
+        net = small_model()
+        pruner = IterativePruner(net, target_sparsity=0.6, per_round=0.25, rewind=False)
+        prev = pruner.mask
+        while not pruner.done:
+            cur = pruner.prune_round()
+            inter = cur.intersect(prev)
+            assert inter.total_kept() == cur.total_kept()
+            prev = cur
+
+    def test_run_driver(self):
+        net = small_model()
+        calls = []
+        pruner = IterativePruner(net, target_sparsity=0.4, per_round=0.4)
+        pruner.run(lambda m: calls.append(1))
+        assert pruner.done and len(calls) == pruner.round

@@ -1,0 +1,41 @@
+"""Reporting helpers used by the benchmark harness."""
+
+from repro.reporting import format_bytes, format_seconds, log2_axis_plot, render_table, series_plot
+
+
+class TestTables:
+    def test_render_basic(self):
+        out = render_table([{"a": 1, "b": 2.5}, {"a": 10, "b": 0.25}], title="T")
+        assert "T" in out and "a" in out and "10" in out
+
+    def test_empty(self):
+        assert "empty" in render_table([])
+
+    def test_column_subset_and_alignment(self):
+        out = render_table([{"x": 1, "y": 2}], columns=["y"])
+        assert "x" not in out.splitlines()[0]
+
+    def test_format_bytes(self):
+        assert format_bytes(80_160_000_000) == "80.16 GB"
+        assert format_bytes(1500) == "1.50 KB"
+        assert format_bytes(10) == "10 B"
+
+    def test_format_seconds(self):
+        assert format_seconds(1.5) == "1.50 s"
+        assert format_seconds(0.0021) == "2.10 ms"
+
+
+class TestPlots:
+    def test_series_plot_contains_marks(self):
+        out = series_plot({"a": [1, 2, 3], "b": [3, 2, 1]}, [1, 2, 3])
+        assert "o" in out and "x" in out and "legend" in out
+
+    def test_log_plot(self):
+        out = log2_axis_plot({"t": [0.1, 1.0, 10.0]}, [64, 128, 256], title="scaling")
+        assert "scaling" in out
+
+    def test_flat_series_ok(self):
+        assert "legend" in series_plot({"c": [5.0, 5.0]}, [0, 1])
+
+    def test_empty_series(self):
+        assert series_plot({}, []) == "(no data)"

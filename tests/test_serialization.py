@@ -1,0 +1,160 @@
+"""SAMO checkpointing: exact round-trip, bit-identical resume, and
+compressed-size on-disk accounting."""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    SAMOConfig,
+    SAMOTrainingState,
+    checkpoint_nbytes,
+    load_state,
+    save_state,
+)
+from repro.pruning import magnitude_prune
+from repro.tensor import Linear, Sequential, Tensor
+
+
+def _fresh(seed=0, optimizer="adamw", sparsity=0.8):
+    rng = np.random.default_rng(seed)
+    net = Sequential(Linear(12, 20, rng=rng), Linear(20, 6, rng=rng))
+    mask = magnitude_prune(net, sparsity)
+    cfg = SAMOConfig(optimizer=optimizer, lr=1e-2, warn_below_break_even=False)
+    return net, SAMOTrainingState(net, mask, cfg)
+
+
+def _train(state, steps, seed=100):
+    rng = np.random.default_rng(seed)
+    for _ in range(steps):
+        x = Tensor(rng.standard_normal((5, 12)).astype(np.float32))
+        state.model(x).sum().backward()
+        state.compress_gradients()
+        assert state.step()
+
+
+def _snapshot(state):
+    return {
+        "theta32": [e.theta32_c.copy() for e in state.compressed],
+        "os": [[s.copy() for s in e.opt_state_c] for e in state.compressed],
+        "dense": [d.theta32.copy() for d in state.dense],
+        "params": [p.data.copy() for p in state.model.parameters()],
+        "step": state.step_count,
+    }
+
+
+class TestRoundTrip:
+    @pytest.mark.parametrize("optimizer", ["adamw", "adam", "sgd"])
+    def test_exact_roundtrip(self, tmp_path, optimizer):
+        net, state = _fresh(optimizer=optimizer)
+        _train(state, 3)
+        before = _snapshot(state)
+
+        path = tmp_path / "ckpt.npz"
+        save_state(state, path)
+
+        net2, _ = _fresh(seed=999, optimizer=optimizer)  # different init
+        restored = load_state(net2, path)
+        after = _snapshot(restored)
+
+        assert after["step"] == before["step"]
+        for a, b in zip(after["theta32"], before["theta32"]):
+            assert np.array_equal(a, b)
+        for slots_a, slots_b in zip(after["os"], before["os"]):
+            for a, b in zip(slots_a, slots_b):
+                assert np.array_equal(a, b)
+        for a, b in zip(after["dense"], before["dense"]):
+            assert np.array_equal(a, b)
+        for a, b in zip(after["params"], before["params"]):
+            assert np.array_equal(a, b)
+
+    def test_resume_is_bit_identical(self, tmp_path):
+        """save -> load -> N steps == uninterrupted N steps."""
+        net_a, state_a = _fresh(seed=1)
+        _train(state_a, 2, seed=50)
+        path = tmp_path / "mid.npz"
+        save_state(state_a, path)
+        _train(state_a, 3, seed=60)  # uninterrupted reference
+
+        net_b, _ = _fresh(seed=1)
+        state_b = load_state(net_b, path)
+        _train(state_b, 3, seed=60)  # resumed
+
+        for ea, eb in zip(state_a.compressed, state_b.compressed):
+            assert np.array_equal(ea.theta32_c, eb.theta32_c)
+            for sa, sb in zip(ea.opt_state_c, eb.opt_state_c):
+                assert np.array_equal(sa, sb)
+        for da, db in zip(state_a.dense, state_b.dense):
+            assert np.array_equal(da.theta32, db.theta32)
+
+    def test_consistency_check_passes_after_load(self, tmp_path):
+        net, state = _fresh()
+        _train(state, 1)
+        path = tmp_path / "c.npz"
+        save_state(state, path)
+        net2, _ = _fresh(seed=4)
+        restored = load_state(net2, path)
+        restored.consistency_check()  # raises on any invariant break
+
+
+class TestValidation:
+    def test_shape_mismatch_rejected(self, tmp_path):
+        net, state = _fresh()
+        path = tmp_path / "c.npz"
+        save_state(state, path)
+        rng = np.random.default_rng(0)
+        wrong = Sequential(Linear(12, 24, rng=rng), Linear(24, 6, rng=rng))
+        with pytest.raises((ValueError, KeyError)):
+            load_state(wrong, path)
+
+    def test_missing_parameter_rejected(self, tmp_path):
+        net, state = _fresh()
+        path = tmp_path / "c.npz"
+        save_state(state, path)
+        rng = np.random.default_rng(0)
+        smaller = Sequential(Linear(12, 20, rng=rng))
+        with pytest.raises(KeyError):
+            load_state(smaller, path)
+
+    def test_version_check(self, tmp_path):
+        import json
+
+        net, state = _fresh()
+        path = tmp_path / "c.npz"
+        save_state(state, path)
+        with np.load(path) as z:
+            arrays = {k: z[k] for k in z.files}
+        header = json.loads(bytes(arrays["header"]).decode())
+        header["version"] = 99
+        arrays["header"] = np.frombuffer(json.dumps(header).encode(), dtype=np.uint8).copy()
+        with open(path, "wb") as fh:
+            np.savez(fh, **arrays)
+        net2, _ = _fresh(seed=2)
+        with pytest.raises(ValueError, match="version"):
+            load_state(net2, path)
+
+
+class TestSizeAccounting:
+    def test_checkpoint_is_compressed_size(self, tmp_path):
+        """On-disk state scales with nnz, not with φ — the paper's memory
+        saving carried to disk."""
+        net, state = _fresh(sparsity=0.9)
+        logical = checkpoint_nbytes(state)
+        # Dense-equivalent: θ32 (4φ) + 2 Adam slots (8φ) over *all* params.
+        phi = sum(p.data.size for p in net.parameters())
+        dense_equiv = 12 * phi
+        assert logical < 0.55 * dense_equiv
+
+        path = tmp_path / "c.npz"
+        written = save_state(state, path)
+        # Zip adds headers but the file must stay in the logical ballpark.
+        assert written < 2 * logical + 16_384
+
+    def test_nbytes_matches_arrays(self):
+        net, state = _fresh()
+        n = checkpoint_nbytes(state)
+        manual = 0
+        for e in state.compressed:
+            manual += e.ind.nbytes + e.theta32_c.nbytes + sum(s.nbytes for s in e.opt_state_c)
+        for d in state.dense:
+            manual += d.theta32.nbytes + sum(s.nbytes for s in d.opt_state)
+        assert n == manual

@@ -1,0 +1,162 @@
+"""Sparse kernels (spMM, sDDMM, FlatCOO) and the Figure 1 models."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.sparse import (
+    CUBLAS_FP16,
+    CUSPARSE_FP16,
+    FlatCOO,
+    GemmModel,
+    SPUTNIK_FP16,
+    fc_layer_time,
+    figure1_sweep,
+    sddmm,
+    sddmm_dense,
+    sparse_over_dense_ratio,
+    spmm_dense,
+    spmm_gather,
+    spmm_scipy,
+)
+
+
+class TestFlatCOO:
+    def test_from_dense_roundtrip(self, rng):
+        d = rng.standard_normal((5, 7)).astype(np.float32)
+        d[rng.random((5, 7)) < 0.6] = 0.0
+        coo = FlatCOO.from_dense(d)
+        assert np.array_equal(coo.to_dense(), d)
+
+    def test_random_sparsity(self, rng):
+        coo = FlatCOO.random((40, 50), 0.9, rng)
+        assert coo.sparsity == pytest.approx(0.9, abs=0.01)
+
+    def test_rows_cols_consistent(self, rng):
+        coo = FlatCOO.random((6, 9), 0.5, rng)
+        r, c = coo.rows_cols()
+        assert np.array_equal(r * 9 + c, coo.ind)
+
+    def test_csr_matches_dense(self, rng):
+        coo = FlatCOO.random((8, 8), 0.7, rng)
+        assert np.allclose(coo.to_csr().toarray(), coo.to_dense())
+
+    def test_shared_pattern_with_values(self, rng):
+        coo = FlatCOO.random((4, 4), 0.5, rng)
+        other = coo.with_values(np.ones(coo.nnz, np.float32))
+        assert other.ind is coo.ind  # literally shared index memory
+
+    def test_storage_bytes(self, rng):
+        coo = FlatCOO.random((10, 10), 0.9, rng)
+        assert coo.storage_bytes() == coo.nnz * (4 + 4)  # int32 + fp32
+
+    def test_requires_2d(self):
+        with pytest.raises(ValueError):
+            FlatCOO(np.array([0]), np.array([1.0]), (2, 2, 2))
+
+    def test_value_length_mismatch(self):
+        with pytest.raises(ValueError):
+            FlatCOO(np.array([0, 1]), np.array([1.0]), (2, 2))
+
+
+class TestSpMM:
+    @settings(max_examples=25, deadline=None)
+    @given(
+        out_f=st.integers(2, 24),
+        in_f=st.integers(2, 24),
+        batch=st.integers(1, 8),
+        sparsity=st.floats(0.0, 0.95),
+        seed=st.integers(0, 100),
+    )
+    def test_property_all_kernels_agree(self, out_f, in_f, batch, sparsity, seed):
+        rng = np.random.default_rng(seed)
+        w = FlatCOO.random((out_f, in_f), sparsity, rng)
+        x = rng.standard_normal((batch, in_f)).astype(np.float32)
+        ref = spmm_dense(w, x)
+        assert np.allclose(spmm_scipy(w, x), ref, atol=1e-4)
+        assert np.allclose(spmm_gather(w, x), ref, atol=1e-4)
+
+    def test_empty_pattern(self, rng):
+        w = FlatCOO(np.array([], np.int32), np.array([], np.float32), (4, 6))
+        x = rng.standard_normal((3, 6)).astype(np.float32)
+        assert np.allclose(spmm_scipy(w, x), 0.0)
+
+
+class TestSDDMM:
+    @settings(max_examples=25, deadline=None)
+    @given(
+        out_f=st.integers(2, 16),
+        in_f=st.integers(2, 16),
+        batch=st.integers(1, 8),
+        seed=st.integers(0, 100),
+    )
+    def test_property_matches_dense_reference(self, out_f, in_f, batch, seed):
+        rng = np.random.default_rng(seed)
+        pat = FlatCOO.random((out_f, in_f), 0.6, rng)
+        dy = rng.standard_normal((batch, out_f)).astype(np.float32)
+        x = rng.standard_normal((batch, in_f)).astype(np.float32)
+        assert np.allclose(sddmm(pat, dy, x), sddmm_dense(pat, dy, x), atol=1e-4)
+
+    def test_output_aligned_with_pattern(self, rng):
+        """sDDMM output is exactly SAMO's compressed gradient layout."""
+        pat = FlatCOO.random((6, 8), 0.5, rng)
+        dy = rng.standard_normal((4, 6)).astype(np.float32)
+        x = rng.standard_normal((4, 8)).astype(np.float32)
+        vals = sddmm(pat, dy, x)
+        assert vals.shape == pat.ind.shape
+
+    def test_shape_validation(self, rng):
+        pat = FlatCOO.random((6, 8), 0.5, rng)
+        with pytest.raises(ValueError):
+            sddmm(pat, rng.standard_normal((4, 6)), rng.standard_normal((5, 8)))
+        with pytest.raises(ValueError):
+            sddmm(pat, rng.standard_normal((4, 7)), rng.standard_normal((4, 8)))
+
+    def test_fc_backward_integration(self, rng):
+        """dW at kept positions from sDDMM == dense dW gathered."""
+        w = FlatCOO.random((5, 9), 0.7, rng)
+        x = rng.standard_normal((6, 9)).astype(np.float32)
+        dy = rng.standard_normal((6, 5)).astype(np.float32)
+        dense_dw = dy.T @ x
+        assert np.allclose(sddmm(w, dy, x), dense_dw.reshape(-1)[w.ind], atol=1e-4)
+
+
+class TestKernelModels:
+    def test_figure1_ordering(self):
+        """cuBLAS < Sputnik < cuSPARSE at every size (the Fig. 1 stack)."""
+        sweep = figure1_sweep()
+        for i in range(len(sweep["size"])):
+            assert sweep["cublas"][i] < sweep["sputnik"][i] < sweep["cusparse"][i]
+
+    def test_six_to_22x_band(self):
+        """The paper's headline: dense is 6-22x faster than Sputnik."""
+        ratios = [sparse_over_dense_ratio(n) for n in (128, 256, 512, 1024, 2048, 4096)]
+        assert 5.5 < min(ratios) < 8.0
+        assert 20.0 < max(ratios) < 24.0
+        assert ratios == sorted(ratios)  # gap grows with size
+
+    def test_times_monotone_in_size(self):
+        sweep = figure1_sweep()
+        for k in ("cublas", "sputnik", "cusparse"):
+            assert sweep[k] == sorted(sweep[k]), k
+
+    def test_efficiency_ramp(self):
+        assert CUBLAS_FP16.efficiency(128) < CUBLAS_FP16.efficiency(4096)
+        assert CUBLAS_FP16.efficiency(4096) < CUBLAS_FP16.eff_max
+
+    def test_custom_model_time_positive(self):
+        m = GemmModel("test", 1e12, eff_max=0.5, half_sat=100)
+        assert m.time(10, 10, 10) > 0
+
+    def test_sparsity_scales_sputnik_work(self):
+        t95 = fc_layer_time("sputnik", 576, 1024, sparsity=0.95)
+        t80 = fc_layer_time("sputnik", 576, 1024, sparsity=0.80)
+        assert t95 < t80  # fewer nnz -> less work
+
+    def test_cpu_kernels_execute_at_fig1_shape(self, rng):
+        """Smoke: run the real CPU kernels on one Fig. 1 configuration."""
+        w = FlatCOO.random((256, 256), 0.9, rng)
+        x = rng.standard_normal((64, 256)).astype(np.float32)
+        a = spmm_scipy(w, x)
+        b = spmm_dense(w, x)
+        assert np.allclose(a, b, atol=1e-3)

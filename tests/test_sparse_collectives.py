@@ -1,0 +1,260 @@
+"""Sparse gradient collectives: values-only fast path, union fallback,
+and the SAMO data-parallel synchronizer (paper Section IV-A)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.comm import (
+    CommError,
+    SparseGradientSynchronizer,
+    allreduce_compressed,
+    mask_digest,
+    run_parallel,
+    sparse_allreduce_union,
+)
+from repro.core import SAMOConfig, SAMOTrainingState
+from repro.pruning import magnitude_prune
+from repro.tensor import Linear, Sequential, Tensor
+
+
+class TestMaskDigest:
+    def test_deterministic_and_distinct(self):
+        a = np.array([0, 3, 7], dtype=np.int32)
+        b = np.array([0, 3, 8], dtype=np.int32)
+        assert np.array_equal(mask_digest(a), mask_digest(a))
+        assert not np.array_equal(mask_digest(a), mask_digest(b))
+
+    def test_dtype_insensitive(self):
+        """int32 and int64 views of the same index set hash identically."""
+        a32 = np.array([1, 5, 9], dtype=np.int32)
+        assert np.array_equal(mask_digest(a32), mask_digest(a32.astype(np.int64)))
+
+
+class TestAllreduceCompressed:
+    def test_mean_matches_manual(self):
+        def worker(comm):
+            vals = np.full(6, float(comm.rank + 1), dtype=np.float16)
+            return allreduce_compressed(comm, vals)
+
+        for res in run_parallel(4, worker):
+            assert res.dtype == np.float16
+            assert np.allclose(res, 2.5)
+
+    def test_sum_op(self):
+        def worker(comm):
+            return allreduce_compressed(
+                comm, np.ones(3, dtype=np.float32), op="sum"
+            )
+
+        for res in run_parallel(3, worker):
+            assert np.allclose(res, 3.0)
+
+    def test_mask_check_passes_when_aligned(self):
+        ind = np.array([0, 2, 5], dtype=np.int32)
+
+        def worker(comm):
+            return allreduce_compressed(
+                comm, np.ones(3, np.float32), ind=ind, check_masks=True
+            )
+
+        run_parallel(2, worker)
+
+    def test_mask_check_detects_divergence(self):
+        def worker(comm):
+            ind = np.array([0, 2, 5 + comm.rank], dtype=np.int32)
+            return allreduce_compressed(
+                comm, np.ones(3, np.float32), ind=ind, check_masks=True
+            )
+
+        with pytest.raises(CommError, match="identical masks"):
+            run_parallel(2, worker)
+
+    def test_check_requires_index(self):
+        def worker(comm):
+            return allreduce_compressed(
+                comm, np.ones(2, np.float32), check_masks=True
+            )
+
+        with pytest.raises(CommError, match="requires the index"):
+            run_parallel(2, worker)
+
+
+class TestSparseAllreduceUnion:
+    def test_disjoint_supports(self):
+        """Ranks contribute disjoint positions; union holds both halves."""
+        def worker(comm):
+            if comm.rank == 0:
+                ind = np.array([0, 2], dtype=np.int32)
+                vals = np.array([1.0, 2.0], dtype=np.float32)
+            else:
+                ind = np.array([5, 7], dtype=np.int32)
+                vals = np.array([10.0, 20.0], dtype=np.float32)
+            return sparse_allreduce_union(comm, ind, vals, op="sum")
+
+        for union, out in run_parallel(2, worker):
+            assert np.array_equal(union, [0, 2, 5, 7])
+            assert np.allclose(out, [1.0, 2.0, 10.0, 20.0])
+
+    def test_overlapping_supports_sum_and_mean(self):
+        def worker(comm):
+            ind = np.array([1, 4], dtype=np.int32)
+            vals = np.array([1.0, float(comm.rank)], dtype=np.float32)
+            s_ind, s = sparse_allreduce_union(comm, ind, vals, op="sum")
+            m_ind, m = sparse_allreduce_union(comm, ind, vals, op="mean")
+            return s_ind, s, m
+
+        for s_ind, s, m in run_parallel(4, worker):
+            assert np.array_equal(s_ind, [1, 4])
+            assert np.allclose(s, [4.0, 0 + 1 + 2 + 3])
+            # mean divides by world size (dense semantics)
+            assert np.allclose(m, [1.0, 6.0 / 4])
+
+    def test_matches_dense_allreduce(self):
+        """Union sparse allreduce == dense allreduce restricted to union."""
+        size = 40
+
+        def worker(comm):
+            rng = np.random.default_rng(100 + comm.rank)
+            ind = np.sort(rng.choice(size, 12, replace=False)).astype(np.int32)
+            vals = rng.standard_normal(12).astype(np.float32)
+            dense = np.zeros(size, dtype=np.float32)
+            dense[ind] = vals
+            dense_out = comm.allreduce(dense, op="sum")
+            union, sparse_out = sparse_allreduce_union(comm, ind, vals, op="sum")
+            return dense_out, union, sparse_out
+
+        for dense_out, union, sparse_out in run_parallel(3, worker):
+            recon = np.zeros(size, dtype=np.float32)
+            recon[union] = sparse_out
+            assert np.allclose(recon, dense_out, atol=1e-6)
+
+    def test_shape_mismatch_raises(self):
+        def worker(comm):
+            return sparse_allreduce_union(
+                comm, np.array([0, 1], np.int32), np.ones(3, np.float32)
+            )
+
+        with pytest.raises(CommError, match="align"):
+            run_parallel(2, worker)
+
+    def test_bad_op_raises(self):
+        def worker(comm):
+            return sparse_allreduce_union(
+                comm, np.array([0], np.int32), np.ones(1, np.float32), op="prod"
+            )
+
+        with pytest.raises(CommError, match="op must be"):
+            run_parallel(2, worker)
+
+    @settings(max_examples=20, deadline=None)
+    @given(
+        seed=st.integers(0, 10_000),
+        world=st.integers(2, 4),
+        space=st.integers(8, 64),
+    )
+    def test_property_union_reconstruction(self, seed, world, space):
+        """For random supports/values, scattering the union result back to a
+        dense vector always equals the dense all-reduce."""
+        def worker(comm):
+            rng = np.random.default_rng(seed * 10 + comm.rank)
+            nnz = rng.integers(1, space)
+            ind = np.sort(rng.choice(space, nnz, replace=False)).astype(np.int32)
+            vals = rng.standard_normal(nnz).astype(np.float32)
+            dense = np.zeros(space, np.float32)
+            dense[ind] = vals
+            d = comm.allreduce(dense, op="sum")
+            union, s = sparse_allreduce_union(comm, ind, vals, op="sum")
+            recon = np.zeros(space, np.float32)
+            recon[union] = s
+            return np.allclose(recon, d, atol=1e-5)
+
+        assert all(run_parallel(world, worker))
+
+
+def _make_state(seed: int, sparsity: float = 0.75) -> SAMOTrainingState:
+    rng = np.random.default_rng(seed)
+    net = Sequential(Linear(10, 16, rng=rng), Linear(16, 4, rng=rng))
+    mask = magnitude_prune(net, sparsity)
+    cfg = SAMOConfig(optimizer="sgd", lr=0.1, warn_below_break_even=False)
+    return SAMOTrainingState(net, mask, cfg)
+
+
+class TestSynchronizer:
+    def _run_step(self, comm, sync_before_step: bool):
+        # Same init on every rank; rank-dependent data -> different grads.
+        state = _make_state(seed=7)
+        rng = np.random.default_rng(1000 + comm.rank)
+        x = Tensor(rng.standard_normal((8, 10)).astype(np.float32))
+        y = state.model(x)
+        y.sum().backward()
+        state.compress_gradients()
+        sync = SparseGradientSynchronizer(state, comm)
+        if sync_before_step:
+            sync.sync()
+        state.step()
+        return np.concatenate(
+            [e.theta32_c for e in state.compressed]
+            + [d.theta32.reshape(-1) for d in state.dense]
+        ), sync.bytes_last_sync
+
+    def test_replicas_agree_after_sync(self):
+        results = run_parallel(3, lambda comm: self._run_step(comm, True))
+        thetas = [t for t, _ in results]
+        for t in thetas[1:]:
+            assert np.array_equal(t, thetas[0])
+
+    def test_replicas_diverge_without_sync(self):
+        results = run_parallel(3, lambda comm: self._run_step(comm, False))
+        thetas = [t for t, _ in results]
+        assert any(not np.array_equal(t, thetas[0]) for t in thetas[1:])
+
+    def test_payload_is_sparse_fraction_of_dense(self):
+        def worker(comm):
+            state = _make_state(seed=3, sparsity=0.8)
+            x = Tensor(np.ones((4, 10), dtype=np.float32))
+            state.model(x).sum().backward()
+            state.compress_gradients()
+            sync = SparseGradientSynchronizer(state, comm)
+            sent = sync.sync()
+            return sent, sync.dense_bytes()
+
+        for sent, dense in run_parallel(2, worker):
+            # prunable payload shrinks ~5x at 80% sparsity; biases stay dense
+            assert sent < 0.45 * dense
+
+    def test_sync_matches_manual_mean(self):
+        """Synchronizer result == manual fp32 mean of per-rank gradients."""
+        def worker(comm):
+            state = _make_state(seed=11)
+            rng = np.random.default_rng(50 + comm.rank)
+            x = Tensor(rng.standard_normal((6, 10)).astype(np.float32))
+            state.model(x).sum().backward()
+            state.compress_gradients()
+            raw = [e.grad16_c.copy() for e in state.compressed]
+            manual = [
+                (comm.allreduce(g.astype(np.float32)) / comm.size).astype(np.float16)
+                for g in raw
+            ]
+            SparseGradientSynchronizer(state, comm).sync()
+            got = [e.grad16_c for e in state.compressed]
+            return all(np.array_equal(m, g) for m, g in zip(manual, got))
+
+        assert all(run_parallel(2, worker))
+
+
+class TestUnionEdgeCases:
+    def test_rank_with_empty_support(self):
+        """A rank holding no kept values still participates correctly."""
+        def worker(comm):
+            if comm.rank == 0:
+                ind = np.array([], dtype=np.int32)
+                vals = np.array([], dtype=np.float32)
+            else:
+                ind = np.array([2, 7], dtype=np.int32)
+                vals = np.array([1.0, 2.0], dtype=np.float32)
+            return sparse_allreduce_union(comm, ind, vals, op="sum")
+
+        for union, out in run_parallel(2, worker):
+            assert np.array_equal(union, [2, 7])
+            assert np.allclose(out, [1.0, 2.0])

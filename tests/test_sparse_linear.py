@@ -1,0 +1,120 @@
+"""SparseLinear: the functional Sputnik execution path."""
+
+import numpy as np
+import pytest
+
+from repro.optim import Adam
+from repro.sparse import FlatCOO, SparseLinear
+from repro.tensor import Tensor, functional as F
+
+
+def make_layer(rng, out_f=12, in_f=20, sparsity=0.8, bias=True):
+    w = rng.standard_normal((out_f, in_f)).astype(np.float32)
+    return SparseLinear.from_dense(w, sparsity, bias=bias), w
+
+
+class TestForward:
+    def test_matches_dense_linear(self, rng):
+        layer, _ = make_layer(rng)
+        x = Tensor(rng.standard_normal((5, 20)).astype(np.float32))
+        out = layer(x)
+        ref = x.data @ layer.to_dense_weight().T + layer.bias.data
+        assert np.allclose(out.data, ref, atol=1e-5)
+
+    def test_from_dense_keeps_largest(self, rng):
+        layer, w = make_layer(rng, sparsity=0.5)
+        dense = layer.to_dense_weight()
+        kept = np.abs(dense[dense != 0])
+        dropped = np.abs(w.reshape(-1)[dense.reshape(-1) == 0])
+        assert kept.min() >= dropped.max() - 1e-6
+
+    def test_sparsity_level(self, rng):
+        layer, _ = make_layer(rng, sparsity=0.9)
+        assert layer.pattern.sparsity == pytest.approx(0.9, abs=0.01)
+
+    def test_no_bias(self, rng):
+        layer, _ = make_layer(rng, bias=False)
+        assert layer.bias is None
+        x = Tensor(rng.standard_normal((3, 20)).astype(np.float32))
+        assert layer(x).shape == (3, 12)
+
+
+class TestBackward:
+    def test_value_grads_match_dense_gather(self, rng):
+        """sDDMM weight gradient == dense dW gathered at the pattern."""
+        layer, _ = make_layer(rng)
+        x = Tensor(rng.standard_normal((6, 20)).astype(np.float32), requires_grad=True)
+        out = layer(x)
+        g = rng.standard_normal(out.shape).astype(np.float32)
+        out.backward(g)
+        dense_dw = g.T @ x.data
+        assert np.allclose(layer.values.grad, dense_dw.reshape(-1)[layer.pattern.ind], atol=1e-4)
+
+    def test_input_grads_match_dense(self, rng):
+        layer, _ = make_layer(rng)
+        x = Tensor(rng.standard_normal((4, 20)).astype(np.float32), requires_grad=True)
+        out = layer(x)
+        g = np.ones(out.shape, np.float32)
+        out.backward(g)
+        assert np.allclose(x.grad, g @ layer.to_dense_weight(), atol=1e-4)
+
+    def test_bias_grad(self, rng):
+        layer, _ = make_layer(rng)
+        x = Tensor(rng.standard_normal((7, 20)).astype(np.float32))
+        layer(x).sum().backward()
+        assert np.allclose(layer.bias.grad, 7.0)
+
+    def test_finite_difference(self, gradcheck, rng):
+        layer, _ = make_layer(rng, out_f=4, in_f=6, sparsity=0.5)
+        x = rng.standard_normal((3, 6)).astype(np.float64)
+
+        def f(vals):
+            saved = layer.values.data.copy()
+            layer.values.data[...] = vals.astype(np.float32)
+            out = float(layer(Tensor(x.astype(np.float32))).data.sum())
+            layer.values.data[...] = saved
+            return out
+
+        out = layer(Tensor(x.astype(np.float32)))
+        out.sum().backward()
+        num = gradcheck(f, layer.values.data.astype(np.float64), eps=1e-3)
+        assert np.allclose(layer.values.grad, num, atol=1e-2)
+
+
+class TestTraining:
+    def test_trains_to_fit_random_targets(self, rng):
+        layer, _ = make_layer(rng, out_f=8, in_f=10, sparsity=0.6)
+        x = Tensor(rng.standard_normal((16, 10)).astype(np.float32))
+        y = rng.integers(0, 8, size=16)
+        opt = Adam(list(layer.parameters()), lr=0.05)
+        losses = []
+        for _ in range(40):
+            opt.zero_grad()
+            loss = F.cross_entropy(layer(x), y)
+            loss.backward()
+            opt.step()
+            losses.append(loss.item())
+        assert losses[-1] < 0.5 * losses[0]
+
+    def test_pattern_frozen_during_training(self, rng):
+        layer, _ = make_layer(rng)
+        ind_before = layer.pattern.ind.copy()
+        x = Tensor(rng.standard_normal((4, 20)).astype(np.float32))
+        opt = Adam(list(layer.parameters()), lr=0.1)
+        for _ in range(3):
+            opt.zero_grad()
+            layer(x).sum().backward()
+            opt.step()
+        assert np.array_equal(layer.pattern.ind, ind_before)
+        # dense view still has zeros exactly at pruned positions
+        dense = layer.to_dense_weight()
+        keep = np.zeros(dense.size, bool)
+        keep[layer.pattern.ind] = True
+        assert np.all(dense.reshape(-1)[~keep] == 0.0)
+
+    def test_only_nnz_params_exist(self, rng):
+        """The optimizer state is proportional to nnz, not the dense size —
+        the memory upside the Sputnik baseline does get."""
+        layer, _ = make_layer(rng, sparsity=0.9)
+        n_params = sum(p.size for p in layer.parameters())
+        assert n_params == layer.pattern.nnz + layer.out_features

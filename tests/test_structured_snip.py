@@ -1,0 +1,218 @@
+"""Structured pruning (block / vector / channel) and SNIP saliency masks,
+including their compatibility with the SAMO training state."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core import SAMOConfig, SAMOTrainingState
+from repro.pruning import (
+    block_prune,
+    channel_prune,
+    prunable_parameters,
+    snip_prune,
+    snip_scores,
+    unit_norms,
+    vector_prune,
+)
+from repro.tensor import Linear, Sequential, Tensor
+
+
+def _net(seed=0, din=16, dh=32, dout=8):
+    rng = np.random.default_rng(seed)
+    return Sequential(Linear(din, dh, rng=rng), Linear(dh, dout, rng=rng))
+
+
+def _block_uniform(mask, name, shape, block):
+    """Every (bh x bw) tile of the bool mask is all-kept or all-pruned."""
+    bm = mask.bool_mask(name).reshape(shape)
+    bh, bw = block
+    tiles = bm.reshape(shape[0] // bh, bh, shape[1] // bw, bw)
+    sums = tiles.sum(axis=(1, 3))
+    return np.all((sums == 0) | (sums == bh * bw))
+
+
+class TestBlockPrune:
+    def test_blocks_kept_or_pruned_whole(self):
+        net = _net()
+        m = block_prune(net, 0.6, block_shape=(4, 4))
+        assert _block_uniform(m, "0.weight", (32, 16), (4, 4))
+        assert _block_uniform(m, "1.weight", (8, 32), (4, 4))
+
+    def test_global_sparsity_exact_at_block_granularity(self):
+        net = _net()
+        m = block_prune(net, 0.5, block_shape=(4, 4))
+        # 32*16/16 + 8*32/16 = 32 + 16 = 48 blocks; keep 24 -> exact 0.5
+        assert m.sparsity == pytest.approx(0.5)
+
+    def test_keeps_highest_norm_blocks(self):
+        net = Sequential(Linear(8, 8, rng=np.random.default_rng(0)))
+        w = net[0].weight
+        w.data[...] = 0.01
+        w.data[:4, :4] = 10.0  # one dominant block
+        m = block_prune(net, 0.75, block_shape=(4, 4))
+        keep = m.bool_mask("0.weight")
+        assert np.all(keep[:4, :4])
+
+    def test_layer_scope(self):
+        net = _net()
+        net[0].weight.data[...] *= 100
+        m = block_prune(net, 0.5, block_shape=(4, 4), scope="layer")
+        assert m.layer_sparsity("0.weight") == pytest.approx(0.5)
+        assert m.layer_sparsity("1.weight") == pytest.approx(0.5)
+
+    def test_nontileable_falls_back_unstructured(self):
+        rng = np.random.default_rng(0)
+        net = Sequential(Linear(10, 6, rng=rng))  # 6x10: not 4x4-tileable
+        m = block_prune(net, 0.5, block_shape=(4, 4))
+        assert "0.weight" in m
+        assert m.layer_sparsity("0.weight") == pytest.approx(0.5)
+
+    def test_invalid_sparsity(self):
+        with pytest.raises(ValueError):
+            block_prune(_net(), 1.0)
+
+    def test_samo_accepts_block_mask(self):
+        """Structured masks drive the identical SAMO pipeline."""
+        net = _net()
+        m = block_prune(net, 0.75, block_shape=(4, 4))
+        state = SAMOTrainingState(
+            net, m, SAMOConfig(optimizer="sgd", lr=0.05, warn_below_break_even=False)
+        )
+        x = Tensor(np.random.default_rng(1).standard_normal((4, 16)).astype(np.float32))
+        state.model(x).sum().backward()
+        state.compress_gradients()
+        assert state.step()
+        state.consistency_check()
+
+    @settings(max_examples=20, deadline=None)
+    @given(sparsity=st.floats(0.0, 0.9), bh=st.sampled_from([2, 4]), bw=st.sampled_from([2, 4]))
+    def test_property_block_structure_preserved(self, sparsity, bh, bw):
+        net = _net(seed=3)
+        m = block_prune(net, sparsity, block_shape=(bh, bw))
+        assert _block_uniform(m, "0.weight", (32, 16), (bh, bw))
+
+
+class TestVectorPrune:
+    def test_vectors_are_column_blocks(self):
+        net = _net()
+        m = vector_prune(net, 0.5, v=4)
+        assert _block_uniform(m, "0.weight", (32, 16), (4, 1))
+
+    def test_matches_block_prune_with_v_by_1(self):
+        net = _net(seed=9)
+        a = vector_prune(net, 0.6, v=4)
+        b = block_prune(net, 0.6, block_shape=(4, 1))
+        for name in a:
+            assert np.array_equal(a.indices[name], b.indices[name])
+
+
+class TestChannelPrune:
+    def test_whole_rows_pruned(self):
+        net = _net()
+        m = channel_prune(net, 0.5)
+        bm = m.bool_mask("0.weight")
+        row_counts = bm.sum(axis=1)
+        assert np.all((row_counts == 0) | (row_counts == 16))
+
+    def test_per_layer_sparsity(self):
+        net = _net()
+        m = channel_prune(net, 0.5)
+        assert m.layer_sparsity("0.weight") == pytest.approx(0.5)
+        assert m.layer_sparsity("1.weight") == pytest.approx(0.5)
+
+    def test_keeps_high_norm_channels(self):
+        net = Sequential(Linear(4, 4, rng=np.random.default_rng(0)))
+        net[0].weight.data[...] = 0.01
+        net[0].weight.data[2, :] = 5.0
+        m = channel_prune(net, 0.75)
+        keep = m.bool_mask("0.weight")
+        assert np.all(keep[2]) and keep.sum() == 4
+
+
+class TestUnitNorms:
+    def test_values(self):
+        w = np.zeros((4, 4), np.float32)
+        w[:2, :2] = 3.0
+        norms = unit_norms(w, (2, 2))
+        assert norms.shape == (2, 2)
+        assert norms[0, 0] == pytest.approx(6.0)  # sqrt(4 * 9)
+        assert norms[1, 1] == 0.0
+
+    def test_rejects_nontileable(self):
+        with pytest.raises(ValueError):
+            unit_norms(np.zeros((5, 4)), (2, 2))
+
+
+class TestSNIP:
+    def _loss_fn(self, seed=0, din=16):
+        rng = np.random.default_rng(seed)
+        x = Tensor(rng.standard_normal((8, din)).astype(np.float32))
+
+        def fn(model):
+            return (model(x) ** 2).sum()
+
+        return fn
+
+    def test_target_sparsity(self):
+        net = _net()
+        m = snip_prune(net, self._loss_fn(), sparsity=0.8)
+        total = m.total_size()
+        assert m.total_kept() == total - round(0.8 * total)
+
+    def test_scores_nonnegative_and_shaped(self):
+        net = _net()
+        scores = snip_scores(net, self._loss_fn())
+        params = prunable_parameters(net)
+        assert set(scores) == set(params)
+        for name, s in scores.items():
+            assert s.shape == params[name].data.shape
+            assert np.all(s >= 0)
+
+    def test_zero_weight_has_zero_saliency(self):
+        """|g*w| = 0 when w = 0, so zero weights are pruned first."""
+        net = _net()
+        net[0].weight.data[0, :] = 0.0
+        m = snip_prune(net, self._loss_fn(), sparsity=0.5)
+        keep = m.bool_mask("0.weight")
+        assert not np.any(keep[0, :])
+
+    def test_multi_batch_accumulation(self):
+        net = _net()
+        s1 = snip_scores(net, self._loss_fn(seed=1), n_batches=1)
+        s3 = snip_scores(net, self._loss_fn(seed=1), n_batches=3)
+        for name in s1:
+            assert np.allclose(3.0 * s1[name], s3[name], rtol=1e-4)
+
+    def test_grads_cleared_after_scoring(self):
+        net = _net()
+        snip_scores(net, self._loss_fn())
+        assert all(p.grad is None for p in net.parameters())
+
+    def test_nonscalar_loss_rejected(self):
+        net = _net()
+        x = Tensor(np.ones((2, 16), np.float32))
+        with pytest.raises(ValueError, match="scalar"):
+            snip_scores(net, lambda m: m(x))
+
+    def test_unused_parameter_detected(self):
+        net = _net()
+        x = Tensor(np.ones((2, 16), np.float32))
+
+        def partial_loss(model):
+            return model[0](x).sum()  # second layer unused
+
+        with pytest.raises(RuntimeError, match="no gradient"):
+            snip_scores(net, partial_loss)
+
+    def test_samo_accepts_snip_mask(self):
+        net = _net()
+        m = snip_prune(net, self._loss_fn(), sparsity=0.9)
+        state = SAMOTrainingState(
+            net, m, SAMOConfig(optimizer="adamw", lr=1e-3)
+        )
+        x = Tensor(np.ones((4, 16), np.float32))
+        state.model(x).sum().backward()
+        state.compress_gradients()
+        assert state.step()
+        state.consistency_check()

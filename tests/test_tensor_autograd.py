@@ -1,0 +1,224 @@
+"""Gradient checks and graph semantics of the autograd engine.
+
+Every differentiable op's analytic vector-Jacobian product is compared to
+central finite differences (invariant 6 of DESIGN.md).
+"""
+
+import numpy as np
+import pytest
+
+from repro.tensor import Tensor, functional as F, no_grad, enable_grad, is_grad_enabled
+from repro.tensor.autograd import unbroadcast
+
+
+def _check(fn_tensor, fn_numpy, shape, gradcheck, rng, atol=1e-6, **kw):
+    x = rng.normal(size=shape).astype(np.float64)
+    t = Tensor(x.copy(), requires_grad=True)
+    out = fn_tensor(t, **kw)
+    out.sum().backward()
+    num = gradcheck(lambda v: fn_numpy(v, **kw).sum(), x)
+    assert np.allclose(t.grad, num, atol=atol), f"max err {np.abs(t.grad - num).max()}"
+
+
+class TestElementwiseGradients:
+    def test_add(self, gradcheck, rng):
+        _check(lambda t: t + 2.5, lambda v: v + 2.5, (3, 4), gradcheck, rng)
+
+    def test_mul(self, gradcheck, rng):
+        _check(lambda t: t * t, lambda v: v * v, (3, 4), gradcheck, rng)
+
+    def test_div(self, gradcheck, rng):
+        x = np.abs(rng.normal(size=(3, 4))) + 1.0
+        t = Tensor(x, requires_grad=True)
+        (1.0 / t).sum().backward()
+        num = gradcheck(lambda v: (1.0 / v).sum(), x)
+        assert np.allclose(t.grad, num, atol=1e-5)
+
+    def test_pow(self, gradcheck, rng):
+        x = np.abs(rng.normal(size=(5,))) + 0.5
+        t = Tensor(x, requires_grad=True)
+        (t**3).sum().backward()
+        assert np.allclose(t.grad, 3 * x**2, atol=1e-6)
+
+    def test_exp_log_sqrt_tanh(self, gradcheck, rng):
+        x = np.abs(rng.normal(size=(4,))) + 0.5
+        for name in ("exp", "log", "sqrt", "tanh"):
+            t = Tensor(x.copy(), requires_grad=True)
+            getattr(t, name)().sum().backward()
+            num = gradcheck(lambda v: getattr(np, name)(v).sum(), x)
+            assert np.allclose(t.grad, num, atol=1e-5), name
+
+    def test_abs(self, rng):
+        x = rng.normal(size=(10,))
+        t = Tensor(x, requires_grad=True)
+        t.abs().sum().backward()
+        assert np.allclose(t.grad, np.sign(x))
+
+    def test_neg_sub(self, rng):
+        a = Tensor(rng.normal(size=(3,)), requires_grad=True)
+        b = Tensor(rng.normal(size=(3,)), requires_grad=True)
+        (a - b).sum().backward()
+        assert np.allclose(a.grad, 1.0) and np.allclose(b.grad, -1.0)
+
+
+class TestBroadcasting:
+    def test_unbroadcast_leading(self):
+        g = np.ones((4, 3, 2))
+        assert unbroadcast(g, (3, 2)).shape == (3, 2)
+        assert np.allclose(unbroadcast(g, (3, 2)), 4.0)
+
+    def test_unbroadcast_size_one_axis(self):
+        g = np.ones((3, 5))
+        out = unbroadcast(g, (3, 1))
+        assert out.shape == (3, 1) and np.allclose(out, 5.0)
+
+    def test_broadcast_add_grad(self, rng):
+        a = Tensor(rng.normal(size=(4, 3)), requires_grad=True)
+        b = Tensor(rng.normal(size=(3,)), requires_grad=True)
+        (a + b).sum().backward()
+        assert np.allclose(b.grad, 4.0)
+        assert np.allclose(a.grad, 1.0)
+
+    def test_broadcast_mul_grad(self, rng):
+        a = Tensor(rng.normal(size=(2, 3)).astype(np.float64), requires_grad=True)
+        b = Tensor(rng.normal(size=(1, 3)).astype(np.float64), requires_grad=True)
+        (a * b).sum().backward()
+        assert np.allclose(b.grad, a.data.sum(axis=0, keepdims=True))
+
+
+class TestMatmul:
+    def test_2d(self, gradcheck, rng):
+        a = rng.normal(size=(4, 5))
+        b = rng.normal(size=(5, 3))
+        ta = Tensor(a, requires_grad=True)
+        tb = Tensor(b, requires_grad=True)
+        (ta @ tb).sum().backward()
+        assert np.allclose(ta.grad, gradcheck(lambda v: (v @ b).sum(), a), atol=1e-5)
+        assert np.allclose(tb.grad, gradcheck(lambda v: (a @ v).sum(), b), atol=1e-5)
+
+    def test_batched(self, rng):
+        a = rng.normal(size=(2, 4, 5))
+        b = rng.normal(size=(2, 5, 3))
+        ta, tb = Tensor(a, requires_grad=True), Tensor(b, requires_grad=True)
+        (ta @ tb).sum().backward()
+        assert ta.grad.shape == a.shape and tb.grad.shape == b.shape
+        assert np.allclose(ta.grad, np.ones((2, 4, 3)) @ np.swapaxes(b, -1, -2))
+
+    def test_matvec(self, rng):
+        a = rng.normal(size=(4, 5))
+        v = rng.normal(size=(5,))
+        ta, tv = Tensor(a, requires_grad=True), Tensor(v, requires_grad=True)
+        (ta @ tv).sum().backward()
+        assert np.allclose(tv.grad, a.sum(axis=0))
+
+
+class TestReductionsAndShape:
+    def test_sum_axis_keepdims(self, rng):
+        x = rng.normal(size=(3, 4, 5))
+        for axis, keep in [(None, False), (1, False), (1, True), ((0, 2), False)]:
+            t = Tensor(x, requires_grad=True)
+            t.sum(axis=axis, keepdims=keep).sum().backward()
+            assert np.allclose(t.grad, 1.0), (axis, keep)
+
+    def test_mean_grad(self, rng):
+        t = Tensor(rng.normal(size=(4, 6)), requires_grad=True)
+        t.mean().backward()
+        assert np.allclose(t.grad, 1.0 / 24)
+
+    def test_mean_axis(self, rng):
+        t = Tensor(rng.normal(size=(4, 6)), requires_grad=True)
+        t.mean(axis=0).sum().backward()
+        assert np.allclose(t.grad, 0.25)
+
+    def test_max_grad_ties_split(self):
+        t = Tensor(np.array([[1.0, 2.0, 2.0]]), requires_grad=True)
+        t.max(axis=1).sum().backward()
+        assert np.allclose(t.grad, [[0.0, 0.5, 0.5]])
+
+    def test_reshape_transpose_roundtrip(self, rng):
+        x = rng.normal(size=(2, 3, 4))
+        t = Tensor(x, requires_grad=True)
+        t.reshape(6, 4).transpose(1, 0).sum().backward()
+        assert t.grad.shape == x.shape and np.allclose(t.grad, 1.0)
+
+    def test_T_property(self, rng):
+        t = Tensor(rng.normal(size=(3, 5)), requires_grad=True)
+        assert t.T.shape == (5, 3)
+
+    def test_getitem_scatter_grad(self, rng):
+        t = Tensor(rng.normal(size=(5, 4)), requires_grad=True)
+        t[1:3].sum().backward()
+        expected = np.zeros((5, 4))
+        expected[1:3] = 1.0
+        assert np.allclose(t.grad, expected)
+
+    def test_astype_grad(self, rng):
+        t = Tensor(rng.normal(size=(3,)).astype(np.float32), requires_grad=True)
+        t.astype(np.float64).sum().backward()
+        assert t.grad.dtype == np.float32 and np.allclose(t.grad, 1.0)
+
+
+class TestGraphSemantics:
+    def test_backward_requires_scalar(self, rng):
+        t = Tensor(rng.normal(size=(3,)), requires_grad=True)
+        with pytest.raises(RuntimeError):
+            (t * 2).backward()
+
+    def test_explicit_grad_shape_check(self, rng):
+        t = Tensor(rng.normal(size=(3,)), requires_grad=True)
+        out = t * 2
+        with pytest.raises(ValueError):
+            out.backward(np.ones(4))
+
+    def test_grad_accumulates_across_backwards(self, rng):
+        t = Tensor(rng.normal(size=(3,)), requires_grad=True)
+        (t * 1.0).sum().backward()
+        (t * 1.0).sum().backward()
+        assert np.allclose(t.grad, 2.0)
+
+    def test_no_grad_suppresses_graph(self, rng):
+        t = Tensor(rng.normal(size=(3,)), requires_grad=True)
+        with no_grad():
+            out = t * 2
+        assert out._parents == () and not out.requires_grad
+
+    def test_enable_grad_inside_no_grad(self):
+        with no_grad():
+            assert not is_grad_enabled()
+            with enable_grad():
+                assert is_grad_enabled()
+            assert not is_grad_enabled()
+
+    def test_interior_grads_freed_leaf_kept(self, rng):
+        t = Tensor(rng.normal(size=(3,)), requires_grad=True)
+        mid = t * 2
+        mid.sum().backward()
+        assert mid.grad is None and t.grad is not None
+
+    def test_retain_grad(self, rng):
+        t = Tensor(rng.normal(size=(3,)), requires_grad=True)
+        mid = (t * 2).retain_grad()
+        mid.sum().backward()
+        assert mid.grad is not None
+
+    def test_diamond_graph_accumulation(self, rng):
+        t = Tensor(rng.normal(size=(3,)), requires_grad=True)
+        a = t * 2
+        b = t * 3
+        (a + b).sum().backward()
+        assert np.allclose(t.grad, 5.0)
+
+    def test_detach_cuts_graph(self, rng):
+        t = Tensor(rng.normal(size=(3,)), requires_grad=True)
+        out = (t.detach() * 2).sum()
+        assert not out.requires_grad
+
+    def test_shared_subexpression(self, rng):
+        t = Tensor(rng.normal(size=(3,)), requires_grad=True)
+        a = t * 2
+        ((a + a) * 1.0).sum().backward()
+        assert np.allclose(t.grad, 4.0)
+
+    def test_non_float_input_cast(self):
+        t = Tensor(np.array([1, 2, 3]))
+        assert t.data.dtype == np.float32

@@ -1,0 +1,246 @@
+"""Training loop, datasets, metrics, loss scaling, and end-to-end runs."""
+
+import numpy as np
+import pytest
+
+from repro.core import SAMOConfig
+from repro.comm import run_parallel
+from repro.models import GPT, GPT_CONFIGS
+from repro.parallel import DataParallelSAMOTrainer
+from repro.pruning import EarlyBirdPruner, magnitude_prune
+from repro.tensor import DynamicLossScaler
+from repro.train import (
+    BlobImages,
+    CharCorpus,
+    Trainer,
+    batch_iterator,
+    evaluate_accuracy,
+    evaluate_perplexity,
+    perplexity_from_loss,
+)
+
+
+class TestData:
+    def test_corpus_deterministic(self):
+        c1 = CharCorpus(vocab_size=64, length=2000, seed=3)
+        c2 = CharCorpus(vocab_size=64, length=2000, seed=3)
+        assert np.array_equal(c1.data, c2.data)
+
+    def test_corpus_tokens_in_range(self):
+        c = CharCorpus(vocab_size=50, length=3000, seed=0)
+        assert c.data.min() >= 0 and c.data.max() < 50
+
+    def test_batch_targets_shifted(self, rng):
+        c = CharCorpus(vocab_size=64, length=5000, seed=0)
+        x, y = c.sample_batch(4, 16, rng)
+        assert x.shape == y.shape == (4, 16)
+        # each target row equals the next characters of the input row
+        src = c.train_data
+        assert np.array_equal(x[0, 1:], y[0, :-1])
+
+    def test_corpus_has_learnable_structure(self):
+        c = CharCorpus(vocab_size=64, length=2000, seed=0)
+        # entropy rate well below uniform log(64)
+        assert c.entropy_rate_bound() < 0.8 * np.log(64)
+
+    def test_val_split_disjoint_sampling(self, rng):
+        c = CharCorpus(vocab_size=64, length=5000, seed=0)
+        x, _ = c.sample_batch(2, 8, rng, split="val")
+        assert x.shape == (2, 8)
+
+    def test_too_short_corpus_raises(self, rng):
+        c = CharCorpus(vocab_size=16, length=400, seed=0)
+        with pytest.raises(ValueError):
+            c.sample_batch(1, 500, rng)
+
+    def test_blob_images(self, rng):
+        d = BlobImages(num_classes=4, image_size=16, n=64, seed=0)
+        x, y = d.sample_batch(8, rng)
+        assert x.shape == (8, 3, 16, 16) and y.shape == (8,)
+        assert y.max() < 4
+
+    def test_batch_iterator_length(self):
+        c = CharCorpus(vocab_size=32, length=2000, seed=0)
+        assert len(list(batch_iterator(c, 2, 8, 5))) == 5
+
+
+class TestMetrics:
+    def test_perplexity_exp(self):
+        assert perplexity_from_loss(0.0) == 1.0
+        assert perplexity_from_loss(np.log(50)) == pytest.approx(50.0)
+
+    def test_perplexity_overflow_clamped(self):
+        assert np.isfinite(perplexity_from_loss(1e9))
+
+    def test_evaluate_perplexity_near_vocab_at_init(self):
+        cfg = GPT_CONFIGS["gpt3-tiny"]
+        m = GPT(cfg, seed=0)
+        c = CharCorpus(vocab_size=cfg.vocab_size, length=5000, seed=0)
+        ppl = evaluate_perplexity(m, c, batch_size=2, seq_len=16, n_batches=2)
+        assert 60 < ppl < 200  # vocab 128, untrained
+
+    def test_evaluate_accuracy(self, rng):
+        from repro.models import build_vgg
+
+        d = BlobImages(num_classes=10, image_size=32, n=32, seed=0)
+        acc = evaluate_accuracy(build_vgg("vgg-tiny"), d.images, d.labels)
+        assert 0.0 <= acc <= 1.0
+
+
+class TestLossScaler:
+    def test_backoff_on_overflow(self):
+        s = DynamicLossScaler(init_scale=1024)
+        s.update(overflow=True)
+        assert s.scale == 512
+
+    def test_growth_after_interval(self):
+        s = DynamicLossScaler(init_scale=8, growth_interval=3)
+        for _ in range(3):
+            s.update(overflow=False)
+        assert s.scale == 16
+
+    def test_overflow_detection(self):
+        s = DynamicLossScaler()
+        assert s.check_overflow([np.array([1.0, np.inf])])
+        assert not s.check_overflow([np.array([1.0, 2.0]), None])
+
+    def test_unscale(self):
+        s = DynamicLossScaler(init_scale=4)
+        g = np.array([8.0])
+        s.unscale([g])
+        assert g[0] == 2.0
+
+    def test_bounds_respected(self):
+        s = DynamicLossScaler(init_scale=2, min_scale=1.0)
+        for _ in range(5):
+            s.update(overflow=True)
+        assert s.scale == 1.0
+
+    def test_invalid_scale(self):
+        with pytest.raises(ValueError):
+            DynamicLossScaler(init_scale=0)
+
+
+class TestTrainer:
+    def test_samo_requires_mask(self):
+        with pytest.raises(ValueError):
+            Trainer(GPT(GPT_CONFIGS["gpt3-tiny"]), mode="samo")
+
+    def test_bad_mode(self):
+        with pytest.raises(ValueError):
+            Trainer(GPT(GPT_CONFIGS["gpt3-tiny"]), mode="fp8")
+
+    def test_lr_schedule_applied(self):
+        cfg = GPT_CONFIGS["gpt3-tiny"]
+        c = CharCorpus(vocab_size=cfg.vocab_size, length=5000, seed=0)
+        m = GPT(cfg, seed=0)
+        seen = []
+        t = Trainer(m, mode="dense", lr_schedule=lambda s: seen.append(s) or 1e-3)
+        rng = np.random.default_rng(0)
+        x, y = c.sample_batch(2, 8, rng)
+        t.step(x, y)
+        t.step(x, y)
+        assert seen == [0, 1]
+
+    def test_log_records(self):
+        cfg = GPT_CONFIGS["gpt3-tiny"]
+        c = CharCorpus(vocab_size=cfg.vocab_size, length=5000, seed=0)
+        t = Trainer(GPT(cfg, seed=0), mode="dense")
+        rng = np.random.default_rng(0)
+        x, y = c.sample_batch(2, 8, rng)
+        loss = t.step(x, y)
+        assert t.log.losses == [loss]
+        assert t.log.perplexities[0] == pytest.approx(np.exp(loss), rel=1e-6)
+
+
+class TestEndToEnd:
+    def test_figure4_style_parity(self):
+        """Early-Bird prune at 90% then SAMO-train: final perplexity within
+        a modest factor of the dense unpruned run (Fig. 4's parity claim,
+        scaled down)."""
+        cfg = GPT_CONFIGS["gpt3-tiny"]
+        corpus = CharCorpus(vocab_size=cfg.vocab_size, length=30000, seed=0)
+        rng = np.random.default_rng(0)
+        n_iters = 30
+
+        # dense run
+        dense_model = GPT(cfg, seed=0)
+        dense_tr = Trainer(dense_model, mode="dense",
+                           config=SAMOConfig(optimizer="adamw", lr=3e-3))
+        data_rng = np.random.default_rng(77)
+        for _ in range(n_iters):
+            x, y = corpus.sample_batch(8, 32, data_rng)
+            dense_tr.step(x, y)
+        ppl_dense = evaluate_perplexity(dense_model, corpus, 4, 32, n_batches=4)
+
+        # early-bird ticket + SAMO run, same init and data order
+        samo_model = GPT(cfg, seed=0)
+        eb = EarlyBirdPruner(sparsity=0.9, epsilon=0.2, window=2)
+        warm = Trainer(samo_model, mode="dense", config=SAMOConfig(optimizer="adamw", lr=3e-3))
+        warm_rng = np.random.default_rng(5)
+        for _ in range(3):
+            for _ in range(2):
+                x, y = corpus.sample_batch(8, 32, warm_rng)
+                warm.step(x, y)
+            eb.observe(samo_model)
+            if eb.converged:
+                break
+        samo_tr = Trainer(samo_model, mode="samo", mask=eb.ticket,
+                          config=SAMOConfig(optimizer="adamw", lr=3e-3))
+        data_rng = np.random.default_rng(77)
+        for _ in range(n_iters):
+            x, y = corpus.sample_batch(8, 32, data_rng)
+            samo_tr.step(x, y)
+        ppl_samo = evaluate_perplexity(samo_model, corpus, 4, 32, n_batches=4)
+
+        # both learned, and the pruned run is in the same ballpark
+        assert ppl_dense < 100 and ppl_samo < 100
+        assert ppl_samo < 1.6 * ppl_dense
+
+    def test_data_parallel_samo_matches_single_process(self):
+        """DP-SAMO over 2 ranks on split batches == single-process SAMO on
+        the concatenated batch (gradient averaging correctness)."""
+        cfg = GPT_CONFIGS["gpt3-tiny"]
+        corpus = CharCorpus(vocab_size=cfg.vocab_size, length=10000, seed=0)
+        rng = np.random.default_rng(0)
+        xs, ys = corpus.sample_batch(4, 16, rng)
+
+        # single-process reference on the full batch
+        ref = GPT(cfg, seed=1)
+        mask = magnitude_prune(ref, 0.9)
+        ref_tr = Trainer(ref, mode="samo", mask=mask,
+                         config=SAMOConfig(optimizer="adamw", lr=1e-3))
+        ref_tr.step(xs, ys)
+
+        def worker(comm):
+            m = GPT(cfg, seed=1)
+            msk = magnitude_prune(m, 0.9)
+            tr = DataParallelSAMOTrainer(comm, m, msk,
+                                         SAMOConfig(optimizer="adamw", lr=1e-3))
+            sl = slice(comm.rank * 2, comm.rank * 2 + 2)
+            tr.train_step(lambda mod, x, y: mod.loss(x, y), xs[sl], ys[sl])
+            return [p.data.copy() for p in m.parameters()]
+
+        ranks = run_parallel(2, worker)
+        # ranks agree with each other bitwise
+        for p0, p1 in zip(ranks[0], ranks[1]):
+            assert np.array_equal(p0, p1)
+        # and approximately with the single-process run (loss is a mean
+        # over samples; per-shard grads averaged across ranks differ only
+        # by fp16 rounding of the gradient compression)
+        for p0, pr in zip(ranks[0], ref.parameters()):
+            assert np.allclose(p0, pr.data, atol=2e-3)
+
+    def test_overflow_step_skipping_end_to_end(self):
+        cfg = GPT_CONFIGS["gpt3-tiny"]
+        corpus = CharCorpus(vocab_size=cfg.vocab_size, length=5000, seed=0)
+        m = GPT(cfg, seed=0)
+        mask = magnitude_prune(m, 0.9)
+        scaler = DynamicLossScaler(init_scale=2.0**40)  # force fp16 overflow
+        t = Trainer(m, mode="samo", mask=mask, loss_scaler=scaler,
+                    config=SAMOConfig(optimizer="adamw", lr=1e-3))
+        rng = np.random.default_rng(0)
+        x, y = corpus.sample_batch(2, 16, rng)
+        t.step(x, y)
+        assert t.log.skipped_steps == 1
+        assert scaler.scale < 2.0**40  # backed off
