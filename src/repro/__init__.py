@@ -28,9 +28,29 @@ Subpackages
     Mixed-precision trainer, synthetic corpora, metrics (Fig 4).
 ``repro.reporting``
     ASCII tables/plots used by the benchmark harness.
+``repro.autotune``
+    Parallel-configuration planner: enumerates valid ``(framework,
+    G_tensor, G_inter, G_data, mbs, checkpointing, storage, sparsity)``
+    configs, costs them through the analytical models (or the
+    event-driven pipeline simulator), memoises evaluations, and reports
+    the best config plus a (throughput, memory) Pareto frontier —
+    ``python -m repro plan --model gpt3-2.7b --gpus 512``.
 """
 
-from . import cluster, comm, core, models, optim, parallel, pruning, reporting, sparse, tensor, train
+from . import (
+    autotune,
+    cluster,
+    comm,
+    core,
+    models,
+    optim,
+    parallel,
+    pruning,
+    reporting,
+    sparse,
+    tensor,
+    train,
+)
 from .core import (
     SAMOConfig,
     SAMOOptimizer,
@@ -46,6 +66,7 @@ from .train import Trainer
 __version__ = "1.0.0"
 
 __all__ = [
+    "autotune",
     "core",
     "tensor",
     "models",

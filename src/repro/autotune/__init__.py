@@ -1,0 +1,58 @@
+"""``repro.autotune`` — analytical parallel-configuration planner.
+
+The paper hand-picks one hybrid-parallel configuration per model and GPU
+count; this subsystem *searches* the space instead, answering "what is
+the best config for model X on N GPUs?" for any framework, sparsity, and
+memory budget:
+
+* :class:`SearchSpace` — enumerates valid ``(framework, G_tensor,
+  G_inter, G_data, mbs, checkpointing, storage mode, sparsity)`` tuples
+  under divisibility and memory constraints, pruning infeasible-memory
+  branches before costing;
+* :class:`AnalyticEstimator` / :class:`SimulatorEstimator` — the
+  existing memory model (Eqs. 1-5), performance model (Eqs. 6-11) and
+  event-driven pipeline simulator behind one ``evaluate`` interface;
+* :class:`Planner` — memoised (canonical config hash), concurrent
+  (thread-pool batch evaluation) search;
+* :class:`PlanResult` — best config, the (throughput, memory/GPU)
+  Pareto frontier, and a Figure 8-style "why" breakdown.
+
+CLI: ``python -m repro plan --model gpt3-2.7b --gpus 512 --sparsity 0.9``.
+"""
+
+from .cache import GLOBAL_CACHE, EvaluationCache, make_cache_key
+from .config import FRAMEWORK_MODES, SPARSE_MODES, CandidateConfig
+from .estimator import (
+    AnalyticEstimator,
+    CostEstimator,
+    Evaluation,
+    SimulatorEstimator,
+    activation_footprint_bytes,
+    candidate_memory_per_gpu,
+    make_estimator,
+)
+from .result import PlanResult
+from .search import Planner, PlannerStats, plan
+from .space import SearchSpace, SpaceStats
+
+__all__ = [
+    "CandidateConfig",
+    "FRAMEWORK_MODES",
+    "SPARSE_MODES",
+    "SearchSpace",
+    "SpaceStats",
+    "CostEstimator",
+    "AnalyticEstimator",
+    "SimulatorEstimator",
+    "make_estimator",
+    "Evaluation",
+    "activation_footprint_bytes",
+    "candidate_memory_per_gpu",
+    "EvaluationCache",
+    "GLOBAL_CACHE",
+    "make_cache_key",
+    "Planner",
+    "PlannerStats",
+    "plan",
+    "PlanResult",
+]

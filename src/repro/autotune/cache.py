@@ -1,0 +1,87 @@
+"""Memoisation of candidate evaluations.
+
+Costing a candidate is pure in ``(model, calibration, fidelity,
+config)``, so evaluations are memoised under that key. The cache is
+shared process-wide by default (:data:`GLOBAL_CACHE`): a repeated
+identical search — or a sweep over overlapping spaces, e.g. planning the
+same model at several GPU counts — returns without re-evaluating any
+config it has already costed.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass, field
+
+from ..cluster.calibration import SummitCalibration
+from ..models.spec import ModelSpec
+from .config import CandidateConfig
+from .estimator import Evaluation
+
+__all__ = ["EvaluationCache", "GLOBAL_CACHE", "make_cache_key"]
+
+
+def make_cache_key(
+    spec: ModelSpec,
+    cal: SummitCalibration,
+    fidelity: str,
+    config: CandidateConfig,
+) -> tuple:
+    """Canonical cache key for one evaluation.
+
+    The model is identified by name and shape signature (name collisions
+    across differently-built specs would otherwise alias), the machine by
+    the frozen calibration dataclass, and the config by its canonical
+    hash.
+    """
+    return (
+        spec.name,
+        spec.param_count,
+        spec.batch_size,
+        spec.num_layers,
+        cal,
+        fidelity,
+        config.canonical_hash(),
+    )
+
+
+@dataclass
+class EvaluationCache:
+    """Thread-safe evaluation memo with hit/miss accounting."""
+
+    _entries: dict = field(default_factory=dict)
+    _lock: threading.Lock = field(default_factory=threading.Lock)
+    hits: int = 0
+    misses: int = 0
+
+    def get(self, key: tuple) -> Evaluation | None:
+        with self._lock:
+            ev = self._entries.get(key)
+            if ev is None:
+                self.misses += 1
+            else:
+                self.hits += 1
+            return ev
+
+    def put(self, key: tuple, evaluation: Evaluation) -> None:
+        with self._lock:
+            self._entries[key] = evaluation
+
+    def clear(self) -> None:
+        with self._lock:
+            self._entries.clear()
+            self.hits = 0
+            self.misses = 0
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __contains__(self, key: tuple) -> bool:
+        return key in self._entries
+
+    def stats(self) -> dict:
+        return {"entries": len(self._entries), "hits": self.hits, "misses": self.misses}
+
+
+#: Process-wide default cache shared by all planners.
+GLOBAL_CACHE = EvaluationCache()

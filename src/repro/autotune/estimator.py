@@ -1,0 +1,401 @@
+"""Cost estimation layer of the autotuner.
+
+Adapts the repo's existing analytical models — the SAMO memory model
+(Eqs. 1-5), the hybrid-parallel performance model (Eqs. 6-11) and the
+calibrated device/collective models — behind one ``evaluate(config) ->
+Evaluation`` interface, generalised over the axes the batch simulators
+hard-code:
+
+* explicit ``G_inter`` (the simulators always take the partitioner's
+  minimum) — the search decides the pipeline depth;
+* a ``G_tensor`` axis (Megatron-style intra-layer parallelism inside a
+  node, used by the DeepSpeed-3D baseline);
+* an activation-checkpointing toggle (off: no recompute, 3x-forward
+  compute, but the full intermediate-activation footprint stays
+  resident).
+
+On the subspace the simulators support (``G_tensor = 1``, checkpointing
+on, the framework's default storage mode, the partitioner's ``G_inter``)
+the analytic estimator reproduces :func:`repro.parallel.simulate_batch`
+exactly — tested in ``tests/test_autotune.py``.
+
+:class:`SimulatorEstimator` (``--fidelity sim``) additionally replaces
+the closed-form bubble of Eq. 7 with the event-driven 1F1B schedule
+simulation of Figure 3, capturing warmup/drain and message-wait effects
+the closed form ignores.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..cluster.calibration import SUMMIT, SummitCalibration
+from ..cluster.device import ComputeKind, DeviceModel
+from ..cluster.p2p import p2p_message_time, pipeline_message_bytes
+from ..models.spec import ModelSpec
+from ..parallel.data_parallel import collective_time
+from ..parallel.partitioner import activation_bytes_per_gpu, model_state_bytes
+from ..parallel.perf_model import (
+    BatchBreakdown,
+    ParallelConfig,
+    bubble_time,
+    microbatches_per_gpu,
+    transmission_time,
+)
+from ..parallel.pipeline import simulate_pipeline
+from .config import SPARSE_MODES, CandidateConfig
+
+__all__ = [
+    "FULL_ACTIVATION_MULTIPLIER",
+    "activation_footprint_bytes",
+    "candidate_memory_per_gpu",
+    "Evaluation",
+    "CostEstimator",
+    "AnalyticEstimator",
+    "SimulatorEstimator",
+    "make_estimator",
+]
+
+#: Without checkpointing a layer retains its intermediate activations for
+#: the backward pass, not just its input: attention scores, MLP hidden
+#: states, normalisation buffers. We model that as a multiple of the
+#: layer-output footprint — the standard transformer accounting puts the
+#: resident intermediates at a small single-digit multiple of the block
+#: output.
+FULL_ACTIVATION_MULTIPLIER = 3.0
+
+
+def activation_footprint_bytes(spec: ModelSpec, mbs: int, checkpoint: bool) -> int:
+    """Per-GPU activation residency in half precision.
+
+    Checkpointed: only each layer's input survives (the partitioner's
+    accounting). Uncheckpointed: every layer's intermediates stay live;
+    as with the checkpointed case, a stage holds ``layers/G_inter``
+    layers times up to ``G_inter`` in-flight microbatches, so the product
+    is independent of ``G_inter``.
+    """
+    if checkpoint:
+        return activation_bytes_per_gpu(spec, mbs)
+    out_elems = sum(l.activation_out_elems for l in spec.layers)
+    return int(2 * FULL_ACTIVATION_MULTIPLIER * out_elems * mbs)
+
+
+def candidate_memory_per_gpu(
+    spec: ModelSpec,
+    config: CandidateConfig,
+    cal: SummitCalibration = SUMMIT,
+) -> int:
+    """Per-GPU bytes for a candidate: state shard + activations + overhead.
+
+    Model state shards over the full model-parallel degree
+    ``G_tensor * G_inter``; activations shard over ``G_tensor`` only
+    (every tensor-parallel rank holds its slice of the same layers).
+    """
+    state = model_state_bytes(
+        spec, config.mode, config.sparsity, g_data=config.g_data
+    )
+    acts = activation_footprint_bytes(spec, config.mbs, config.checkpoint_activations)
+    return (
+        state // config.model_parallel_degree
+        + acts // config.g_tensor
+        + cal.framework_overhead_bytes
+    )
+
+
+# ---------------------------------------------------------------------------
+# results
+# ---------------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class Evaluation:
+    """Costed candidate: the Figure-8 breakdown plus memory feasibility."""
+
+    config: CandidateConfig
+    breakdown: BatchBreakdown
+    memory_bytes: int
+    feasible: bool
+    batch_size: int
+    fidelity: str = "analytic"
+
+    @property
+    def total_time(self) -> float:
+        return self.breakdown.total
+
+    @property
+    def throughput(self) -> float:
+        """Samples per second for the global batch."""
+        return self.batch_size / self.breakdown.total
+
+    def as_row(self) -> dict:
+        b = self.breakdown
+        return {
+            "framework": self.config.framework,
+            "mode": str(self.config.mode),
+            "G_t": self.config.g_tensor,
+            "G_i": self.config.g_inter,
+            "G_d": self.config.g_data,
+            "mbs": self.config.mbs,
+            "ckpt": "y" if self.config.checkpoint_activations else "n",
+            "p": f"{self.config.sparsity:g}",
+            "time (s)": round(b.total, 3),
+            "tput (smp/s)": round(self.throughput, 1),
+            "mem/GPU (GB)": round(self.memory_bytes / 1e9, 2),
+            "feasible": "y" if self.feasible else "n",
+        }
+
+
+# ---------------------------------------------------------------------------
+# estimators
+# ---------------------------------------------------------------------------
+
+class CostEstimator:
+    """Base interface: cost one :class:`CandidateConfig` for one model."""
+
+    fidelity = "analytic"
+
+    def __init__(self, spec: ModelSpec, cal: SummitCalibration = SUMMIT):
+        self.spec = spec
+        self.cal = cal
+        self.device = DeviceModel(cal)
+
+    def evaluate(self, config: CandidateConfig) -> Evaluation:
+        raise NotImplementedError
+
+    # -- shared pieces ------------------------------------------------------
+    def _compute_kind(self, config: CandidateConfig) -> str:
+        if self.spec.family == "cnn":
+            return ComputeKind.CONV
+        if config.framework == "sputnik":
+            return ComputeKind.SPARSE_SPUTNIK
+        return ComputeKind.DENSE_GEMM
+
+    def _boundary_message_time(self, config: CandidateConfig) -> float:
+        """Transfer seconds of one pipeline activation/gradient message.
+
+        Sized by the largest inter-layer boundary (the conservative
+        payload any stage cut might carry), as in the batch simulators.
+        """
+        spec = self.spec
+        boundary_elems = max(
+            spec.layers[i].activation_out_elems for i in range(spec.num_layers - 1)
+        )
+        msg_bytes = pipeline_message_bytes(config.mbs, boundary_elems)
+        return p2p_message_time(msg_bytes, cal=self.cal)
+
+    def _tensor_parallel_collective(
+        self, config: CandidateConfig, microbatches: int
+    ) -> float:
+        """Megatron-style intra-layer all-reduces, intra-node.
+
+        Two all-reduces of the block activation per microbatch in the
+        forward and two in the backward, per transformer block, across
+        the ``G_tensor`` group. ``G_tensor`` is capped at the node size,
+        so the ring runs at NVLink-class bandwidth.
+        """
+        g = config.g_tensor
+        if g <= 1:
+            return 0.0
+        cal = self.cal
+        beta = cal.nvlink_bw * 0.6  # intra-node NCCL efficiency
+        total = 0.0
+        blocks = [l for l in self.spec.layers if l.kind == "transformer_block"]
+        for layer in blocks:
+            nbytes = 2 * config.mbs * layer.activation_out_elems
+            steps = 2 * (g - 1)
+            per_ar = steps * cal.coll_alpha + (2 * (g - 1) / g) * nbytes / beta
+            total += 4.0 * per_ar
+        return total * microbatches / config.g_inter
+
+
+class AnalyticEstimator(CostEstimator):
+    """Closed-form Eqs. 6-11 generalised over the search axes."""
+
+    fidelity = "analytic"
+
+    def evaluate(self, config: CandidateConfig) -> Evaluation:
+        spec = self.spec
+        if spec.family == "cnn":
+            return self._evaluate_cnn(config)
+        cal = self.cal
+        m = microbatches_per_gpu(spec.batch_size, config.g_data, config.mbs)
+        pcfg = ParallelConfig(
+            n_gpus=config.g_inter * config.g_data,
+            g_inter=config.g_inter,
+            g_data=config.g_data,
+            mbs=config.mbs,
+            microbatches=m,
+        )
+
+        # -- compute --------------------------------------------------------
+        t_f, t_b = self._stage_times(config)
+        compute = m * (t_f + t_b)
+        overhead = self._compress_overhead(config, m)
+
+        # -- p2p + bubble ---------------------------------------------------
+        p2p, bubble = self._pipeline_costs(config, m, t_f, t_b)
+
+        # -- collectives ----------------------------------------------------
+        coll = collective_time(
+            spec,
+            config.model_parallel_degree,
+            config.g_data,
+            sparse=config.mode in SPARSE_MODES,
+            sparsity=config.sparsity,
+            cal=cal,
+        )
+        coll += self._tensor_parallel_collective(config, m)
+
+        other = cal.other_fraction * compute
+        mem = candidate_memory_per_gpu(spec, config, cal)
+
+        breakdown = BatchBreakdown(
+            framework=config.framework,
+            model=spec.name,
+            config=pcfg,
+            compute=compute + overhead,
+            p2p=p2p,
+            bubble=bubble,
+            collective=coll,
+            other=other,
+            memory_per_gpu=mem,
+            notes={
+                "t_f": t_f,
+                "t_b": t_b,
+                "overhead": overhead,
+                "mode": config.mode,
+                "g_tensor": config.g_tensor,
+                "fidelity": self.fidelity,
+            },
+        )
+        return Evaluation(
+            config=config,
+            breakdown=breakdown,
+            memory_bytes=mem,
+            feasible=mem <= cal.gpu_memory_bytes,
+            batch_size=spec.batch_size,
+            fidelity=self.fidelity,
+        )
+
+    # -- helpers ------------------------------------------------------------
+    def _stage_times(self, config: CandidateConfig) -> tuple[float, float]:
+        """Per-microbatch per-stage forward/backward compute seconds."""
+        fwd_flops = self.spec.fwd_flops_per_sample() * config.mbs
+        t_f = self.device.time(fwd_flops, self._compute_kind(config)) / (
+            config.model_parallel_degree
+        )
+        bwd_factor = 3.0 if config.checkpoint_activations else 2.0
+        return t_f, bwd_factor * t_f
+
+    def _compress_overhead(self, config: CandidateConfig, microbatches: int) -> float:
+        """SAMO's backward gradient-compression gather (Section VI-C)."""
+        if config.mode.value != "samo":
+            return 0.0
+        stage_params = self.spec.param_count / config.model_parallel_degree
+        return self.cal.samo_compress_cost_per_param * stage_params * microbatches
+
+    def _pipeline_costs(
+        self, config: CandidateConfig, m: int, t_f: float, t_b: float
+    ) -> tuple[float, float]:
+        if config.g_inter <= 1:
+            return 0.0, 0.0
+        cal = self.cal
+        t_msg = self._boundary_message_time(config)
+        p2p = transmission_time(
+            self.spec.batch_size, config.g_data, config.mbs, t_msg, config.g_inter
+        )
+        bubble = bubble_time(config.g_inter, t_f * config.g_inter, t_b * config.g_inter)
+        if config.framework == "deepspeed-3d":
+            p2p *= cal.deepspeed_p2p_penalty
+            bubble *= cal.deepspeed_bubble_penalty
+        return p2p, bubble
+
+    def _evaluate_cnn(self, config: CandidateConfig) -> Evaluation:
+        """Pure data parallel (the paper's CNN regime, Figure 5)."""
+        spec, cal = self.spec, self.cal
+        n_gpus = config.n_gpus
+        if spec.batch_size % n_gpus:
+            raise ValueError(f"batch {spec.batch_size} not divisible by {n_gpus} GPUs")
+        samples_per_gpu = spec.batch_size // n_gpus
+        pcfg = ParallelConfig(
+            n_gpus=n_gpus, g_inter=1, g_data=n_gpus, mbs=config.mbs, microbatches=1
+        )
+        hint = spec.efficiency_hint
+        eff_max = hint.get("eff_max", cal.conv_efficiency)
+        half = hint.get("half_batch", cal.conv_half_batch)
+        eff = eff_max * samples_per_gpu / (samples_per_gpu + half)
+        fwd = spec.fwd_flops_per_sample()
+        compute = 3.0 * fwd * samples_per_gpu / (self.device.peak_flops * eff)
+        backward_compute = compute * 2.0 / 3.0
+        coll = collective_time(
+            spec,
+            1,
+            n_gpus,
+            sparse=config.mode in SPARSE_MODES,
+            sparsity=config.sparsity,
+            overlap_with_backward=cal.dp_overlap_fraction,
+            backward_compute_time=backward_compute,
+            cal=cal,
+        )
+        other = cal.other_fraction * compute
+        mem = candidate_memory_per_gpu(spec, config, cal)
+        breakdown = BatchBreakdown(
+            framework=config.framework,
+            model=spec.name,
+            config=pcfg,
+            compute=compute,
+            p2p=0.0,
+            bubble=0.0,
+            collective=coll,
+            other=other,
+            memory_per_gpu=mem,
+            notes={"mode": config.mode, "fidelity": self.fidelity},
+        )
+        return Evaluation(
+            config=config,
+            breakdown=breakdown,
+            memory_bytes=mem,
+            feasible=mem <= cal.gpu_memory_bytes,
+            batch_size=spec.batch_size,
+            fidelity=self.fidelity,
+        )
+
+
+class SimulatorEstimator(AnalyticEstimator):
+    """Higher-fidelity pipeline costing via the event-driven 1F1B trace.
+
+    Instead of Eq. 7's closed-form bubble plus a serialized message term,
+    run the Figure 3 schedule simulation with per-message transfer times
+    and report the measured mean idle time as the exposed pipeline cost
+    (the p2p phase is folded into it — message waits appear as idle).
+    """
+
+    fidelity = "sim"
+
+    def _pipeline_costs(
+        self, config: CandidateConfig, m: int, t_f: float, t_b: float
+    ) -> tuple[float, float]:
+        if config.g_inter <= 1:
+            return 0.0, 0.0
+        t_msg = self._boundary_message_time(config)
+        blocking = config.framework == "deepspeed-3d"
+        trace = simulate_pipeline(
+            config.g_inter,
+            m,
+            t_f_stage=t_f,
+            t_b_stage=t_b,
+            msg_time=t_msg,
+            blocking_sends=blocking,
+        )
+        exposed = max(trace.mean_idle_time(), 0.0)
+        return 0.0, exposed
+
+
+def make_estimator(
+    fidelity: str, spec: ModelSpec, cal: SummitCalibration = SUMMIT
+) -> CostEstimator:
+    """Factory: ``analytic`` (closed form) or ``sim`` (event-driven)."""
+    if fidelity == "analytic":
+        return AnalyticEstimator(spec, cal)
+    if fidelity == "sim":
+        return SimulatorEstimator(spec, cal)
+    raise ValueError(f"unknown fidelity {fidelity!r}; choose 'analytic' or 'sim'")

@@ -1,0 +1,142 @@
+"""The planner: enumerate, prune, memoise, evaluate concurrently.
+
+:class:`Planner` ties the subsystem together. One :meth:`Planner.plan`
+call:
+
+1. enumerates the :class:`~repro.autotune.space.SearchSpace` (structural
+   constraints and memory pruning happen there, before any costing);
+2. partitions candidates into cache hits and misses against the shared
+   :data:`~repro.autotune.cache.GLOBAL_CACHE` (keyed on the canonical
+   config hash plus model/machine/fidelity identity);
+3. costs the misses in a :class:`concurrent.futures.ThreadPoolExecutor`
+   batch — the estimators are pure numeric Python, so threads keep the
+   shared cache simple while overlapping the event-driven ``sim``
+   fidelity's slower evaluations;
+4. returns a :class:`~repro.autotune.result.PlanResult` with the best
+   config, the (throughput, memory) Pareto frontier, and the paper-style
+   phase breakdown for the "why".
+"""
+
+from __future__ import annotations
+
+import concurrent.futures
+import os
+import time
+from dataclasses import dataclass
+
+from ..cluster.calibration import SUMMIT, SummitCalibration, with_memory_budget
+from ..models.registry import get_spec
+from ..models.spec import ModelSpec
+from ..parallel.axonn import FRAMEWORKS
+from .cache import GLOBAL_CACHE, EvaluationCache, make_cache_key
+from .config import CandidateConfig
+from .estimator import Evaluation, make_estimator
+from .result import PlanResult
+from .space import SearchSpace
+
+__all__ = ["PlannerStats", "Planner", "plan"]
+
+
+@dataclass
+class PlannerStats:
+    """Accounting for one ``plan()`` call."""
+
+    candidates: int = 0
+    evaluated: int = 0
+    cache_hits: int = 0
+    pruned_memory: int = 0
+    pruned_branches: int = 0
+    wall_seconds: float = 0.0
+
+    def as_dict(self) -> dict:
+        return {
+            "candidates": self.candidates,
+            "evaluated": self.evaluated,
+            "cache_hits": self.cache_hits,
+            "pruned_memory": self.pruned_memory,
+            "pruned_branches": self.pruned_branches,
+            "wall_seconds": round(self.wall_seconds, 4),
+        }
+
+
+class Planner:
+    """Search the hybrid-parallel configuration space for one workload."""
+
+    def __init__(
+        self,
+        model: str | ModelSpec,
+        n_gpus: int,
+        *,
+        fidelity: str = "analytic",
+        frameworks: tuple[str, ...] = FRAMEWORKS,
+        sparsities: tuple[float, ...] = (0.9,),
+        microbatch_sizes: tuple[int, ...] = (1, 2, 4),
+        explore_no_checkpoint: bool = True,
+        budget_gb: float | None = None,
+        cache: EvaluationCache | None = None,
+        max_workers: int | None = None,
+        cal: SummitCalibration = SUMMIT,
+    ):
+        self.spec = get_spec(model) if isinstance(model, str) else model
+        self.n_gpus = n_gpus
+        self.fidelity = fidelity
+        self.cal = with_memory_budget(budget_gb, cal) if budget_gb is not None else cal
+        self.cache = GLOBAL_CACHE if cache is None else cache
+        self.max_workers = max_workers or min(8, (os.cpu_count() or 2))
+        self.space = SearchSpace(
+            spec=self.spec,
+            n_gpus=n_gpus,
+            frameworks=frameworks,
+            sparsities=sparsities,
+            microbatch_sizes=microbatch_sizes,
+            explore_no_checkpoint=explore_no_checkpoint,
+            cal=self.cal,
+        )
+        self.estimator = make_estimator(fidelity, self.spec, self.cal)
+        self.stats = PlannerStats()
+
+    # ------------------------------------------------------------------
+    def plan(self) -> PlanResult:
+        """Run the search and return the full result object."""
+        t0 = time.perf_counter()
+        candidates = list(self.space.candidates())
+        self.stats.candidates = len(candidates)
+        self.stats.pruned_memory = self.space.stats.pruned_memory
+        self.stats.pruned_branches = self.space.stats.pruned_branches
+
+        evaluations: dict[CandidateConfig, Evaluation] = {}
+        misses: list[tuple[tuple, CandidateConfig]] = []
+        for config in candidates:
+            key = make_cache_key(self.spec, self.cal, self.fidelity, config)
+            cached = self.cache.get(key)
+            if cached is not None:
+                evaluations[config] = cached
+                self.stats.cache_hits += 1
+            else:
+                misses.append((key, config))
+
+        if misses:
+            self.stats.evaluated = len(misses)
+            with concurrent.futures.ThreadPoolExecutor(
+                max_workers=self.max_workers
+            ) as pool:
+                for (key, config), ev in zip(
+                    misses, pool.map(self.estimator.evaluate, (c for _, c in misses))
+                ):
+                    self.cache.put(key, ev)
+                    evaluations[config] = ev
+
+        self.stats.wall_seconds = time.perf_counter() - t0
+        return PlanResult(
+            model=self.spec.name,
+            n_gpus=self.n_gpus,
+            fidelity=self.fidelity,
+            budget_bytes=self.cal.gpu_memory_bytes,
+            evaluations=list(evaluations.values()),
+            stats=self.stats,
+        )
+
+
+def plan(model: str | ModelSpec, n_gpus: int, **kwargs) -> PlanResult:
+    """One-shot convenience wrapper: ``Planner(...).plan()``."""
+    return Planner(model, n_gpus, **kwargs).plan()

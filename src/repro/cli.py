@@ -11,6 +11,7 @@ Examples::
     python -m repro fig8
     python -m repro memory          # the 80.16 -> 20.28 GB claim
     python -m repro fig4 --steps 60 # tiny statistical-efficiency run
+    python -m repro plan --model gpt3-2.7b --gpus 512 --sparsity 0.9
 """
 
 from __future__ import annotations
@@ -240,6 +241,25 @@ def run_memory(args) -> str:
     )
 
 
+def run_plan(args) -> str:
+    from .autotune import Planner
+
+    try:
+        planner = Planner(
+            args.model,
+            args.gpus,
+            fidelity=args.fidelity,
+            sparsities=(args.sparsity,),
+            budget_gb=args.budget_gb,
+            explore_no_checkpoint=not args.paper_protocol,
+        )
+    except (KeyError, ValueError) as err:
+        # unknown model / bad gpu count / bad budget: argparse-style exit
+        msg = err.args[0] if err.args else str(err)
+        raise SystemExit(f"repro plan: error: {msg}")
+    return planner.plan().report(top=args.top)
+
+
 EXPERIMENTS = {
     "fig1": (run_fig1, "sparse libraries vs cuBLAS (FC layer microbenchmark)"),
     "fig2": (run_fig2, "analytical memory savings of SAMO vs sparsity"),
@@ -252,6 +272,7 @@ EXPERIMENTS = {
     "table1": (run_table1, "model/hyperparameter inventory"),
     "table2": (run_table2, "% of peak fp16 throughput, GPT-3 13B"),
     "memory": (run_memory, "the Section I/VI memory-saving claim"),
+    "plan": (run_plan, "autotune: best hybrid-parallel config for a model/GPU count"),
 }
 
 
@@ -270,6 +291,23 @@ def main(argv: list[str] | None = None) -> int:
             p.add_argument("--model", default=None, help="restrict to one model name")
         if name == "memory":
             p.add_argument("--sparsity", type=float, default=0.9)
+        if name == "plan":
+            p.add_argument("--model", default="gpt3-2.7b", help="Table I model name")
+            p.add_argument("--gpus", type=int, default=512, help="total GPU count")
+            p.add_argument("--sparsity", type=float, default=0.9)
+            p.add_argument(
+                "--budget-gb", type=float, default=None, dest="budget_gb",
+                help="per-GPU memory budget in GB (default: the 16 GB V100)",
+            )
+            p.add_argument(
+                "--fidelity", choices=("analytic", "sim"), default="analytic",
+                help="closed-form Eqs. 6-11 or event-driven pipeline simulation",
+            )
+            p.add_argument("--top", type=int, default=8, help="rows in the summary")
+            p.add_argument(
+                "--paper-protocol", action="store_true",
+                help="restrict to the paper's protocol (checkpointing always on)",
+            )
 
     args = parser.parse_args(argv)
     if args.cmd in (None, "list"):

@@ -18,9 +18,10 @@ GPU count), not absolute seconds — see EXPERIMENTS.md.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+import functools
+from dataclasses import dataclass, replace
 
-__all__ = ["SummitCalibration", "SUMMIT"]
+__all__ = ["SummitCalibration", "SUMMIT", "with_memory_budget"]
 
 
 @dataclass(frozen=True)
@@ -95,3 +96,18 @@ class SummitCalibration:
 
 #: The default simulated machine.
 SUMMIT = SummitCalibration()
+
+
+@functools.lru_cache(maxsize=None)
+def with_memory_budget(
+    budget_gb: float, base: SummitCalibration = SUMMIT
+) -> SummitCalibration:
+    """Calibration variant with a different per-GPU memory budget.
+
+    Pure and cached: planners ask for the same budget once per candidate
+    config, and a cached identical ``SummitCalibration`` instance keeps
+    downstream memoisation keys (which include the calibration) stable.
+    """
+    if budget_gb <= 0:
+        raise ValueError(f"budget_gb must be positive, got {budget_gb}")
+    return replace(base, gpu_memory_bytes=int(budget_gb * 1024**3))

@@ -9,6 +9,7 @@ of the smallest feasible power-of-two ``G_inter``.
 
 from __future__ import annotations
 
+import enum
 from dataclasses import dataclass
 
 from ..cluster.calibration import SUMMIT, SummitCalibration
@@ -26,18 +27,26 @@ __all__ = [
 ]
 
 
-class StorageMode:
-    """How model state is stored on device."""
+class StorageMode(str, enum.Enum):
+    """How model state is stored on device.
+
+    A ``str`` enum: members compare equal to their plain string values, so
+    callers that pass ``"dense"`` (the historical API) keep working, and
+    members serialise naturally in reports and cache keys.
+    """
 
     DENSE = "dense"  # default mixed precision (AxoNN, DeepSpeed fwd state)
     SAMO = "samo"  # compressed shared-index storage
     SPARSE_KERNEL = "sparse_kernel"  # Sputnik: CSR weights, compressed states
     ZERO1 = "zero1"  # DeepSpeed ZeRO-1: optimizer states sharded over G_data
 
+    def __str__(self) -> str:  # "dense", not "StorageMode.DENSE"
+        return self.value
+
 
 def model_state_bytes(
     spec: ModelSpec,
-    mode: str,
+    mode: str | StorageMode,
     sparsity: float = 0.9,
     g_data: int = 1,
 ) -> int:
@@ -51,6 +60,13 @@ def model_state_bytes(
     * ZERO1: dense θ/∇ in both precisions (12 φ) + Adam states sharded
       across the data-parallel group (8 φ / G_data).
     """
+    try:
+        mode = StorageMode(mode)
+    except ValueError:
+        valid = ", ".join(m.value for m in StorageMode)
+        raise ValueError(
+            f"unknown storage mode {mode!r}; valid modes: {valid}"
+        ) from None
     phi = spec.param_count
     phi_p = spec.prunable_count
     phi_np = phi - phi_p
@@ -66,9 +82,9 @@ def model_state_bytes(
         sparse_weights = 6 * nnz
         compressed_rest = (2 + 4 + 4 + 8) * nnz + 4 * nnz
         return sparse_weights + compressed_rest + dense_model_state_bytes(phi_np)
-    if mode == StorageMode.ZERO1:
-        return 12 * phi + (8 * phi) // max(g_data, 1)
-    raise KeyError(f"unknown storage mode {mode!r}")
+    # mode is a validated StorageMode member at this point
+    assert mode == StorageMode.ZERO1
+    return 12 * phi + (8 * phi) // max(g_data, 1)
 
 
 def activation_bytes_per_gpu(spec: ModelSpec, mbs: int) -> int:

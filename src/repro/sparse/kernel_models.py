@@ -23,6 +23,7 @@ records model-vs-paper shape checks.
 
 from __future__ import annotations
 
+import functools
 from dataclasses import dataclass
 
 import numpy as np
@@ -104,6 +105,7 @@ CUSPARSE_FP16 = GemmModel(
 KERNELS = {m.name: m for m in (CUBLAS_FP16, SPUTNIK_FP16, CUSPARSE_FP16)}
 
 
+@functools.lru_cache(maxsize=4096)
 def fc_layer_time(
     kernel: str | GemmModel,
     batch: int,
@@ -113,6 +115,9 @@ def fc_layer_time(
     """Modelled seconds for one FC forward: (batch x n) @ (n x n).
 
     The Figure 1 configuration is ``batch=576`` and square weights.
+    Pure in its (hashable) arguments, and evaluated repeatedly for the
+    same handful of shapes by the figure sweeps and the Sputnik batch
+    simulator — cached.
     """
     model = KERNELS[kernel] if isinstance(kernel, str) else kernel
     return model.time(batch, n, n, density=1.0 - sparsity)
@@ -130,6 +135,7 @@ def figure1_sweep(
     return out
 
 
+@functools.lru_cache(maxsize=4096)
 def sparse_over_dense_ratio(n: int, batch: int = 576, sparsity: float = 0.9) -> float:
     """``t_sputnik / t_cublas`` at weight size n (paper: 6-22x over sweep)."""
     return fc_layer_time("sputnik", batch, n, sparsity) / fc_layer_time(

@@ -120,8 +120,18 @@ class TestStorageModes:
         assert z1 == pytest.approx(20 * spec.param_count, rel=0.01)
 
     def test_unknown_mode(self):
-        with pytest.raises(KeyError):
+        with pytest.raises(ValueError, match="unknown storage mode"):
             model_state_bytes(get_spec("gpt3-xl"), "fancy")
+
+    def test_storage_mode_enum_backward_compat(self):
+        """Members are real Enum values but still equal their strings."""
+        assert StorageMode.DENSE == "dense"
+        assert StorageMode("samo") is StorageMode.SAMO
+        assert str(StorageMode.SPARSE_KERNEL) == "sparse_kernel"
+        spec = get_spec("gpt3-xl")
+        assert model_state_bytes(spec, "dense") == model_state_bytes(
+            spec, StorageMode.DENSE
+        )
 
 
 class TestGInterSelection:
@@ -155,6 +165,69 @@ class TestGInterSelection:
     def test_activation_bytes_scale_with_mbs(self):
         spec = get_spec("gpt3-xl")
         assert activation_bytes_per_gpu(spec, 2) == 2 * activation_bytes_per_gpu(spec, 1)
+
+
+class TestPartitionerEdgeCases:
+    """Non-power-of-two machines, infeasible budgets, break-even sparsity."""
+
+    def test_non_power_of_two_gpus_with_pow2_batch_infeasible(self):
+        """96 = 2^5 * 3 GPUs with the paper's batch of 512: every
+        power-of-two G_inter leaves a G_data with a factor of 3, which
+        cannot divide a power-of-two batch — correctly diagnosed as
+        infeasible rather than silently misplacing microbatches."""
+        spec = get_spec("gpt3-2.7b")
+        with pytest.raises(RuntimeError, match="no feasible G_inter"):
+            choose_g_inter(spec, 96, StorageMode.SAMO, sparsity=0.9)
+
+    def test_non_power_of_two_gpus_with_matching_batch(self):
+        """With a batch divisible by the odd factor (480 = 2^5*3*5), the
+        96-GPU machine becomes schedulable at the usual SAMO depth."""
+        spec = get_spec("gpt3-2.7b")
+        spec.batch_size = 480
+        g = choose_g_inter(spec, 96, StorageMode.SAMO, sparsity=0.9)
+        assert 96 % g == 0
+        assert g == 2  # same depth the 128-GPU machine needs
+
+    def test_infeasible_memory_budget_raises(self):
+        from repro.cluster.calibration import with_memory_budget
+
+        spec = get_spec("gpt3-2.7b")
+        tiny = with_memory_budget(6.0)  # barely above framework overhead
+        with pytest.raises(RuntimeError, match="no feasible G_inter"):
+            choose_g_inter(spec, 128, StorageMode.DENSE, cal=tiny)
+        # SAMO still fits the same machine: the paper's headline effect
+        assert choose_g_inter(spec, 128, StorageMode.SAMO, 0.9, cal=tiny) >= 2
+
+    def test_break_even_sparsity_boundary(self):
+        """At p = BREAK_EVEN_SPARSITY (0.25), SAMO storage equals dense
+        (Eq. 5: savings (24p - 6)phi = 0); below it, SAMO costs memory."""
+        from repro.core import BREAK_EVEN_SPARSITY
+
+        spec = get_spec("gpt3-2.7b")
+        dense = model_state_bytes(spec, StorageMode.DENSE)
+        at_be = model_state_bytes(spec, StorageMode.SAMO, BREAK_EVEN_SPARSITY)
+        assert at_be == pytest.approx(dense, rel=1e-9)
+        below = model_state_bytes(spec, StorageMode.SAMO, 0.1)
+        above = model_state_bytes(spec, StorageMode.SAMO, 0.4)
+        assert below > dense > above
+
+    def test_memory_per_gpu_monotone_in_sparsity(self):
+        spec = get_spec("gpt3-6.7b")
+        mems = [
+            memory_per_gpu(spec, 4, StorageMode.SAMO, sparsity=p)
+            for p in (0.3, 0.5, 0.7, 0.9)
+        ]
+        assert mems == sorted(mems, reverse=True)
+
+    def test_memory_per_gpu_zero1_uses_g_data(self):
+        spec = get_spec("gpt3-2.7b")
+        small = memory_per_gpu(spec, 4, StorageMode.ZERO1, g_data=64)
+        large = memory_per_gpu(spec, 4, StorageMode.ZERO1, g_data=1)
+        assert small < large
+
+    def test_choose_g_inter_single_gpu_tiny_model(self):
+        spec = gpt_spec("gpt3-tiny")
+        assert choose_g_inter(spec, 1, StorageMode.DENSE) == 1
 
 
 class TestBalancedPartition:
