@@ -26,13 +26,17 @@ def make_cache_key(
     cal: SummitCalibration,
     fidelity: str,
     config: CandidateConfig,
+    scenario=None,
 ) -> tuple:
     """Canonical cache key for one evaluation.
 
     The model is identified by name and shape signature (name collisions
     across differently-built specs would otherwise alias), the machine by
     the frozen calibration dataclass, and the config by its canonical
-    hash.
+    hash. ``scenario`` is the full frozen
+    :class:`~repro.parallel.scenarios.PipelineScenario` (not just its
+    name — two differently-parameterised scenarios sharing a name must
+    not alias).
     """
     return (
         spec.name,
@@ -41,6 +45,7 @@ def make_cache_key(
         spec.num_layers,
         cal,
         fidelity,
+        scenario,
         config.canonical_hash(),
     )
 

@@ -22,7 +22,12 @@ exactly — tested in ``tests/test_autotune.py``.
 :class:`SimulatorEstimator` (``--fidelity sim``) additionally replaces
 the closed-form bubble of Eq. 7 with the event-driven 1F1B schedule
 simulation of Figure 3, capturing warmup/drain and message-wait effects
-the closed form ignores.
+the closed form ignores. Its stage times come from the flops
+partitioner's actual (non-uniform) stage loads and its per-link message
+times from the cluster topology; an optional
+:class:`~repro.parallel.scenarios.PipelineScenario` (straggler GPU, slow
+link, contention) lets the planner rank configs under degraded-machine
+conditions.
 """
 
 from __future__ import annotations
@@ -42,7 +47,7 @@ from ..parallel.perf_model import (
     microbatches_per_gpu,
     transmission_time,
 )
-from ..parallel.pipeline import simulate_pipeline
+from ..parallel.scenarios import PipelineScenario, get_scenario, simulate_hetero_pipeline
 from .config import SPARSE_MODES, CandidateConfig
 
 __all__ = [
@@ -364,38 +369,70 @@ class SimulatorEstimator(AnalyticEstimator):
     """Higher-fidelity pipeline costing via the event-driven 1F1B trace.
 
     Instead of Eq. 7's closed-form bubble plus a serialized message term,
-    run the Figure 3 schedule simulation with per-message transfer times
-    and report the measured mean idle time as the exposed pipeline cost
-    (the p2p phase is folded into it — message waits appear as idle).
+    run the Figure 3 schedule simulation and report the schedule's time
+    beyond the ideal uniform compute — ``makespan - m * (t_f + t_b)`` —
+    as the exposed pipeline cost (the p2p phase is folded into it:
+    message waits, straggler overhang, and warmup/drain all surface
+    there, and the uniform free-message limit is exactly Eq. 7's
+    bubble). Stage times follow the flops
+    partitioner's actual stage loads and link times follow the topology
+    (NVLink intra-node hops vs cross-node hops, per-cut payloads); an
+    optional scenario degrades stages/links on top.
     """
 
     fidelity = "sim"
 
+    def __init__(
+        self,
+        spec: ModelSpec,
+        cal: SummitCalibration = SUMMIT,
+        scenario: PipelineScenario | str | None = None,
+    ):
+        super().__init__(spec, cal)
+        self.scenario = get_scenario(scenario)
+        if self.scenario is not None:
+            self.fidelity = f"sim@{self.scenario.name}"
+
     def _pipeline_costs(
         self, config: CandidateConfig, m: int, t_f: float, t_b: float
     ) -> tuple[float, float]:
-        if config.g_inter <= 1:
+        # A degraded machine hits single-stage configs too (data-parallel
+        # sync waits for the slow replica), so only the scenario-free
+        # g_inter == 1 case short-circuits.
+        if config.g_inter <= 1 and self.scenario is None:
             return 0.0, 0.0
-        t_msg = self._boundary_message_time(config)
         blocking = config.framework == "deepspeed-3d"
-        trace = simulate_pipeline(
-            config.g_inter,
-            m,
-            t_f_stage=t_f,
-            t_b_stage=t_b,
-            msg_time=t_msg,
+        trace = simulate_hetero_pipeline(
+            self.spec,
+            g_inter=config.g_inter,
+            m=m,
+            mbs=config.mbs,
+            t_f_model=t_f * config.g_inter,
+            t_b_model=t_b * config.g_inter,
+            n_gpus=config.n_gpus,
+            g_tensor=config.g_tensor,
+            cal=self.cal,
+            scenario=self.scenario,
             blocking_sends=blocking,
         )
-        exposed = max(trace.mean_idle_time(), 0.0)
+        exposed = max(trace.makespan - m * (t_f + t_b), 0.0)
         return 0.0, exposed
 
 
 def make_estimator(
-    fidelity: str, spec: ModelSpec, cal: SummitCalibration = SUMMIT
+    fidelity: str,
+    spec: ModelSpec,
+    cal: SummitCalibration = SUMMIT,
+    scenario: PipelineScenario | str | None = None,
 ) -> CostEstimator:
     """Factory: ``analytic`` (closed form) or ``sim`` (event-driven)."""
     if fidelity == "analytic":
+        if scenario is not None:
+            raise ValueError(
+                "heterogeneity scenarios need the event-driven engine; "
+                "use fidelity='sim'"
+            )
         return AnalyticEstimator(spec, cal)
     if fidelity == "sim":
-        return SimulatorEstimator(spec, cal)
+        return SimulatorEstimator(spec, cal, scenario=scenario)
     raise ValueError(f"unknown fidelity {fidelity!r}; choose 'analytic' or 'sim'")

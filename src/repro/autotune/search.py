@@ -68,6 +68,7 @@ class Planner:
         n_gpus: int,
         *,
         fidelity: str = "analytic",
+        scenario=None,  # preset name or PipelineScenario (requires fidelity='sim')
         frameworks: tuple[str, ...] = FRAMEWORKS,
         sparsities: tuple[float, ...] = (0.9,),
         microbatch_sizes: tuple[int, ...] = (1, 2, 4),
@@ -79,7 +80,6 @@ class Planner:
     ):
         self.spec = get_spec(model) if isinstance(model, str) else model
         self.n_gpus = n_gpus
-        self.fidelity = fidelity
         self.cal = with_memory_budget(budget_gb, cal) if budget_gb is not None else cal
         self.cache = GLOBAL_CACHE if cache is None else cache
         self.max_workers = max_workers or min(8, (os.cpu_count() or 2))
@@ -92,7 +92,10 @@ class Planner:
             explore_no_checkpoint=explore_no_checkpoint,
             cal=self.cal,
         )
-        self.estimator = make_estimator(fidelity, self.spec, self.cal)
+        self.estimator = make_estimator(fidelity, self.spec, self.cal, scenario=scenario)
+        # the estimator's label carries the scenario (e.g. "sim@straggler")
+        # so cache keys and reports distinguish degraded-machine plans
+        self.fidelity = self.estimator.fidelity
         self.stats = PlannerStats()
 
     # ------------------------------------------------------------------
@@ -106,8 +109,11 @@ class Planner:
 
         evaluations: dict[CandidateConfig, Evaluation] = {}
         misses: list[tuple[tuple, CandidateConfig]] = []
+        scenario = getattr(self.estimator, "scenario", None)
         for config in candidates:
-            key = make_cache_key(self.spec, self.cal, self.fidelity, config)
+            key = make_cache_key(
+                self.spec, self.cal, self.fidelity, config, scenario=scenario
+            )
             cached = self.cache.get(key)
             if cached is not None:
                 evaluations[config] = cached

@@ -249,6 +249,7 @@ def run_plan(args) -> str:
             args.model,
             args.gpus,
             fidelity=args.fidelity,
+            scenario=args.scenario,
             sparsities=(args.sparsity,),
             budget_gb=args.budget_gb,
             explore_no_checkpoint=not args.paper_protocol,
@@ -258,6 +259,55 @@ def run_plan(args) -> str:
         msg = err.args[0] if err.args else str(err)
         raise SystemExit(f"repro plan: error: {msg}")
     return planner.plan().report(top=args.top)
+
+
+def run_simulate(args) -> str:
+    from .parallel import run_scenario
+    from .reporting import render_table
+
+    try:
+        trace, info = run_scenario(
+            args.preset,
+            g_inter=args.g_inter,
+            n_microbatches=args.microbatches,
+            t_f=args.t_f,
+            t_b=args.t_b,
+            msg_time=args.msg_time,
+            prefer_backward=not args.fifo,
+        )
+    except ValueError as err:
+        raise SystemExit(f"repro simulate: error: {err}")
+
+    lines = [
+        f"Scenario '{info['scenario']}': {info['description']}",
+        f"G_inter={info['g_inter']}, m={info['n_microbatches']}, "
+        f"uniform baseline t_f={args.t_f:g} t_b={args.t_b:g}",
+        "stage t_f: " + " ".join(f"{t:.3g}" for t in info["t_f_stages"]),
+        "stage t_b: " + " ".join(f"{t:.3g}" for t in info["t_b_stages"]),
+    ]
+    if info["link_times"]:
+        lines.append("link msg : " + " ".join(f"{t:.3g}" for t in info["link_times"]))
+    positive = [t for t in info["t_f_stages"] + info["t_b_stages"] if t > 0]
+    if positive:
+        unit = min(positive)
+        if trace.makespan / unit <= 120:
+            lines += ["", trace.ascii(unit), ""]
+    rows = [
+        {
+            "GPU": g,
+            "busy (s)": round(trace.busy_time(g), 3),
+            "idle (s)": round(trace.idle_time(g), 3),
+            "peak in-flight": trace.peak_in_flight[g],
+        }
+        for g in range(trace.g_inter)
+    ]
+    lines.append(render_table(rows, title="Per-GPU schedule accounting"))
+    eq7 = info["eq7_bubble"]
+    lines += [
+        f"makespan: {trace.makespan:.3f} s",
+        f"mean idle: {info['mean_idle']:.3f} s  (uniform-limit Eq. 6-7 bubble: {eq7:.3f} s)",
+    ]
+    return "\n".join(lines)
 
 
 EXPERIMENTS = {
@@ -273,6 +323,7 @@ EXPERIMENTS = {
     "table2": (run_table2, "% of peak fp16 throughput, GPT-3 13B"),
     "memory": (run_memory, "the Section I/VI memory-saving claim"),
     "plan": (run_plan, "autotune: best hybrid-parallel config for a model/GPU count"),
+    "simulate": (run_simulate, "heterogeneous pipeline scenarios (straggler, slow-link, ...)"),
 }
 
 
@@ -307,6 +358,34 @@ def main(argv: list[str] | None = None) -> int:
             p.add_argument(
                 "--paper-protocol", action="store_true",
                 help="restrict to the paper's protocol (checkpointing always on)",
+            )
+            p.add_argument(
+                "--scenario", default=None,
+                help="rank configs under a degraded machine (requires "
+                     "--fidelity sim); see 'repro simulate' for presets",
+            )
+        if name == "simulate":
+            from .parallel.scenarios import SCENARIOS
+
+            p.add_argument(
+                "--preset", default="uniform", choices=sorted(SCENARIOS),
+                help="heterogeneity scenario to simulate",
+            )
+            p.add_argument("--g-inter", type=int, default=4, dest="g_inter",
+                           help="pipeline depth (stages == GPUs)")
+            p.add_argument("--microbatches", type=int, default=8,
+                           help="microbatches per batch shard")
+            p.add_argument("--t-f", type=float, default=1.0, dest="t_f",
+                           help="uniform per-stage forward time (s)")
+            p.add_argument("--t-b", type=float, default=2.0, dest="t_b",
+                           help="uniform per-stage backward time (s)")
+            p.add_argument(
+                "--msg-time", type=float, default=None, dest="msg_time",
+                help="per-link message time (default: the preset's base)",
+            )
+            p.add_argument(
+                "--fifo", action="store_true",
+                help="arrival-order scheduling instead of 1F1B backward preference",
             )
 
     args = parser.parse_args(argv)

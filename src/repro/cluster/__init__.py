@@ -13,7 +13,7 @@ from .collectives import (
     ring_reduce_scatter_time,
 )
 from .device import ComputeKind, DeviceModel
-from .events import EventLoop
+from .events import EventLoop, SerialResource
 from .hierarchical import (
     best_allreduce_time,
     hierarchical_allreduce,
@@ -31,6 +31,7 @@ __all__ = [
     "DeviceModel",
     "ComputeKind",
     "EventLoop",
+    "SerialResource",
     "ring_allreduce_time",
     "ring_allgather_time",
     "ring_reduce_scatter_time",

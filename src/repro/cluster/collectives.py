@@ -75,8 +75,16 @@ def broadcast_time(
     nbytes: int,
     group_size: int,
     cal: SummitCalibration = SUMMIT,
+    topology: Topology | None = None,
+    ranks: list[int] | None = None,
 ) -> float:
-    """Seconds for a (pipelined ring) broadcast."""
+    """Seconds for a (pipelined ring) broadcast.
+
+    Like the other ring collectives, a group that stays inside one node
+    runs at NVLink-class bandwidth; without topology/rank information the
+    calibrated cross-node bandwidth is the (conservative) default.
+    """
     if group_size <= 1 or nbytes == 0:
         return 0.0
-    return (group_size - 1) * cal.coll_alpha + nbytes / cal.coll_beta
+    beta = _effective_beta(topology, ranks, cal)
+    return (group_size - 1) * cal.coll_alpha + nbytes / beta

@@ -10,7 +10,7 @@ from __future__ import annotations
 import heapq
 from typing import Callable
 
-__all__ = ["EventLoop"]
+__all__ = ["EventLoop", "SerialResource"]
 
 
 class EventLoop:
@@ -52,3 +52,37 @@ class EventLoop:
 
     def __repr__(self) -> str:
         return f"EventLoop(now={self.now:.6f}, pending={len(self._heap)})"
+
+
+class SerialResource:
+    """A resource that serves one occupant at a time in FIFO order.
+
+    Models a shared communication link: each :meth:`acquire` books the
+    next free window of ``duration`` seconds and returns it, so callers
+    can schedule completion events at the window's end. Purely
+    bookkeeping — it never touches an :class:`EventLoop` itself.
+    """
+
+    def __init__(self, name: str = ""):
+        self.name = name
+        self.free_at: float = 0.0
+        self.busy_time: float = 0.0
+        self.acquisitions: int = 0
+
+    def acquire(self, now: float, duration: float) -> tuple[float, float]:
+        """Book ``duration`` seconds starting no earlier than ``now``.
+
+        Returns ``(start, end)`` of the booked window; ``start > now``
+        means the caller queued behind earlier occupants.
+        """
+        if duration < 0:
+            raise ValueError(f"duration must be non-negative, got {duration}")
+        start = max(now, self.free_at)
+        end = start + duration
+        self.free_at = end
+        self.busy_time += duration
+        self.acquisitions += 1
+        return start, end
+
+    def __repr__(self) -> str:
+        return f"SerialResource({self.name!r}, free_at={self.free_at:.6f})"

@@ -63,6 +63,32 @@ class Topology:
             return 0.0
         return self.link(src, dst).transfer_time(nbytes)
 
+    def pipeline_link_times(
+        self, ranks: list[int], nbytes_per_link: int | list[int]
+    ) -> list[float]:
+        """Per-hop transfer seconds along a chain of stage ranks.
+
+        ``ranks[i]`` hosts pipeline stage ``i``; hop ``i`` carries the
+        activation/gradient traffic between stages ``i`` and ``i + 1``.
+        ``nbytes_per_link`` is either one payload size for every hop or a
+        list with one entry per hop (skewed partitions cut the model at
+        boundaries of different widths).
+        """
+        n_links = len(ranks) - 1
+        if n_links < 0:
+            raise ValueError("need at least one rank")
+        if isinstance(nbytes_per_link, int):
+            sizes = [nbytes_per_link] * n_links
+        else:
+            sizes = list(nbytes_per_link)
+            if len(sizes) != n_links:
+                raise ValueError(
+                    f"nbytes_per_link has {len(sizes)} entries for {n_links} links"
+                )
+        return [
+            self.p2p_time(ranks[i], ranks[i + 1], sizes[i]) for i in range(n_links)
+        ]
+
     def group_spans_nodes(self, ranks: list[int]) -> bool:
         """True when a communicator group crosses a node boundary."""
         nodes = {self.node_of(r) for r in ranks}

@@ -40,6 +40,13 @@ from .perf_model import (
 )
 from .pipeline import PipelineTrace, TaskRecord, simulate_pipeline
 from .pipeline_exec import PipelineStageTrainer, StageModule, partition_module_list
+from .scenarios import (
+    SCENARIOS,
+    PipelineScenario,
+    get_scenario,
+    run_scenario,
+    simulate_hetero_pipeline,
+)
 from .samo_integration import DataParallelSAMOTrainer, simulate_samo_batch
 from .sputnik_backend import simulate_sputnik_batch
 from .zero import Zero1DataParallel, zero_memory_bytes
@@ -58,6 +65,11 @@ __all__ = [
     "transmission_time",
     "microbatches_per_gpu",
     "simulate_pipeline",
+    "simulate_hetero_pipeline",
+    "PipelineScenario",
+    "SCENARIOS",
+    "get_scenario",
+    "run_scenario",
     "PipelineTrace",
     "TaskRecord",
     "PipelineStageTrainer",

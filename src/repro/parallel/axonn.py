@@ -33,6 +33,7 @@ from .perf_model import (
     microbatches_per_gpu,
     transmission_time,
 )
+from .scenarios import simulate_hetero_pipeline
 
 __all__ = ["FRAMEWORKS", "simulate_batch", "strong_scaling"]
 
@@ -67,13 +68,28 @@ def simulate_batch(
     sparsity: float = 0.9,
     mbs: int = 1,
     cal: SummitCalibration = SUMMIT,
+    pipeline_fidelity: str = "analytic",
+    scenario=None,
 ) -> BatchBreakdown:
     """Predict the batch-time breakdown of one training iteration.
 
     CNNs (``spec.family == 'cnn'``) run pure data parallel (they fit on one
     GPU, as in the paper's Figure 5); GPT models run the hybrid with
     ``G_inter`` chosen by the memory model.
+
+    ``pipeline_fidelity='sim'`` replaces the closed-form Eq. 7/9 pipeline
+    terms with the event-driven heterogeneous engine: per-stage times
+    from the flops partitioner, per-link times from the topology, and an
+    optional :class:`~repro.parallel.scenarios.PipelineScenario` (name or
+    instance — passing one implies ``'sim'``) degrading stages or links.
     """
+    if scenario is not None:
+        pipeline_fidelity = "sim"
+    if pipeline_fidelity not in ("analytic", "sim"):
+        raise ValueError(
+            f"unknown pipeline_fidelity {pipeline_fidelity!r}; "
+            "choose 'analytic' or 'sim'"
+        )
     traits = _framework_traits(framework)
     device = DeviceModel(cal)
     is_cnn = spec.family == "cnn"
@@ -131,7 +147,31 @@ def simulate_batch(
     compute_total = compute + overhead
 
     # ----- point-to-point + bubble -----------------------------------------
-    if g_inter > 1:
+    if g_inter <= 1 and scenario is None:
+        # (a scenario still hits single-stage configs: data-parallel sync
+        # waits for the straggler replica, priced by the sim branch below)
+        p2p = 0.0
+        bubble = 0.0
+    elif pipeline_fidelity == "sim":
+        # Event-driven heterogeneous engine. Everything the schedule
+        # exposes beyond the ideal uniform compute — message waits,
+        # straggler overhang, warmup/drain — lands in the bubble phase
+        # (p2p is folded in), so compute + bubble = makespan.
+        trace = simulate_hetero_pipeline(
+            spec,
+            g_inter=g_inter,
+            m=m,
+            mbs=mbs,
+            t_f_model=t_f * g_inter,
+            t_b_model=t_b * g_inter,
+            n_gpus=n_gpus,
+            cal=cal,
+            scenario=scenario,
+            blocking_sends=framework == "deepspeed-3d",
+        )
+        p2p = 0.0
+        bubble = max(trace.makespan - m * (t_f + t_b), 0.0)
+    else:
         boundary_elems = max(
             spec.layers[i].activation_out_elems for i in range(spec.num_layers - 1)
         )
@@ -139,15 +179,14 @@ def simulate_batch(
         t_msg = p2p_message_time(msg_bytes, cal=cal)
         p2p = transmission_time(spec.batch_size, g_data, mbs, t_msg, g_inter)
         bubble = bubble_time(g_inter, t_f * g_inter, t_b * g_inter)
-    else:
-        p2p = 0.0
-        bubble = 0.0
-    p2p_penalty = traits["p2p_penalty"] if traits["p2p_penalty"] is not None else cal.deepspeed_p2p_penalty
-    bubble_penalty = (
-        traits["bubble_penalty"] if traits["bubble_penalty"] is not None else cal.deepspeed_bubble_penalty
-    )
-    p2p *= p2p_penalty
-    bubble *= bubble_penalty
+        p2p_penalty = (
+            traits["p2p_penalty"] if traits["p2p_penalty"] is not None else cal.deepspeed_p2p_penalty
+        )
+        bubble_penalty = (
+            traits["bubble_penalty"] if traits["bubble_penalty"] is not None else cal.deepspeed_bubble_penalty
+        )
+        p2p *= p2p_penalty
+        bubble *= bubble_penalty
 
     # ----- collective -------------------------------------------------------
     overlap = cal.dp_overlap_fraction if is_cnn else 0.0
@@ -175,7 +214,13 @@ def simulate_batch(
         collective=coll,
         other=other,
         memory_per_gpu=mem,
-        notes={"t_f": t_f, "t_b": t_b, "overhead": overhead, "mode": traits["mode"]},
+        notes={
+            "t_f": t_f,
+            "t_b": t_b,
+            "overhead": overhead,
+            "mode": traits["mode"],
+            "pipeline_fidelity": pipeline_fidelity,
+        },
     )
 
 
@@ -186,6 +231,8 @@ def strong_scaling(
     sparsity: float = 0.9,
     mbs: int = 1,
     cal: SummitCalibration = SUMMIT,
+    pipeline_fidelity: str = "analytic",
+    scenario=None,
 ) -> dict[str, list[BatchBreakdown]]:
     """Run :func:`simulate_batch` over a GPU-count sweep per framework."""
     out: dict[str, list[BatchBreakdown]] = {}
@@ -193,7 +240,10 @@ def strong_scaling(
         if spec.family == "cnn" and fw == "sputnik":
             continue
         out[fw] = [
-            simulate_batch(spec, g, fw, sparsity=sparsity, mbs=mbs, cal=cal)
+            simulate_batch(
+                spec, g, fw, sparsity=sparsity, mbs=mbs, cal=cal,
+                pipeline_fidelity=pipeline_fidelity, scenario=scenario,
+            )
             for g in gpu_counts
         ]
     return out

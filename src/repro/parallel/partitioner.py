@@ -169,6 +169,24 @@ class PartitionPlan:
         mean = sum(self.stage_flops) / len(self.stage_flops)
         return max(self.stage_flops) / mean if mean > 0 else 1.0
 
+    @property
+    def flop_fractions(self) -> list[float]:
+        """Each stage's share of the model's forward flops (sums to 1)."""
+        total = sum(self.stage_flops)
+        if total <= 0:
+            return [1.0 / self.n_stages] * self.n_stages
+        return [f / total for f in self.stage_flops]
+
+    def stage_times(self, t_f_model: float, t_b_model: float) -> tuple[list[float], list[float]]:
+        """Split whole-model fwd/bwd times into per-stage times by flops.
+
+        This is what the heterogeneous pipeline engine consumes instead
+        of the uniform ``t / G_inter`` split: a stage that carries 30% of
+        the model's flops takes 30% of the model's compute time.
+        """
+        fr = self.flop_fractions
+        return [t_f_model * f for f in fr], [t_b_model * f for f in fr]
+
 
 def balanced_partition(spec: ModelSpec, g_inter: int) -> PartitionPlan:
     """Split layers into ``g_inter`` contiguous stages balancing fwd flops.

@@ -51,15 +51,19 @@ def transmission_time(
     g_data: int,
     mbs: int,
     message_time: float,
-    g_inter: int = None,
+    g_inter: int,
 ) -> float:
     """Eq. 9: ``t_send = 4 * B/(mbs*G_data) * t_msg`` per GPU.
 
     Four messages per microbatch: activation recv+send in the forward,
     gradient recv+send in the backward. Boundary GPUs send fewer; we model
     the interior-GPU (worst, and typical) count like the paper does.
-    A single-stage pipeline (``g_inter == 1``) sends nothing.
+    A single-stage pipeline (``g_inter == 1``) sends nothing — which is
+    why ``g_inter`` is required: it used to default to ``None``, silently
+    charging single-stage pipelines the interior-GPU send cost.
     """
+    if g_inter < 1:
+        raise ValueError(f"g_inter must be >= 1, got {g_inter}")
     if g_inter == 1:
         return 0.0
     m = microbatches_per_gpu(batch_size, g_data, mbs)

@@ -6,13 +6,24 @@ preferred when available — AxoNN's message-driven scheduler behaves this
 way in steady state). Produces a full schedule trace for visualisation and
 per-GPU busy/idle accounting whose idle time matches the paper's Eq. 6-7
 bubble formula when messages are free and stages uniform.
+
+Beyond the paper's uniform-stage setting the engine is
+**heterogeneity-aware**: ``t_f_stage``/``t_b_stage`` accept per-stage
+sequences (straggler GPUs, skewed flops partitions), ``msg_time`` accepts
+a per-link sequence (NVLink hops inside a node vs InfiniBand hops across
+nodes, derived from :meth:`repro.cluster.Topology.pipeline_link_times`),
+and ``link_contention=True`` serializes messages that share a link
+(half-duplex: the forward activation and backward gradient crossing the
+same stage boundary queue behind each other).
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from math import ceil, floor
+from typing import Sequence
 
-from ..cluster.events import EventLoop
+from ..cluster.events import EventLoop, SerialResource
 
 __all__ = ["TaskRecord", "PipelineTrace", "simulate_pipeline"]
 
@@ -40,6 +51,13 @@ class PipelineTrace:
     #: activation-memory proxy (1F1B bounds it at ``g_inter - stage``,
     #: GPipe-style unbounded scheduling lets it reach ``m``)
     peak_in_flight: list[int] = field(default_factory=list)
+    #: the (possibly heterogeneous) per-stage compute times the run used
+    t_f_stages: list[float] = field(default_factory=list)
+    t_b_stages: list[float] = field(default_factory=list)
+    #: per-link message transfer times (``g_inter - 1`` entries)
+    link_times: list[float] = field(default_factory=list)
+    #: per-link seconds the link spent occupied (contended runs only)
+    link_busy: list[float] = field(default_factory=list)
 
     def gpu_tasks(self, gpu: int) -> list[TaskRecord]:
         return sorted((t for t in self.tasks if t.gpu == gpu), key=lambda t: t.start)
@@ -54,19 +72,24 @@ class PipelineTrace:
     def mean_idle_time(self) -> float:
         return sum(self.idle_time(g) for g in range(self.g_inter)) / self.g_inter
 
+    def max_idle_time(self) -> float:
+        return max(self.idle_time(g) for g in range(self.g_inter))
+
     def ascii(self, time_unit: float) -> str:
         """Render the schedule like the paper's Figure 3.
 
         Each column is ``time_unit`` seconds; forward cells print the
-        microbatch id, backward cells print it bracketed.
+        microbatch id, backward cells print it bracketed. The column
+        count rounds the makespan *up* so tasks ending inside a partial
+        final interval still render.
         """
         lines = []
-        n_cols = int(round(self.makespan / time_unit))
+        n_cols = max(1, ceil(self.makespan / time_unit - 1e-9))
         for g in range(self.g_inter):
             row = ["  ."] * n_cols
             for t in self.gpu_tasks(g):
-                c0 = int(round(t.start / time_unit))
-                c1 = int(round(t.end / time_unit))
+                c0 = floor(t.start / time_unit + 1e-9)
+                c1 = ceil(t.end / time_unit - 1e-9)
                 for c in range(c0, min(c1, n_cols)):
                     cell = f"{t.microbatch:>3}" if t.kind == "F" else f"[{t.microbatch}]".rjust(3)
                     row[c] = cell
@@ -74,15 +97,30 @@ class PipelineTrace:
         return "\n".join(lines)
 
 
+def _per_stage(value: float | Sequence[float], n: int, name: str) -> list[float]:
+    """Normalise a scalar-or-sequence time parameter to ``n`` floats."""
+    if isinstance(value, (int, float)):
+        out = [float(value)] * n
+    else:
+        out = [float(v) for v in value]
+        if len(out) != n:
+            raise ValueError(f"{name} has {len(out)} entries, expected {n}")
+    for v in out:
+        if v < 0:
+            raise ValueError(f"{name} entries must be non-negative, got {v}")
+    return out
+
+
 def simulate_pipeline(
     g_inter: int,
     n_microbatches: int,
-    t_f_stage: float,
-    t_b_stage: float,
-    msg_time: float = 0.0,
+    t_f_stage: float | Sequence[float],
+    t_b_stage: float | Sequence[float],
+    msg_time: float | Sequence[float] = 0.0,
     blocking_sends: bool = False,
     prefer_backward: bool = True,
     bound_in_flight: bool = True,
+    link_contention: bool = False,
 ) -> PipelineTrace:
     """Simulate one batch through a ``g_inter``-stage pipeline.
 
@@ -94,9 +132,14 @@ def simulate_pipeline(
         Microbatches per batch shard (``m`` in the perf model).
     t_f_stage, t_b_stage:
         Per-stage forward/backward compute times of one microbatch.
+        A scalar means uniform stages (the paper's setting); a sequence
+        of length ``g_inter`` gives each stage its own time (straggler
+        GPUs, skewed flops partitions).
     msg_time:
         Transfer time of one activation/gradient message between adjacent
-        stages (0 isolates the pure bubble behaviour of Eq. 6-7).
+        stages (0 isolates the pure bubble behaviour of Eq. 6-7). A
+        sequence of length ``g_inter - 1`` prices each link separately
+        (link ``i`` connects stages ``i`` and ``i + 1``).
     blocking_sends:
         AxoNN uses **asynchronous messaging** (paper Section II-E): a GPU
         hands its activation to the transport and immediately starts the
@@ -113,21 +156,37 @@ def simulate_pipeline(
         ``g_inter - stage`` (bounding activation memory). ``False``
         removes the cap — GPipe-style all-forwards-then-all-backwards,
         whose peak activation count grows with ``m`` instead.
+    link_contention:
+        Serialize messages sharing a stage-boundary link (half-duplex
+        FIFO): a forward activation and a backward gradient crossing the
+        same boundary — or two back-to-back sends from a stage faster
+        than its link — queue instead of overlapping. The default keeps
+        every transfer independent (full-duplex, infinite injection).
 
     The default configuration is AxoNN's; the flags exist so the
     scheduling ablation can price each optimization separately.
     """
     if g_inter < 1 or n_microbatches < 1:
         raise ValueError("g_inter and n_microbatches must be >= 1")
+    t_f = _per_stage(t_f_stage, g_inter, "t_f_stage")
+    t_b = _per_stage(t_b_stage, g_inter, "t_b_stage")
+    link = _per_stage(msg_time, max(g_inter - 1, 0), "msg_time") if g_inter > 1 else []
+    links = [SerialResource(f"link{i}") for i in range(g_inter - 1)]
+
     loop = EventLoop()
-    trace = PipelineTrace(g_inter=g_inter, n_microbatches=n_microbatches)
+    trace = PipelineTrace(
+        g_inter=g_inter,
+        n_microbatches=n_microbatches,
+        t_f_stages=t_f,
+        t_b_stages=t_b,
+        link_times=link,
+    )
 
     fwd_ready: list[list[int]] = [[] for _ in range(g_inter)]
     bwd_ready: list[list[int]] = [[] for _ in range(g_inter)]
     arrival_order: list[list[tuple[str, int]]] = [[] for _ in range(g_inter)]
     busy = [False] * g_inter
     in_flight = [0] * g_inter  # forwards not yet backwarded on this stage
-    fwd_done_count = [0] * g_inter
 
     # Stage 0 starts with every microbatch available for forward.
     fwd_ready[0] = list(range(n_microbatches))
@@ -161,37 +220,51 @@ def simulate_pipeline(
 
     def start_task(g: int, kind: str, mb: int) -> None:
         busy[g] = True
-        dur = t_f_stage if kind == "F" else t_b_stage
-        sends = (kind == "F" and g + 1 < g_inter) or (kind == "B" and g > 0)
-        occupied = dur + (msg_time if blocking_sends and sends else 0.0)
+        dur = t_f[g] if kind == "F" else t_b[g]
         start = loop.now
         if kind == "F":
             in_flight[g] += 1
             peak[g] = max(peak[g], in_flight[g])
 
-        def finish():
+        def release(end: float) -> None:
             busy[g] = False
-            trace.tasks.append(TaskRecord(g, kind, mb, start, start + occupied))
+            trace.tasks.append(TaskRecord(g, kind, mb, start, end))
+            if kind == "B":
+                in_flight[g] -= 1
+            try_start(g)
+
+        def compute_done():
+            now = loop.now
             if kind == "F":
-                fwd_done_count[g] += 1
                 if g + 1 < g_inter:
-                    # Activation message: with async sends the transfer
-                    # runs concurrently after compute; with blocking sends
-                    # it already elapsed inside `occupied`.
-                    delay = 0.0 if blocking_sends else msg_time
-                    loop.schedule(delay, lambda: arrive_fwd(g + 1, mb))
+                    link_id, arrive = g, (lambda: arrive_fwd(g + 1, mb))
                 else:
                     # last stage: backward starts immediately after forward
                     bwd_ready[g].append(mb)
                     arrival_order[g].append(("B", mb))
+                    release(now)
+                    return
             else:
-                in_flight[g] -= 1
-                if g - 1 >= 0:
-                    delay = 0.0 if blocking_sends else msg_time
-                    loop.schedule(delay, lambda: arrive_bwd(g - 1, mb))
-            try_start(g)
+                if g > 0:
+                    link_id, arrive = g - 1, (lambda: arrive_bwd(g - 1, mb))
+                else:
+                    release(now)
+                    return
+            # Hand the message to the transport. Contended links book a
+            # FIFO window; otherwise the transfer starts immediately.
+            if link_contention:
+                _, arrival_t = links[link_id].acquire(now, link[link_id])
+            else:
+                arrival_t = now + link[link_id]
+            loop.at(arrival_t, arrive)
+            if blocking_sends:
+                # Synchronous send: the GPU stays occupied (and its task
+                # record extends) until the transfer completes.
+                loop.at(arrival_t, lambda: release(loop.now))
+            else:
+                release(now)
 
-        loop.schedule(occupied, finish)
+        loop.schedule(dur, compute_done)
 
     def arrive_fwd(g: int, mb: int) -> None:
         fwd_ready[g].append(mb)
@@ -206,6 +279,7 @@ def simulate_pipeline(
     loop.schedule(0.0, lambda: try_start(0))
     trace.makespan = loop.run()
     trace.peak_in_flight = peak
+    trace.link_busy = [r.busy_time for r in links]
     if len(trace.tasks) != 2 * g_inter * n_microbatches:
         raise RuntimeError(
             f"pipeline deadlock: executed {len(trace.tasks)} of "

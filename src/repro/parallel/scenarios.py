@@ -1,0 +1,260 @@
+"""Heterogeneity scenarios for the pipeline simulation engine.
+
+The paper's performance model (Eqs. 6-11) assumes uniform stages on
+identical GPUs joined by one flat message cost. Real clusters are not
+that kind: a GPU can run slow (thermal throttling, a bad HBM stack), a
+link can run slow (a congested InfiniBand switch), a flops-balanced
+partition can still be skewed (layers don't divide evenly), and messages
+can contend for a shared link. A :class:`PipelineScenario` packages one
+such deviation as a transform on the per-stage compute times and
+per-link message times that :func:`repro.parallel.simulate_pipeline`
+consumes; :data:`SCENARIOS` holds the named presets the CLI exposes.
+
+:func:`simulate_hetero_pipeline` is the bridge used by the batch model
+and the autotuner's ``sim`` fidelity: it derives *actual* per-stage
+times from the flops partitioner (instead of the uniform ``t/G_inter``
+split), prices each stage-boundary link from the cluster topology
+(NVLink inside a node, calibrated InfiniBand across nodes) with the
+payload of the actual cut, applies the scenario, and runs the engine.
+"""
+
+from __future__ import annotations
+
+import functools
+from dataclasses import dataclass
+
+from ..cluster.calibration import SUMMIT, SummitCalibration
+from ..cluster.p2p import pipeline_message_bytes
+from ..cluster.topology import Topology
+from ..models.spec import ModelSpec
+from .partitioner import PartitionPlan, balanced_partition
+from .perf_model import bubble_time
+from .pipeline import PipelineTrace, simulate_pipeline
+
+__all__ = [
+    "PipelineScenario",
+    "SCENARIOS",
+    "get_scenario",
+    "simulate_hetero_pipeline",
+    "run_scenario",
+]
+
+
+@dataclass(frozen=True)
+class PipelineScenario:
+    """One named deviation from the uniform/identical-GPU assumption.
+
+    Frozen and hashable so it can participate in planner cache keys.
+    Stage/link indices are resolved modulo the actual pipeline depth, so
+    one preset applies at any ``G_inter``.
+    """
+
+    name: str
+    description: str = ""
+    #: multiply one stage's compute times (a throttled/straggler GPU)
+    straggler_stage: int | None = None
+    straggler_factor: float = 1.0
+    #: multiply one link's message time (a congested switch / slow hop)
+    slow_link: int | None = None
+    slow_link_factor: float = 1.0
+    #: linear compute ramp across stages: stage i is scaled by
+    #: ``1 + skew * (2i/(G-1) - 1)`` (front stages lighter, back heavier;
+    #: mean load preserved) — a skewed-partition stand-in when no real
+    #: flops partition is in play
+    compute_skew: float = 0.0
+    #: serialize messages sharing a stage-boundary link (half-duplex)
+    link_contention: bool = False
+    #: message time the CLI uses when the user gives none (presets that
+    #: exercise links need a non-zero base to bite)
+    base_msg_time: float = 0.0
+
+    def scale_stage_times(self, times: list[float]) -> list[float]:
+        g = len(times)
+        out = list(times)
+        if self.compute_skew and g > 1:
+            ramp = [1.0 + self.compute_skew * (2.0 * i / (g - 1) - 1.0) for i in range(g)]
+            out = [t * r for t, r in zip(out, ramp)]
+        if self.straggler_stage is not None and g > 0:
+            i = self.straggler_stage % g
+            out[i] *= self.straggler_factor
+        return out
+
+    def scale_link_times(self, times: list[float]) -> list[float]:
+        out = list(times)
+        if self.slow_link is not None and out:
+            i = self.slow_link % len(out)
+            out[i] *= self.slow_link_factor
+        return out
+
+
+#: Named presets (the ``repro simulate --preset`` choices).
+SCENARIOS: dict[str, PipelineScenario] = {
+    s.name: s
+    for s in (
+        PipelineScenario(
+            "uniform",
+            "identical stages, free messages — must reproduce Eq. 6-7 exactly",
+        ),
+        PipelineScenario(
+            "straggler",
+            "last-stage GPU throttled to 1.5x compute time",
+            straggler_stage=-1,
+            straggler_factor=1.5,
+        ),
+        PipelineScenario(
+            "slow-link",
+            "one congested inter-stage link at 4x message time",
+            slow_link=1,
+            slow_link_factor=4.0,
+            base_msg_time=0.25,
+        ),
+        PipelineScenario(
+            "skewed",
+            "linearly skewed stage loads (back stages 1.4x the front)",
+            compute_skew=0.4,
+        ),
+        PipelineScenario(
+            "contention",
+            "messages serialize on shared half-duplex links",
+            link_contention=True,
+            base_msg_time=0.6,
+        ),
+    )
+}
+
+
+def get_scenario(scenario: "str | PipelineScenario | None") -> PipelineScenario | None:
+    """Resolve a scenario given by name, instance, or None."""
+    if scenario is None or isinstance(scenario, PipelineScenario):
+        return scenario
+    try:
+        return SCENARIOS[scenario]
+    except KeyError:
+        raise ValueError(
+            f"unknown scenario {scenario!r}; presets: {sorted(SCENARIOS)}"
+        ) from None
+
+
+@functools.lru_cache(maxsize=64)
+def _topology(n_gpus: int, cal: SummitCalibration) -> Topology:
+    """Topologies are pure in (n_gpus, cal); reuse them across the
+    planner's hundreds of candidate evaluations."""
+    return Topology(n_gpus, cal)
+
+
+#: Partition memo. ModelSpec is not hashable (mutable layer list), so the
+#: key is the same name+shape signature the autotune evaluation cache
+#: uses to identify specs. Cardinality is (models x pipeline depths) —
+#: tiny — and concurrent planner threads at worst recompute a pure value.
+_partition_memo: dict[tuple, PartitionPlan] = {}
+
+
+def _partition(spec: ModelSpec, g_inter: int) -> PartitionPlan:
+    key = (spec.name, spec.param_count, spec.batch_size, spec.num_layers, g_inter)
+    plan = _partition_memo.get(key)
+    if plan is None:
+        plan = _partition_memo[key] = balanced_partition(spec, g_inter)
+    return plan
+
+
+def simulate_hetero_pipeline(
+    spec: ModelSpec,
+    *,
+    g_inter: int,
+    m: int,
+    mbs: int,
+    t_f_model: float,
+    t_b_model: float,
+    n_gpus: int | None = None,
+    g_tensor: int = 1,
+    cal: SummitCalibration = SUMMIT,
+    scenario: "str | PipelineScenario | None" = None,
+    blocking_sends: bool = False,
+) -> PipelineTrace:
+    """Run the Figure-3 engine with model- and topology-derived inputs.
+
+    Per-stage compute times come from the flops partitioner's actual
+    stage loads (``balanced_partition``), per-link message times from the
+    cluster topology with each cut's real activation payload (stage ``i``
+    of a replica sits on rank ``i * g_tensor``, so hops inside a node run
+    at NVLink class and hops across nodes at the calibrated cross-node
+    cost), and the scenario transform is applied on top.
+    """
+    scenario = get_scenario(scenario)
+    plan = _partition(spec, g_inter)
+    t_f_stages, t_b_stages = plan.stage_times(t_f_model, t_b_model)
+
+    if g_inter > 1:
+        cut_payloads = [
+            pipeline_message_bytes(mbs, spec.stage_boundary_message_elems(b))
+            for b in plan.boundaries[1:-1]
+        ]
+        topo = _topology(n_gpus or g_inter * g_tensor, cal)
+        stage_ranks = [s * g_tensor for s in range(g_inter)]
+        link_times = topo.pipeline_link_times(stage_ranks, cut_payloads)
+    else:
+        link_times = []
+
+    contention = False
+    if scenario is not None:
+        t_f_stages = scenario.scale_stage_times(t_f_stages)
+        t_b_stages = scenario.scale_stage_times(t_b_stages)
+        link_times = scenario.scale_link_times(link_times)
+        contention = scenario.link_contention
+
+    return simulate_pipeline(
+        g_inter,
+        m,
+        t_f_stage=t_f_stages,
+        t_b_stage=t_b_stages,
+        msg_time=link_times if link_times else 0.0,
+        blocking_sends=blocking_sends,
+        link_contention=contention,
+    )
+
+
+def run_scenario(
+    scenario: "str | PipelineScenario",
+    g_inter: int = 4,
+    n_microbatches: int = 8,
+    t_f: float = 1.0,
+    t_b: float = 2.0,
+    msg_time: float | None = None,
+    prefer_backward: bool = True,
+) -> tuple[PipelineTrace, dict]:
+    """Run one preset on a synthetic uniform baseline (the CLI path).
+
+    ``t_f``/``t_b`` are the *uniform per-stage* baseline times the
+    scenario deviates from; ``msg_time`` defaults to the preset's
+    recommended base. Returns the trace plus a summary dict with the
+    uniform-limit Eq. 6-7 reference for comparison.
+    """
+    sc = get_scenario(scenario)
+    base_msg = sc.base_msg_time if msg_time is None else msg_time
+    t_f_stages = sc.scale_stage_times([t_f] * g_inter)
+    t_b_stages = sc.scale_stage_times([t_b] * g_inter)
+    link_times = sc.scale_link_times([base_msg] * max(g_inter - 1, 0))
+    trace = simulate_pipeline(
+        g_inter,
+        n_microbatches,
+        t_f_stage=t_f_stages,
+        t_b_stage=t_b_stages,
+        msg_time=link_times if link_times else 0.0,
+        prefer_backward=prefer_backward,
+        link_contention=sc.link_contention,
+    )
+    eq7 = bubble_time(g_inter, t_f * g_inter, t_b * g_inter)
+    summary = {
+        "scenario": sc.name,
+        "description": sc.description,
+        "g_inter": g_inter,
+        "n_microbatches": n_microbatches,
+        "makespan": trace.makespan,
+        "mean_idle": trace.mean_idle_time(),
+        "max_idle": trace.max_idle_time(),
+        "eq7_bubble": eq7,
+        "t_f_stages": t_f_stages,
+        "t_b_stages": t_b_stages,
+        "link_times": link_times,
+    }
+    return trace, summary

@@ -5,7 +5,7 @@ import pytest
 from repro.cli import EXPERIMENTS, main
 
 
-FAST_COMMANDS = ["fig1", "fig2", "fig3", "fig8", "table1", "table2", "memory"]
+FAST_COMMANDS = ["fig1", "fig2", "fig3", "fig8", "table1", "table2", "memory", "simulate"]
 
 
 class TestCLI:
@@ -54,3 +54,31 @@ class TestCLI:
     def test_unknown_command_exits(self):
         with pytest.raises(SystemExit):
             main(["nonsense"])
+
+
+class TestSimulateCommand:
+    def test_uniform_preset_reports_eq7_parity(self, capsys):
+        assert main(["simulate", "--preset", "uniform"]) == 0
+        out = capsys.readouterr().out
+        # free messages + uniform stages: mean idle equals the Eq. 6-7 bubble
+        assert "mean idle: 9.000 s  (uniform-limit Eq. 6-7 bubble: 9.000 s)" in out
+
+    @pytest.mark.parametrize("preset", ["straggler", "slow-link", "skewed", "contention"])
+    def test_presets_run(self, preset, capsys):
+        assert main(["simulate", "--preset", preset]) == 0
+        out = capsys.readouterr().out
+        assert f"Scenario '{preset}'" in out
+        assert "makespan" in out
+
+    def test_custom_geometry(self, capsys):
+        assert main([
+            "simulate", "--preset", "straggler", "--g-inter", "6",
+            "--microbatches", "12", "--msg-time", "0.1",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "G_inter=6, m=12" in out
+
+    def test_plan_scenario_requires_sim(self):
+        with pytest.raises(SystemExit):
+            main(["plan", "--model", "gpt3-xl", "--gpus", "32",
+                  "--scenario", "straggler"])

@@ -167,6 +167,16 @@ class TestCollectives:
         assert broadcast_time(10**6, 4) > 0
         assert broadcast_time(10**6, 1) == 0.0
 
+    def test_broadcast_intra_node_uses_nvlink(self):
+        """Regression: broadcast was topology-blind, always pricing
+        intra-node groups at the cross-node coll_beta."""
+        topo = Topology(12)
+        t_intra = broadcast_time(10**8, 4, topology=topo, ranks=[0, 1, 2, 3])
+        t_inter = broadcast_time(10**8, 4, topology=topo, ranks=[0, 6, 7, 8])
+        assert t_intra < t_inter
+        # cross-node groups match the topology-free default
+        assert t_inter == pytest.approx(broadcast_time(10**8, 4))
+
     def test_group_size_validation(self):
         with pytest.raises(ValueError):
             ring_allreduce_time(100, 0)

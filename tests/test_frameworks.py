@@ -28,10 +28,20 @@ GPT_MODELS = ("gpt3-xl", "gpt3-2.7b", "gpt3-6.7b", "gpt3-13b")
 class TestEquations:
     def test_transmission_eq9(self):
         # 4 * B/(mbs*G_data) * t_msg
-        assert transmission_time(512, 64, 1, 0.01) == pytest.approx(4 * 8 * 0.01)
+        assert transmission_time(512, 64, 1, 0.01, g_inter=2) == pytest.approx(4 * 8 * 0.01)
 
     def test_transmission_zero_for_single_stage(self):
         assert transmission_time(512, 512, 1, 0.01, g_inter=1) == 0.0
+
+    def test_transmission_g_inter_required(self):
+        """Regression: the old optional ``g_inter=None`` silently charged
+        single-stage pipelines the interior-GPU send cost."""
+        with pytest.raises(TypeError):
+            transmission_time(512, 64, 1, 0.01)
+
+    def test_transmission_g_inter_validated(self):
+        with pytest.raises(ValueError):
+            transmission_time(512, 64, 1, 0.01, g_inter=0)
 
     def test_transmission_monotone_in_g_inter(self):
         """Eq. 11: fixing G, t_send grows with G_inter."""
