@@ -1,0 +1,97 @@
+"""Scenario-aware collectives — parity anchor and degradation sweep.
+
+Two jobs (mirroring ``bench_sim_scenarios.py`` for the collective phase):
+
+1. verify the scenario-aware ring cost models *degenerate exactly* to
+   the pristine-ring closed forms when every knob is neutral (the
+   correctness anchor every degraded-machine plan builds on);
+2. report how each named preset distorts a reference data-parallel
+   allreduce — the collective-phase counterpart of the Figure 8
+   "collective" bar under machine degradation.
+"""
+
+import pytest
+
+from repro.cluster import SUMMIT, Topology, broadcast_time, ring_allreduce_time
+from repro.models import get_spec
+from repro.parallel import SCENARIOS, ClusterScenario, collective_time
+from repro.reporting import render_table
+
+NEUTRAL = ClusterScenario("neutral")
+
+
+@pytest.mark.parametrize("nbytes", [10**6, 10**8, 2 * 10**9])
+@pytest.mark.parametrize("group", [2, 8, 64])
+def test_neutral_scenario_matches_pristine_ring_exactly(nbytes, group):
+    """Every collective knob at 1.0 must reproduce the ring closed form
+    bit-for-bit — the Eq. 4-7 uniform-limit anchor of the scenario layer."""
+    expected = (
+        2 * (group - 1) * SUMMIT.coll_alpha
+        + (2 * (group - 1) / group) * nbytes / SUMMIT.coll_beta
+    )
+    assert ring_allreduce_time(nbytes, group) == pytest.approx(expected, rel=1e-15)
+    assert ring_allreduce_time(nbytes, group, scenario=NEUTRAL) == ring_allreduce_time(
+        nbytes, group
+    )
+    assert broadcast_time(nbytes, group, scenario=NEUTRAL) == broadcast_time(
+        nbytes, group
+    )
+
+
+def test_collective_scenario_sweep(report):
+    """Reference allreduce (GPT-3 2.7B SAMO gradient payload, G_data=64)
+    under every preset; degradations may only slow it down."""
+    spec = get_spec("gpt3-2.7b")
+    g_data = 64
+    base = collective_time(spec, 2, g_data, sparse=True)
+    rows = []
+    for name in sorted(SCENARIOS):
+        sc = SCENARIOS[name]
+        t = collective_time(spec, 2, g_data, sparse=True, scenario=sc)
+        rows.append({
+            "scenario": name,
+            "allreduce (s)": round(t, 4),
+            "slowdown": f"{t / base:.2f}x",
+            "degrades collectives": "y" if sc.degrades_collectives else "n",
+        })
+    text = render_table(
+        rows,
+        title=(
+            f"Collective scenarios: GPT-3 2.7B SAMO gradient allreduce, "
+            f"G_data={g_data} (pristine ring {base:.4f} s)"
+        ),
+    )
+    report("collective_scenarios", text)
+    by_name = {r["scenario"]: r for r in rows}
+    assert by_name["uniform"]["allreduce (s)"] == round(base, 4)
+    for name, r in by_name.items():
+        t = float(r["allreduce (s)"])
+        assert t >= round(base, 4) - 1e-12, name
+        if SCENARIOS[name].degrades_collectives:
+            assert t > base, name
+
+
+def test_degraded_ring_spares_intra_node_groups():
+    sc = SCENARIOS["degraded-ring"]
+    topo = Topology(12)
+    intra, inter = [0, 1, 2, 3], [0, 6, 7, 8]
+    assert ring_allreduce_time(
+        10**8, 4, topology=topo, ranks=intra, scenario=sc
+    ) == ring_allreduce_time(10**8, 4, topology=topo, ranks=intra)
+    assert ring_allreduce_time(
+        10**8, 4, topology=topo, ranks=inter, scenario=sc
+    ) > ring_allreduce_time(10**8, 4, topology=topo, ranks=inter)
+
+
+def test_bench_scenario_allreduce(benchmark):
+    """Throughput of the scenario-aware cost model itself (it sits on the
+    planner's hot path: hundreds of candidates x replicas x scenarios)."""
+    sc = SCENARIOS["degraded"]
+
+    def sweep():
+        total = 0.0
+        for g in (2, 4, 8, 16, 32, 64, 128):
+            total += ring_allreduce_time(10**8, g, scenario=sc)
+        return total
+
+    assert benchmark(sweep) > 0

@@ -24,19 +24,24 @@ the closed-form bubble of Eq. 7 with the event-driven 1F1B schedule
 simulation of Figure 3, capturing warmup/drain and message-wait effects
 the closed form ignores. Its stage times come from the flops
 partitioner's actual (non-uniform) stage loads and its per-link message
-times from the cluster topology; an optional
-:class:`~repro.parallel.scenarios.PipelineScenario` (straggler GPU, slow
-link, contention) lets the planner rank configs under degraded-machine
-conditions.
+times from the cluster topology, priced for every data-parallel
+replica's chain (the batch pays the slowest); an optional
+:class:`~repro.parallel.scenarios.ClusterScenario` (straggler GPU, slow
+link, contention, degraded allreduce rings) lets the planner rank
+configs under degraded-machine conditions — the scenario's collective
+knobs reach the data-parallel and tensor-parallel ring cost models too.
 """
 
 from __future__ import annotations
 
+from collections import Counter
 from dataclasses import dataclass
 
 from ..cluster.calibration import SUMMIT, SummitCalibration
+from ..cluster.collectives import ring_allreduce_time
 from ..cluster.device import ComputeKind, DeviceModel
 from ..cluster.p2p import p2p_message_time, pipeline_message_bytes
+from ..cluster.topology import Topology
 from ..models.spec import ModelSpec
 from ..parallel.data_parallel import collective_time
 from ..parallel.partitioner import activation_bytes_per_gpu, model_state_bytes
@@ -162,6 +167,10 @@ class CostEstimator:
         self.spec = spec
         self.cal = cal
         self.device = DeviceModel(cal)
+        #: degraded-machine scenario threaded into every phase the
+        #: estimator prices (pipeline *and* collectives); analytic
+        #: estimators stay scenario-free (the factory enforces it)
+        self.scenario: PipelineScenario | None = None
 
     def evaluate(self, config: CandidateConfig) -> Evaluation:
         raise NotImplementedError
@@ -200,15 +209,29 @@ class CostEstimator:
         g = config.g_tensor
         if g <= 1:
             return 0.0
-        cal = self.cal
-        beta = cal.nvlink_bw * 0.6  # intra-node NCCL efficiency
-        total = 0.0
-        blocks = [l for l in self.spec.layers if l.kind == "transformer_block"]
-        for layer in blocks:
-            nbytes = 2 * config.mbs * layer.activation_out_elems
-            steps = 2 * (g - 1)
-            per_ar = steps * cal.coll_alpha + (2 * (g - 1) / g) * nbytes / beta
-            total += 4.0 * per_ar
+        # G_tensor is capped at the node size, so ranks 0..g-1 of a
+        # g-GPU topology form an intra-node group: the ring runs at
+        # NVLink-class bandwidth, and the scenario's collective knobs
+        # (slow ring links, a stalling rank — but not the cross-node
+        # one) degrade it through the shared ring cost model.
+        topo = Topology(g, self.cal)
+        ranks = list(range(g))
+        # Transformer blocks share one activation shape, so the ring
+        # model is priced once per distinct payload, not once per block
+        # (this sits on the planner's hot path).
+        payload_counts = Counter(
+            2 * config.mbs * l.activation_out_elems
+            for l in self.spec.layers
+            if l.kind == "transformer_block"
+        )
+        total = sum(
+            n_blocks
+            * 4.0
+            * ring_allreduce_time(
+                nbytes, g, self.cal, topology=topo, ranks=ranks, scenario=self.scenario
+            )
+            for nbytes, n_blocks in payload_counts.items()
+        )
         return total * microbatches / config.g_inter
 
 
@@ -247,6 +270,7 @@ class AnalyticEstimator(CostEstimator):
             sparse=config.mode in SPARSE_MODES,
             sparsity=config.sparsity,
             cal=cal,
+            scenario=self.scenario,
         )
         coll += self._tensor_parallel_collective(config, m)
 
@@ -340,6 +364,7 @@ class AnalyticEstimator(CostEstimator):
             overlap_with_backward=cal.dp_overlap_fraction,
             backward_compute_time=backward_compute,
             cal=cal,
+            scenario=self.scenario,
         )
         other = cal.other_fraction * compute
         mem = candidate_memory_per_gpu(spec, config, cal)

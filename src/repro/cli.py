@@ -262,7 +262,8 @@ def run_plan(args) -> str:
 
 
 def run_simulate(args) -> str:
-    from .parallel import run_scenario
+    from .models import get_spec
+    from .parallel import compare_partition_modes, run_scenario
     from .reporting import render_table
 
     try:
@@ -307,6 +308,49 @@ def run_simulate(args) -> str:
         f"makespan: {trace.makespan:.3f} s",
         f"mean idle: {info['mean_idle']:.3f} s  (uniform-limit Eq. 6-7 bubble: {eq7:.3f} s)",
     ]
+    if info["allreduce_slowdown"] != 1.0:
+        lines.append(
+            f"collective: reference 8-rank allreduce (100 MiB) slowed "
+            f"{info['allreduce_slowdown']:.2f}x "
+            f"({info['allreduce_ref']:.4f} s -> {info['allreduce_scenario']:.4f} s)"
+        )
+    # Scenario-aware partitioning: rebalance a real model's stage cuts
+    # against time-under-scenario and compare against flops balancing.
+    # Only meaningful when the scenario skews stage compute rates —
+    # uniform rates make the two modes identical by construction.
+    from .parallel import get_scenario
+
+    rates = get_scenario(args.preset).scale_stage_times([1.0] * args.g_inter)
+    if all(r == rates[0] for r in rates):
+        lines.append(
+            "(partition-mode comparison skipped: scenario leaves stage "
+            "compute rates uniform, so mode='time' equals mode='flops')"
+        )
+        return "\n".join(lines)
+    try:
+        spec = get_spec(args.model)
+        traces = compare_partition_modes(
+            spec,
+            args.preset,
+            g_inter=args.g_inter,
+            m=args.microbatches,
+            t_f_model=args.t_f * args.g_inter,
+            t_b_model=args.t_b * args.g_inter,
+        )
+    except (KeyError, ValueError) as err:
+        lines.append(f"(partition-mode comparison skipped: {err})")
+    else:
+        flops_ms = traces["flops"].makespan
+        time_ms = traces["time"].makespan
+        gain = (1.0 - time_ms / flops_ms) * 100.0
+        lines += [
+            "",
+            f"Partitioner comparison on {spec.name} (G_inter={args.g_inter}, "
+            f"m={args.microbatches}):",
+            f"  balanced_partition(mode='flops'): makespan {flops_ms:.3f} s",
+            f"  balanced_partition(mode='time') : makespan {time_ms:.3f} s "
+            f"({gain:+.1f}% makespan reduction)",
+        ]
     return "\n".join(lines)
 
 
@@ -323,7 +367,7 @@ EXPERIMENTS = {
     "table2": (run_table2, "% of peak fp16 throughput, GPT-3 13B"),
     "memory": (run_memory, "the Section I/VI memory-saving claim"),
     "plan": (run_plan, "autotune: best hybrid-parallel config for a model/GPU count"),
-    "simulate": (run_simulate, "heterogeneous pipeline scenarios (straggler, slow-link, ...)"),
+    "simulate": (run_simulate, "cluster scenarios (straggler, slow-link, degraded-ring, ...)"),
 }
 
 
@@ -362,7 +406,10 @@ def main(argv: list[str] | None = None) -> int:
             p.add_argument(
                 "--scenario", default=None,
                 help="rank configs under a degraded machine (requires "
-                     "--fidelity sim); see 'repro simulate' for presets",
+                     "--fidelity sim): pipeline presets (straggler, "
+                     "slow-link, skewed, contention) and collective "
+                     "presets (degraded-ring, ring-straggler, "
+                     "slow-ring-link, degraded); see 'repro simulate'",
             )
         if name == "simulate":
             from .parallel.scenarios import SCENARIOS
@@ -386,6 +433,11 @@ def main(argv: list[str] | None = None) -> int:
             p.add_argument(
                 "--fifo", action="store_true",
                 help="arrival-order scheduling instead of 1F1B backward preference",
+            )
+            p.add_argument(
+                "--model", default="gpt3-xl",
+                help="Table I model whose flops partition feeds the "
+                     "flops-vs-time partition-mode comparison",
             )
 
     args = parser.parse_args(argv)

@@ -4,6 +4,15 @@ Ring all-reduce of ``n`` bytes over ``G`` ranks moves ``2(G-1)/G * n``
 bytes per rank in ``2(G-1)`` latency steps — the NCCL baseline both AxoNN
 and DeepSpeed rely on. Effective bandwidth comes from the calibration
 (measured NCCL efficiency on Summit is well below link peak).
+
+Every collective takes an optional ``scenario`` — a
+:class:`repro.parallel.scenarios.ClusterScenario` (duck-typed here to
+avoid a circular import: anything exposing ``collective_beta_multiplier``
+and ``collective_stall_factor`` works). The scenario degrades the ring's
+effective bandwidth (slow ring links, halved cross-node rings) and
+stretches the synchronized steps when a rank stalls. With every knob
+neutral the multipliers are exactly 1.0, so the pristine-ring costs are
+reproduced bit-for-bit.
 """
 
 from __future__ import annotations
@@ -19,12 +28,28 @@ __all__ = [
 ]
 
 
-def _effective_beta(topology: Topology | None, ranks: list[int] | None, cal: SummitCalibration) -> float:
+def _effective_beta(
+    topology: Topology | None,
+    ranks: list[int] | None,
+    cal: SummitCalibration,
+    group_size: int = 2,
+    scenario=None,
+) -> float:
     """Per-rank ring bandwidth: NVLink-class when the group stays inside a
-    node, calibrated NCCL cross-node bandwidth otherwise."""
-    if topology is not None and ranks is not None and not topology.group_spans_nodes(ranks):
-        return cal.nvlink_bw * 0.6  # intra-node NCCL efficiency
-    return cal.coll_beta
+    node, calibrated NCCL cross-node bandwidth otherwise, degraded by the
+    scenario's collective knobs when one is given."""
+    if scenario is not None and not hasattr(scenario, "collective_beta_multiplier"):
+        raise TypeError(
+            f"scenario must be a ClusterScenario-like object, got {scenario!r}; "
+            "resolve preset names via repro.parallel.get_scenario"
+        )
+    spans_nodes = True
+    if topology is not None and ranks is not None:
+        spans_nodes = topology.group_spans_nodes(ranks)
+    beta = cal.coll_beta if spans_nodes else cal.nvlink_bw * 0.6  # intra-node NCCL efficiency
+    if scenario is not None:
+        beta *= scenario.collective_beta_multiplier(group_size, spans_nodes=spans_nodes)
+    return beta
 
 
 def ring_allreduce_time(
@@ -33,16 +58,20 @@ def ring_allreduce_time(
     cal: SummitCalibration = SUMMIT,
     topology: Topology | None = None,
     ranks: list[int] | None = None,
+    scenario=None,
 ) -> float:
     """Seconds for a ring all-reduce of ``nbytes`` per rank."""
     if group_size < 1:
         raise ValueError("group_size must be >= 1")
     if group_size == 1 or nbytes == 0:
         return 0.0
-    beta = _effective_beta(topology, ranks, cal)
+    beta = _effective_beta(topology, ranks, cal, group_size, scenario)
     g = group_size
     steps = 2 * (g - 1)
-    return steps * cal.coll_alpha + (2 * (g - 1) / g) * nbytes / beta
+    t = steps * cal.coll_alpha + (2 * (g - 1) / g) * nbytes / beta
+    if scenario is not None:
+        t *= scenario.collective_stall_factor(group_size, ranks)
+    return t
 
 
 def ring_reduce_scatter_time(
@@ -51,13 +80,17 @@ def ring_reduce_scatter_time(
     cal: SummitCalibration = SUMMIT,
     topology: Topology | None = None,
     ranks: list[int] | None = None,
+    scenario=None,
 ) -> float:
     """Seconds for a ring reduce-scatter (half an all-reduce)."""
     if group_size <= 1 or nbytes == 0:
         return 0.0
-    beta = _effective_beta(topology, ranks, cal)
+    beta = _effective_beta(topology, ranks, cal, group_size, scenario)
     g = group_size
-    return (g - 1) * cal.coll_alpha + ((g - 1) / g) * nbytes / beta
+    t = (g - 1) * cal.coll_alpha + ((g - 1) / g) * nbytes / beta
+    if scenario is not None:
+        t *= scenario.collective_stall_factor(group_size, ranks)
+    return t
 
 
 def ring_allgather_time(
@@ -66,9 +99,10 @@ def ring_allgather_time(
     cal: SummitCalibration = SUMMIT,
     topology: Topology | None = None,
     ranks: list[int] | None = None,
+    scenario=None,
 ) -> float:
     """Seconds for a ring all-gather (half an all-reduce)."""
-    return ring_reduce_scatter_time(nbytes, group_size, cal, topology, ranks)
+    return ring_reduce_scatter_time(nbytes, group_size, cal, topology, ranks, scenario)
 
 
 def broadcast_time(
@@ -77,6 +111,7 @@ def broadcast_time(
     cal: SummitCalibration = SUMMIT,
     topology: Topology | None = None,
     ranks: list[int] | None = None,
+    scenario=None,
 ) -> float:
     """Seconds for a (pipelined ring) broadcast.
 
@@ -86,5 +121,8 @@ def broadcast_time(
     """
     if group_size <= 1 or nbytes == 0:
         return 0.0
-    beta = _effective_beta(topology, ranks, cal)
-    return (group_size - 1) * cal.coll_alpha + nbytes / beta
+    beta = _effective_beta(topology, ranks, cal, group_size, scenario)
+    t = (group_size - 1) * cal.coll_alpha + nbytes / beta
+    if scenario is not None:
+        t *= scenario.collective_stall_factor(group_size, ranks)
+    return t

@@ -73,10 +73,24 @@ class Topology:
         ``nbytes_per_link`` is either one payload size for every hop or a
         list with one entry per hop (skewed partitions cut the model at
         boundaries of different widths).
+
+        Every rank is range-checked up front — ``p2p_time`` alone would
+        let an out-of-range placement with duplicated adjacent ranks
+        slip through its ``src == dst`` shortcut and silently price the
+        hop at zero — and adjacent duplicates are rejected outright: a
+        chain that puts two pipeline stages on one GPU is a placement
+        bug, not a free link.
         """
         n_links = len(ranks) - 1
         if n_links < 0:
             raise ValueError("need at least one rank")
+        for r in ranks:
+            self._check_rank(r)
+        for a, b in zip(ranks, ranks[1:]):
+            if a == b:
+                raise ValueError(
+                    f"adjacent pipeline stages share rank {a}; invalid placement"
+                )
         if isinstance(nbytes_per_link, int):
             sizes = [nbytes_per_link] * n_links
         else:
@@ -88,6 +102,35 @@ class Topology:
         return [
             self.p2p_time(ranks[i], ranks[i + 1], sizes[i]) for i in range(n_links)
         ]
+
+    def replica_pipeline_ranks(
+        self, replica: int, g_inter: int, g_tensor: int = 1
+    ) -> list[int]:
+        """Ranks hosting each pipeline stage of data-parallel replica
+        ``replica``.
+
+        AxoNN's decomposition places replica ``r`` on the contiguous
+        rank block ``[r·mpd, (r+1)·mpd)`` (``mpd = g_inter·g_tensor``)
+        with stage ``s`` rooted at ``r·mpd + s·g_tensor``. A placement
+        that falls off the machine raises instead of silently wrapping
+        onto low ranks — replica 0's chain is *not* a stand-in for the
+        others, since a chain at a different node offset may straddle a
+        node boundary replica 0's does not.
+        """
+        if replica < 0:
+            raise ValueError(f"replica must be non-negative, got {replica}")
+        if g_inter < 1 or g_tensor < 1:
+            raise ValueError(
+                f"g_inter and g_tensor must be >= 1, got {g_inter} and {g_tensor}"
+            )
+        base = replica * g_inter * g_tensor
+        ranks = [base + s * g_tensor for s in range(g_inter)]
+        if ranks[-1] >= self.n_gpus:
+            raise IndexError(
+                f"replica {replica} placement needs rank {ranks[-1]} but the "
+                f"topology has only {self.n_gpus} GPUs"
+            )
+        return ranks
 
     def group_spans_nodes(self, ranks: list[int]) -> bool:
         """True when a communicator group crosses a node boundary."""

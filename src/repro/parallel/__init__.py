@@ -42,7 +42,9 @@ from .pipeline import PipelineTrace, TaskRecord, simulate_pipeline
 from .pipeline_exec import PipelineStageTrainer, StageModule, partition_module_list
 from .scenarios import (
     SCENARIOS,
+    ClusterScenario,
     PipelineScenario,
+    compare_partition_modes,
     get_scenario,
     run_scenario,
     simulate_hetero_pipeline,
@@ -66,6 +68,8 @@ __all__ = [
     "microbatches_per_gpu",
     "simulate_pipeline",
     "simulate_hetero_pipeline",
+    "compare_partition_modes",
+    "ClusterScenario",
     "PipelineScenario",
     "SCENARIOS",
     "get_scenario",

@@ -33,7 +33,7 @@ from .perf_model import (
     microbatches_per_gpu,
     transmission_time,
 )
-from .scenarios import simulate_hetero_pipeline
+from .scenarios import get_scenario, simulate_hetero_pipeline
 
 __all__ = ["FRAMEWORKS", "simulate_batch", "strong_scaling"]
 
@@ -70,6 +70,7 @@ def simulate_batch(
     cal: SummitCalibration = SUMMIT,
     pipeline_fidelity: str = "analytic",
     scenario=None,
+    partition_mode: str = "flops",
 ) -> BatchBreakdown:
     """Predict the batch-time breakdown of one training iteration.
 
@@ -79,10 +80,15 @@ def simulate_batch(
 
     ``pipeline_fidelity='sim'`` replaces the closed-form Eq. 7/9 pipeline
     terms with the event-driven heterogeneous engine: per-stage times
-    from the flops partitioner, per-link times from the topology, and an
-    optional :class:`~repro.parallel.scenarios.PipelineScenario` (name or
-    instance — passing one implies ``'sim'``) degrading stages or links.
+    from the partitioner (``partition_mode="time"`` balances
+    time-under-scenario instead of raw flops), per-link times from the
+    topology for every data-parallel replica's chain (the batch pays the
+    slowest replica), and an optional
+    :class:`~repro.parallel.scenarios.ClusterScenario` (name or
+    instance — passing one implies ``'sim'``) degrading stages, links,
+    or the data-parallel allreduce ring.
     """
+    scenario = get_scenario(scenario)
     if scenario is not None:
         pipeline_fidelity = "sim"
     if pipeline_fidelity not in ("analytic", "sim"):
@@ -168,6 +174,7 @@ def simulate_batch(
             cal=cal,
             scenario=scenario,
             blocking_sends=framework == "deepspeed-3d",
+            partition_mode=partition_mode,
         )
         p2p = 0.0
         bubble = max(trace.makespan - m * (t_f + t_b), 0.0)
@@ -199,6 +206,7 @@ def simulate_batch(
         overlap_with_backward=overlap,
         backward_compute_time=backward_compute,
         cal=cal,
+        scenario=scenario,
     )
 
     other = cal.other_fraction * compute
@@ -233,6 +241,7 @@ def strong_scaling(
     cal: SummitCalibration = SUMMIT,
     pipeline_fidelity: str = "analytic",
     scenario=None,
+    partition_mode: str = "flops",
 ) -> dict[str, list[BatchBreakdown]]:
     """Run :func:`simulate_batch` over a GPU-count sweep per framework."""
     out: dict[str, list[BatchBreakdown]] = {}
@@ -243,6 +252,7 @@ def strong_scaling(
             simulate_batch(
                 spec, g, fw, sparsity=sparsity, mbs=mbs, cal=cal,
                 pipeline_fidelity=pipeline_fidelity, scenario=scenario,
+                partition_mode=partition_mode,
             )
             for g in gpu_counts
         ]

@@ -47,15 +47,22 @@ def collective_time(
     overlap_with_backward: float = 0.0,
     backward_compute_time: float = 0.0,
     cal: SummitCalibration = SUMMIT,
+    scenario=None,
 ) -> float:
     """Exposed data-parallel all-reduce seconds per batch.
 
     ``overlap_with_backward`` in [0,1] hides that fraction of the
     all-reduce under ``backward_compute_time`` (pure-DP bucketed overlap);
     hybrid pipeline runs pass 0 (the sync happens after the flush).
+    ``scenario`` (a :class:`~repro.parallel.scenarios.ClusterScenario`
+    or preset name) degrades the ring — slow ring links, a stalling
+    rank, halved cross-node bandwidth; neutral knobs reproduce the
+    pristine ring exactly.
     """
+    from .scenarios import get_scenario  # late: scenarios imports this module's siblings
+
     nbytes = gradient_bytes_per_gpu(spec, g_inter, sparse, sparsity)
-    raw = ring_allreduce_time(nbytes, g_data, cal)
+    raw = ring_allreduce_time(nbytes, g_data, cal, scenario=get_scenario(scenario))
     if overlap_with_backward <= 0.0:
         return raw
     hidden = min(raw * overlap_with_backward, backward_compute_time)

@@ -158,10 +158,20 @@ class PartitionPlan:
 
     boundaries: list[int]  # len G_inter+1; stage i = layers[b[i]:b[i+1]]
     stage_flops: list[float]  # fwd flops per sample per stage
+    #: balancing objective the plan was built under ("flops" or "time")
+    mode: str = "flops"
+    #: per-stage slowdown rates the "time" objective balanced against
+    #: (None for flops balancing / uniform rates)
+    stage_rates: tuple[float, ...] | None = None
 
     @property
     def n_stages(self) -> int:
         return len(self.boundaries) - 1
+
+    @property
+    def layer_counts(self) -> list[int]:
+        """Layers assigned to each stage."""
+        return [b - a for a, b in zip(self.boundaries, self.boundaries[1:])]
 
     @property
     def imbalance(self) -> float:
@@ -188,29 +198,58 @@ class PartitionPlan:
         return [t_f_model * f for f in fr], [t_b_model * f for f in fr]
 
 
-def balanced_partition(spec: ModelSpec, g_inter: int) -> PartitionPlan:
-    """Split layers into ``g_inter`` contiguous stages balancing fwd flops.
+def balanced_partition(
+    spec: ModelSpec,
+    g_inter: int,
+    mode: str = "flops",
+    stage_rates: "list[float] | tuple[float, ...] | None" = None,
+) -> PartitionPlan:
+    """Split layers into ``g_inter`` contiguous stages balancing load.
 
     Greedy prefix-target sweep (the classic linear partition heuristic):
     cut when accumulated flops reach the running per-stage target. The
     final stage absorbs any remainder.
+
+    ``mode="flops"`` (the paper's setting) equalises raw forward flops.
+    ``mode="time"`` equalises *time-under-scenario*: ``stage_rates``
+    gives each stage's relative slowdown (e.g. 1.5 for a throttled GPU,
+    from ``ClusterScenario.scale_stage_times([1.0]*g)``), and the sweep
+    targets equal ``rate_i x stage_flops_i`` instead — a slow stage
+    receives proportionally fewer layers so the schedule's bottleneck
+    drops. Uniform (or absent) rates reduce time mode to flops mode.
     """
     if g_inter < 1 or g_inter > spec.num_layers:
         raise ValueError(
             f"g_inter={g_inter} out of range [1, {spec.num_layers}] for {spec.name}"
         )
+    if mode not in ("flops", "time"):
+        raise ValueError(f"unknown partition mode {mode!r}; choose 'flops' or 'time'")
+    if stage_rates is not None:
+        if mode != "time":
+            raise ValueError("stage_rates only apply to mode='time'")
+        stage_rates = tuple(float(r) for r in stage_rates)
+        if len(stage_rates) != g_inter:
+            raise ValueError(
+                f"stage_rates has {len(stage_rates)} entries for {g_inter} stages"
+            )
+        if any(r <= 0 for r in stage_rates):
+            raise ValueError(f"stage_rates must be positive, got {stage_rates}")
+    # A stage slowed by rate r should carry 1/r of the flops a nominal
+    # stage does; inverse rates weight the per-stage targets.
+    inv = [1.0 / r for r in (stage_rates or (1.0,) * g_inter)]
     flops = [l.fwd_flops_per_sample for l in spec.layers]
     total = sum(flops)
     boundaries = [0]
     acc = 0.0
     done = 0.0
     for i, f in enumerate(flops):
-        remaining_stages = g_inter - (len(boundaries) - 1)
+        stage = len(boundaries) - 1
+        remaining_stages = g_inter - stage
         remaining_layers = len(flops) - i
         if remaining_stages == 0:
             break
         acc += f
-        target = (total - done) / remaining_stages
+        target = (total - done) * inv[stage] / sum(inv[stage:])
         # cut when the stage met its target, or we must cut to leave one
         # layer per remaining stage
         must_cut = remaining_layers - 1 < remaining_stages - 1
@@ -227,4 +266,9 @@ def balanced_partition(spec: ModelSpec, g_inter: int) -> PartitionPlan:
     stage_flops = [
         sum(flops[boundaries[i] : boundaries[i + 1]]) for i in range(g_inter)
     ]
-    return PartitionPlan(boundaries=boundaries, stage_flops=stage_flops)
+    return PartitionPlan(
+        boundaries=boundaries,
+        stage_flops=stage_flops,
+        mode=mode,
+        stage_rates=stage_rates,
+    )

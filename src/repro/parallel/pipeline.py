@@ -58,6 +58,12 @@ class PipelineTrace:
     link_times: list[float] = field(default_factory=list)
     #: per-link seconds the link spent occupied (contended runs only)
     link_busy: list[float] = field(default_factory=list)
+    #: data-parallel replicas whose chains were priced to produce this
+    #: trace (``simulate_hetero_pipeline`` keeps the slowest replica's
+    #: schedule; a bare ``simulate_pipeline`` call is one chain)
+    n_replicas: int = 1
+    #: index of the replica whose chain this trace belongs to
+    slowest_replica: int = 0
 
     def gpu_tasks(self, gpu: int) -> list[TaskRecord]:
         return sorted((t for t in self.tasks if t.gpu == gpu), key=lambda t: t.start)

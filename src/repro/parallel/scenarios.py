@@ -1,21 +1,33 @@
-"""Heterogeneity scenarios for the pipeline simulation engine.
+"""Heterogeneity scenarios for the cluster-level cost model.
 
 The paper's performance model (Eqs. 6-11) assumes uniform stages on
-identical GPUs joined by one flat message cost. Real clusters are not
+identical GPUs joined by one flat message cost, and prices every
+data-parallel allreduce at pristine-ring bandwidth. Real clusters are not
 that kind: a GPU can run slow (thermal throttling, a bad HBM stack), a
 link can run slow (a congested InfiniBand switch), a flops-balanced
-partition can still be skewed (layers don't divide evenly), and messages
-can contend for a shared link. A :class:`PipelineScenario` packages one
-such deviation as a transform on the per-stage compute times and
-per-link message times that :func:`repro.parallel.simulate_pipeline`
-consumes; :data:`SCENARIOS` holds the named presets the CLI exposes.
+partition can still be skewed (layers don't divide evenly), messages can
+contend for a shared link, and the collective phase degrades too — a
+slow ring link paces every synchronized allreduce step, a stalling rank
+delays the whole group, and cross-node rings lose bandwidth to fabric
+congestion. A :class:`ClusterScenario` packages one such deviation as a
+transform on the per-stage compute times and per-link message times that
+:func:`repro.parallel.simulate_pipeline` consumes **plus** the
+multipliers the ring-collective cost models apply
+(:func:`repro.cluster.collectives.ring_allreduce_time` and friends take
+an optional ``scenario``); :data:`SCENARIOS` holds the named presets the
+CLI exposes. With every knob at its neutral value the scenario is the
+identity transform and the analytic Eqs. 4-7 costs are reproduced
+exactly (``tests/test_scenario_consistency.py``).
 
 :func:`simulate_hetero_pipeline` is the bridge used by the batch model
 and the autotuner's ``sim`` fidelity: it derives *actual* per-stage
-times from the flops partitioner (instead of the uniform ``t/G_inter``
-split), prices each stage-boundary link from the cluster topology
+times from the partitioner (flops-balanced by default, or
+time-under-scenario balanced with ``partition_mode="time"``), prices
+**every data-parallel replica's** stage chain from the cluster topology
 (NVLink inside a node, calibrated InfiniBand across nodes) with the
-payload of the actual cut, applies the scenario, and runs the engine.
+payload of the actual cut, applies the scenario, and reports the
+slowest replica's schedule — the one a synchronous data-parallel step
+waits for.
 """
 
 from __future__ import annotations
@@ -24,6 +36,7 @@ import functools
 from dataclasses import dataclass
 
 from ..cluster.calibration import SUMMIT, SummitCalibration
+from ..cluster.collectives import ring_allreduce_time
 from ..cluster.p2p import pipeline_message_bytes
 from ..cluster.topology import Topology
 from ..models.spec import ModelSpec
@@ -32,25 +45,34 @@ from .perf_model import bubble_time
 from .pipeline import PipelineTrace, simulate_pipeline
 
 __all__ = [
+    "ClusterScenario",
     "PipelineScenario",
     "SCENARIOS",
     "get_scenario",
     "simulate_hetero_pipeline",
+    "compare_partition_modes",
     "run_scenario",
 ]
 
 
 @dataclass(frozen=True)
-class PipelineScenario:
+class ClusterScenario:
     """One named deviation from the uniform/identical-GPU assumption.
 
-    Frozen and hashable so it can participate in planner cache keys.
-    Stage/link indices are resolved modulo the actual pipeline depth, so
-    one preset applies at any ``G_inter``.
+    Covers both phases of a hybrid-parallel batch: the **pipeline**
+    knobs transform per-stage compute times and per-link message times,
+    and the **collective** knobs degrade the data-parallel ring
+    collectives (the cost models in :mod:`repro.cluster.collectives`
+    consult them through :meth:`collective_beta_multiplier` and
+    :meth:`collective_stall_factor`). Frozen and hashable so it can
+    participate in planner cache keys. Stage/link indices are resolved
+    modulo the actual pipeline depth, so one preset applies at any
+    ``G_inter``.
     """
 
     name: str
     description: str = ""
+    # -- pipeline phase ------------------------------------------------
     #: multiply one stage's compute times (a throttled/straggler GPU)
     straggler_stage: int | None = None
     straggler_factor: float = 1.0
@@ -67,7 +89,46 @@ class PipelineScenario:
     #: message time the CLI uses when the user gives none (presets that
     #: exercise links need a non-zero base to bite)
     base_msg_time: float = 0.0
+    # -- collective phase ----------------------------------------------
+    #: per-link bandwidth multipliers for the data-parallel ring,
+    #: resolved cyclically over the group's links; every synchronized
+    #: ring step moves one chunk over every link at once, so the whole
+    #: collective runs at the *slowest* link's pace
+    ring_link_multipliers: tuple[float, ...] = ()
+    #: a rank that stalls each allreduce step it takes part in; since
+    #: ring steps are synchronized, any group containing it stretches by
+    #: ``coll_straggler_factor`` (groups that pass their ranks and do
+    #: not contain it are unaffected; rank-blind call sites
+    #: conservatively assume membership)
+    coll_straggler_rank: int | None = None
+    coll_straggler_factor: float = 1.0
+    #: ring bandwidth multiplier applied only when the group spans
+    #: nodes (0.5 = the degraded/halved cross-node ring option)
+    cross_node_bw_multiplier: float = 1.0
 
+    def __post_init__(self):
+        if not isinstance(self.ring_link_multipliers, tuple):
+            object.__setattr__(
+                self, "ring_link_multipliers", tuple(self.ring_link_multipliers)
+            )
+        for knob in (
+            "straggler_factor",
+            "slow_link_factor",
+            "coll_straggler_factor",
+            "cross_node_bw_multiplier",
+        ):
+            if getattr(self, knob) <= 0:
+                raise ValueError(f"{knob} must be positive, got {getattr(self, knob)}")
+        if any(m <= 0 for m in self.ring_link_multipliers):
+            raise ValueError(
+                f"ring_link_multipliers must be positive, got {self.ring_link_multipliers}"
+            )
+        if self.coll_straggler_rank is not None and self.coll_straggler_rank < 0:
+            raise ValueError(
+                f"coll_straggler_rank must be non-negative, got {self.coll_straggler_rank}"
+            )
+
+    # -- pipeline transforms -------------------------------------------
     def scale_stage_times(self, times: list[float]) -> list[float]:
         g = len(times)
         out = list(times)
@@ -86,46 +147,117 @@ class PipelineScenario:
             out[i] *= self.slow_link_factor
         return out
 
+    # -- collective transforms -----------------------------------------
+    def collective_beta_multiplier(
+        self, group_size: int, spans_nodes: bool = True
+    ) -> float:
+        """Multiplier on the ring's effective per-rank bandwidth.
+
+        A ring over ``group_size`` ranks has ``group_size`` links and
+        every synchronized step uses all of them at once, so the slowest
+        (smallest-multiplier) link paces the whole collective.
+        """
+        m = 1.0
+        if self.ring_link_multipliers and group_size > 1:
+            k = len(self.ring_link_multipliers)
+            m *= min(self.ring_link_multipliers[i % k] for i in range(group_size))
+        if spans_nodes:
+            m *= self.cross_node_bw_multiplier
+        return m
+
+    def collective_stall_factor(
+        self, group_size: int, ranks: "list[int] | None" = None
+    ) -> float:
+        """Group-wide stretch from a rank that stalls its ring steps.
+
+        With ``ranks`` the stall applies only when the straggler is a
+        member of the group; without them the caller cannot rule the
+        straggler out, so membership is assumed (data-parallel groups
+        typically cover the whole machine).
+        """
+        if self.coll_straggler_rank is None or group_size <= 1:
+            return 1.0
+        if ranks is not None and self.coll_straggler_rank not in ranks:
+            return 1.0
+        return self.coll_straggler_factor
+
+    @property
+    def degrades_collectives(self) -> bool:
+        """True when any collective-phase knob is non-neutral."""
+        return (
+            (bool(self.ring_link_multipliers) and min(self.ring_link_multipliers) != 1.0)
+            or self.coll_straggler_rank is not None
+            or self.cross_node_bw_multiplier != 1.0
+        )
+
+
+#: Backwards-compatible alias: PR 2 introduced the pipeline-only
+#: scenario under this name; the collective knobs extended it in place.
+PipelineScenario = ClusterScenario
+
 
 #: Named presets (the ``repro simulate --preset`` choices).
-SCENARIOS: dict[str, PipelineScenario] = {
+SCENARIOS: dict[str, ClusterScenario] = {
     s.name: s
     for s in (
-        PipelineScenario(
+        ClusterScenario(
             "uniform",
-            "identical stages, free messages — must reproduce Eq. 6-7 exactly",
+            "identical stages, free messages, pristine rings — must reproduce Eq. 4-7 exactly",
         ),
-        PipelineScenario(
+        ClusterScenario(
             "straggler",
             "last-stage GPU throttled to 1.5x compute time",
             straggler_stage=-1,
             straggler_factor=1.5,
         ),
-        PipelineScenario(
+        ClusterScenario(
             "slow-link",
             "one congested inter-stage link at 4x message time",
             slow_link=1,
             slow_link_factor=4.0,
             base_msg_time=0.25,
         ),
-        PipelineScenario(
+        ClusterScenario(
             "skewed",
             "linearly skewed stage loads (back stages 1.4x the front)",
             compute_skew=0.4,
         ),
-        PipelineScenario(
+        ClusterScenario(
             "contention",
             "messages serialize on shared half-duplex links",
             link_contention=True,
             base_msg_time=0.6,
         ),
+        ClusterScenario(
+            "degraded-ring",
+            "cross-node allreduce rings run at half bandwidth",
+            cross_node_bw_multiplier=0.5,
+        ),
+        ClusterScenario(
+            "ring-straggler",
+            "one data-parallel rank stalls every allreduce step to 1.75x",
+            coll_straggler_rank=0,
+            coll_straggler_factor=1.75,
+        ),
+        ClusterScenario(
+            "slow-ring-link",
+            "one quarter-bandwidth ring link paces the whole allreduce",
+            ring_link_multipliers=(0.25, 1.0, 1.0, 1.0),
+        ),
+        ClusterScenario(
+            "degraded",
+            "straggler GPU plus halved cross-node rings (compound outage)",
+            straggler_stage=-1,
+            straggler_factor=1.5,
+            cross_node_bw_multiplier=0.5,
+        ),
     )
 }
 
 
-def get_scenario(scenario: "str | PipelineScenario | None") -> PipelineScenario | None:
+def get_scenario(scenario: "str | ClusterScenario | None") -> ClusterScenario | None:
     """Resolve a scenario given by name, instance, or None."""
-    if scenario is None or isinstance(scenario, PipelineScenario):
+    if scenario is None or isinstance(scenario, ClusterScenario):
         return scenario
     try:
         return SCENARIOS[scenario]
@@ -144,16 +276,33 @@ def _topology(n_gpus: int, cal: SummitCalibration) -> Topology:
 
 #: Partition memo. ModelSpec is not hashable (mutable layer list), so the
 #: key is the same name+shape signature the autotune evaluation cache
-#: uses to identify specs. Cardinality is (models x pipeline depths) —
-#: tiny — and concurrent planner threads at worst recompute a pure value.
+#: uses to identify specs, plus the partition mode and (for time mode)
+#: the scenario's per-stage rate vector. Cardinality is (models x
+#: pipeline depths x rate vectors) — tiny — and concurrent planner
+#: threads at worst recompute a pure value.
 _partition_memo: dict[tuple, PartitionPlan] = {}
 
 
-def _partition(spec: ModelSpec, g_inter: int) -> PartitionPlan:
-    key = (spec.name, spec.param_count, spec.batch_size, spec.num_layers, g_inter)
+def _partition(
+    spec: ModelSpec,
+    g_inter: int,
+    mode: str = "flops",
+    stage_rates: tuple[float, ...] | None = None,
+) -> PartitionPlan:
+    key = (
+        spec.name,
+        spec.param_count,
+        spec.batch_size,
+        spec.num_layers,
+        g_inter,
+        mode,
+        stage_rates,
+    )
     plan = _partition_memo.get(key)
     if plan is None:
-        plan = _partition_memo[key] = balanced_partition(spec, g_inter)
+        plan = _partition_memo[key] = balanced_partition(
+            spec, g_inter, mode=mode, stage_rates=stage_rates
+        )
     return plan
 
 
@@ -168,53 +317,116 @@ def simulate_hetero_pipeline(
     n_gpus: int | None = None,
     g_tensor: int = 1,
     cal: SummitCalibration = SUMMIT,
-    scenario: "str | PipelineScenario | None" = None,
+    scenario: "str | ClusterScenario | None" = None,
     blocking_sends: bool = False,
+    partition_mode: str = "flops",
 ) -> PipelineTrace:
     """Run the Figure-3 engine with model- and topology-derived inputs.
 
-    Per-stage compute times come from the flops partitioner's actual
-    stage loads (``balanced_partition``), per-link message times from the
-    cluster topology with each cut's real activation payload (stage ``i``
-    of a replica sits on rank ``i * g_tensor``, so hops inside a node run
-    at NVLink class and hops across nodes at the calibrated cross-node
-    cost), and the scenario transform is applied on top.
+    Per-stage compute times come from the partitioner's actual stage
+    loads (``balanced_partition``; ``partition_mode="time"`` balances
+    time-under-scenario instead of raw flops), per-link message times
+    from the cluster topology with each cut's real activation payload,
+    and the scenario transform is applied on top.
+
+    Every data-parallel replica prices its own stage chain: replica
+    ``r`` occupies ranks ``[r·mpd, (r+1)·mpd)`` with stage ``s`` rooted
+    at ``r·mpd + s·g_tensor`` (``mpd = g_inter·g_tensor``), so a chain
+    that straddles a node boundary pays cross-node link costs even when
+    replica 0's chain is all-NVLink. The returned trace is the slowest
+    replica's schedule — the one the synchronous data-parallel step
+    waits for — with ``n_replicas``/``slowest_replica`` recording the
+    placement sweep.
     """
     scenario = get_scenario(scenario)
-    plan = _partition(spec, g_inter)
+    stage_rates = None
+    if partition_mode == "time" and scenario is not None:
+        stage_rates = tuple(scenario.scale_stage_times([1.0] * g_inter))
+    plan = _partition(spec, g_inter, partition_mode, stage_rates)
     t_f_stages, t_b_stages = plan.stage_times(t_f_model, t_b_model)
 
+    mpd = g_inter * g_tensor
     if g_inter > 1:
         cut_payloads = [
             pipeline_message_bytes(mbs, spec.stage_boundary_message_elems(b))
             for b in plan.boundaries[1:-1]
         ]
-        topo = _topology(n_gpus or g_inter * g_tensor, cal)
-        stage_ranks = [s * g_tensor for s in range(g_inter)]
-        link_times = topo.pipeline_link_times(stage_ranks, cut_payloads)
+        topo = _topology(n_gpus or mpd, cal)
+        n_replicas = max(topo.n_gpus // mpd, 1)
+        # Replicas at the same node offset share a link-time profile, so
+        # the sweep dedupes to at most gpus_per_node distinct schedules.
+        profiles: dict[tuple[float, ...], int] = {}
+        for r in range(n_replicas):
+            ranks = topo.replica_pipeline_ranks(r, g_inter, g_tensor)
+            profiles.setdefault(tuple(topo.pipeline_link_times(ranks, cut_payloads)), r)
     else:
-        link_times = []
+        n_replicas = max((n_gpus or mpd) // mpd, 1)
+        profiles = {(): 0}
 
     contention = False
     if scenario is not None:
         t_f_stages = scenario.scale_stage_times(t_f_stages)
         t_b_stages = scenario.scale_stage_times(t_b_stages)
-        link_times = scenario.scale_link_times(link_times)
         contention = scenario.link_contention
 
-    return simulate_pipeline(
-        g_inter,
-        m,
-        t_f_stage=t_f_stages,
-        t_b_stage=t_b_stages,
-        msg_time=link_times if link_times else 0.0,
-        blocking_sends=blocking_sends,
-        link_contention=contention,
-    )
+    slowest: PipelineTrace | None = None
+    for profile, replica in profiles.items():
+        link_times = list(profile)
+        if scenario is not None:
+            link_times = scenario.scale_link_times(link_times)
+        trace = simulate_pipeline(
+            g_inter,
+            m,
+            t_f_stage=t_f_stages,
+            t_b_stage=t_b_stages,
+            msg_time=link_times if link_times else 0.0,
+            blocking_sends=blocking_sends,
+            link_contention=contention,
+        )
+        if slowest is None or trace.makespan > slowest.makespan:
+            slowest = trace
+            slowest.slowest_replica = replica
+    slowest.n_replicas = n_replicas
+    return slowest
+
+
+def compare_partition_modes(
+    spec: ModelSpec,
+    scenario: "str | ClusterScenario | None",
+    *,
+    g_inter: int,
+    m: int,
+    mbs: int = 1,
+    t_f_model: float,
+    t_b_model: float,
+    n_gpus: int | None = None,
+    cal: SummitCalibration = SUMMIT,
+) -> dict[str, PipelineTrace]:
+    """Price one scenario under flops- and time-balanced partitions.
+
+    Returns ``{"flops": trace, "time": trace}`` from identical inputs so
+    the makespans are directly comparable — the CLI's evidence that
+    rebalancing stage boundaries against time-under-scenario pays.
+    """
+    return {
+        mode: simulate_hetero_pipeline(
+            spec,
+            g_inter=g_inter,
+            m=m,
+            mbs=mbs,
+            t_f_model=t_f_model,
+            t_b_model=t_b_model,
+            n_gpus=n_gpus,
+            cal=cal,
+            scenario=scenario,
+            partition_mode=mode,
+        )
+        for mode in ("flops", "time")
+    }
 
 
 def run_scenario(
-    scenario: "str | PipelineScenario",
+    scenario: "str | ClusterScenario",
     g_inter: int = 4,
     n_microbatches: int = 8,
     t_f: float = 1.0,
@@ -227,7 +439,9 @@ def run_scenario(
     ``t_f``/``t_b`` are the *uniform per-stage* baseline times the
     scenario deviates from; ``msg_time`` defaults to the preset's
     recommended base. Returns the trace plus a summary dict with the
-    uniform-limit Eq. 6-7 reference for comparison.
+    uniform-limit Eq. 6-7 reference for comparison and — for presets
+    that degrade the collective phase — the slowdown of a reference
+    data-parallel allreduce (100 MiB over 8 ranks).
     """
     sc = get_scenario(scenario)
     base_msg = sc.base_msg_time if msg_time is None else msg_time
@@ -244,6 +458,9 @@ def run_scenario(
         link_contention=sc.link_contention,
     )
     eq7 = bubble_time(g_inter, t_f * g_inter, t_b * g_inter)
+    ref_bytes, ref_group = 100 * 2**20, 8
+    ar_base = ring_allreduce_time(ref_bytes, ref_group)
+    ar_scenario = ring_allreduce_time(ref_bytes, ref_group, scenario=sc)
     summary = {
         "scenario": sc.name,
         "description": sc.description,
@@ -256,5 +473,8 @@ def run_scenario(
         "t_f_stages": t_f_stages,
         "t_b_stages": t_b_stages,
         "link_times": link_times,
+        "allreduce_ref": ar_base,
+        "allreduce_scenario": ar_scenario,
+        "allreduce_slowdown": ar_scenario / ar_base,
     }
     return trace, summary

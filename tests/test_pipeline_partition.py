@@ -265,6 +265,99 @@ class TestBalancedPartition:
             balanced_partition(spec, spec.num_layers + 1)
 
 
+class TestTimeBalancedPartition:
+    """``balanced_partition(mode="time")``: stage boundaries rebalanced
+    against time-under-scenario (PartitionPlan.stage_times after
+    scenario scaling) instead of raw flops."""
+
+    @staticmethod
+    def _uniform_spec(n_layers):
+        from repro.models.spec import LayerSpec, ModelSpec
+
+        layers = [
+            LayerSpec(f"block{i}", "transformer_block", 100, 90, 1.0e9, 1000, 500)
+            for i in range(n_layers)
+        ]
+        return ModelSpec(name=f"uniform-{n_layers}", layers=layers, batch_size=64, family="gpt")
+
+    def test_straggler_stage_gets_strictly_fewer_layers(self):
+        """Golden grid: under the ``straggler`` preset (last stage 1.5x)
+        the slow stage receives strictly fewer layers than under flops
+        balancing, and total layers are conserved."""
+        from repro.parallel import SCENARIOS
+
+        sc = SCENARIOS["straggler"]
+        for n_layers in (8, 12, 16, 24, 30):
+            for g in (2, 3, 4, 6, 8):
+                if n_layers < 2 * g:
+                    continue  # < 2 layers/stage: nothing left to shed
+                spec = self._uniform_spec(n_layers)
+                rates = sc.scale_stage_times([1.0] * g)
+                flops_plan = balanced_partition(spec, g)
+                time_plan = balanced_partition(spec, g, mode="time", stage_rates=rates)
+                assert sum(flops_plan.layer_counts) == n_layers, (n_layers, g)
+                assert sum(time_plan.layer_counts) == n_layers, (n_layers, g)
+                assert time_plan.layer_counts[-1] < flops_plan.layer_counts[-1], (
+                    n_layers,
+                    g,
+                )
+                assert min(time_plan.layer_counts) >= 1
+
+    def test_golden_gpt3_xl_straggler_boundaries(self):
+        """Pinned cuts for the paper model (regression anchor)."""
+        from repro.parallel import SCENARIOS
+
+        spec = get_spec("gpt3-xl")
+        rates = SCENARIOS["straggler"].scale_stage_times([1.0] * 4)
+        assert balanced_partition(spec, 4).layer_counts == [8, 7, 6, 6]
+        time_plan = balanced_partition(spec, 4, mode="time", stage_rates=rates)
+        assert time_plan.layer_counts == [9, 7, 7, 4]
+        assert time_plan.mode == "time"
+        assert time_plan.stage_rates == tuple(rates)
+
+    def test_uniform_rates_reduce_to_flops_mode(self):
+        spec = get_spec("gpt3-2.7b")
+        flops_plan = balanced_partition(spec, 8)
+        time_plan = balanced_partition(spec, 8, mode="time", stage_rates=[1.0] * 8)
+        assert time_plan.boundaries == flops_plan.boundaries
+        assert balanced_partition(spec, 8, mode="time").boundaries == flops_plan.boundaries
+
+    def test_time_mode_lowers_weighted_bottleneck(self):
+        """The objective it optimises: max(rate_i * stage_flops_i)."""
+        from repro.parallel import SCENARIOS
+
+        sc = SCENARIOS["straggler"]
+        for g in (2, 4, 8):
+            spec = get_spec("gpt3-2.7b")
+            rates = sc.scale_stage_times([1.0] * g)
+            fl = balanced_partition(spec, g)
+            tm = balanced_partition(spec, g, mode="time", stage_rates=rates)
+            weighted = lambda plan: max(r * f for r, f in zip(rates, plan.stage_flops))
+            assert weighted(tm) < weighted(fl)
+
+    def test_time_mode_reduces_straggler_makespan(self):
+        """Acceptance: under the straggler preset, mode='time' strictly
+        reduces the simulated makespan vs flops partitioning."""
+        from repro.parallel import compare_partition_modes
+
+        spec = get_spec("gpt3-xl")
+        traces = compare_partition_modes(
+            spec, "straggler", g_inter=4, m=8, t_f_model=4.0, t_b_model=8.0
+        )
+        assert traces["time"].makespan < traces["flops"].makespan
+
+    def test_invalid_mode_and_rates_rejected(self):
+        spec = get_spec("gpt3-xl")
+        with pytest.raises(ValueError, match="unknown partition mode"):
+            balanced_partition(spec, 4, mode="latency")
+        with pytest.raises(ValueError, match="only apply"):
+            balanced_partition(spec, 4, mode="flops", stage_rates=[1.0] * 4)
+        with pytest.raises(ValueError, match="entries"):
+            balanced_partition(spec, 4, mode="time", stage_rates=[1.0] * 3)
+        with pytest.raises(ValueError, match="positive"):
+            balanced_partition(spec, 4, mode="time", stage_rates=[1.0, 1.0, 0.0, 1.0])
+
+
 class TestSchedulingPolicies:
     """The Section II-E scheduling flags: async sends, 1F1B preference,
     bounded in-flight forwards."""
