@@ -1,0 +1,95 @@
+"""The ``repro.api`` session facade, end to end.
+
+One Job/Machine/ScenarioSet vocabulary replaces the scattered legacy
+kwargs: the same frozen ``Job`` flows through the Figure-8 breakdown,
+the event-driven pipeline trace, the configuration search, and robust
+planning over a weighted scenario distribution — all sharing one
+evaluation cache.
+
+Run: ``PYTHONPATH=src python examples/api_session.py``
+"""
+
+import json
+
+from repro.api import Job, Machine, ScenarioSet, Session, available_fidelities
+
+# ---------------------------------------------------------------------------
+# 1. a machine, a session, a job
+# ---------------------------------------------------------------------------
+machine = Machine.summit()  # Machine.summit(budget_gb=12) re-budgets the V100s
+session = Session(machine)
+job = Job(model="gpt3-xl", n_gpus=64, framework="axonn+samo", sparsity=0.9)
+
+print(f"machine: {machine.name}, {machine.gpus_per_node} GPUs/node, "
+      f"{machine.gpu_memory_bytes / 2**30:.0f} GiB/GPU")
+print(f"job    : {job.describe()}")
+print(f"costing backends registered: {', '.join(available_fidelities())}")
+
+# ---------------------------------------------------------------------------
+# 2. breakdown — the Figure-8 phases of one training batch
+# ---------------------------------------------------------------------------
+b = session.breakdown(job)
+print(f"\nbreakdown (G_inter={b.config.g_inter}, G_data={b.config.g_data}):")
+for phase in ("compute", "p2p", "bubble", "collective", "other"):
+    print(f"  {phase:10s} {getattr(b, phase):6.3f} s")
+print(f"  {'total':10s} {b.total:6.3f} s")
+
+# ---------------------------------------------------------------------------
+# 3. trace — the event-driven 1F1B schedule behind fidelity='sim'
+# ---------------------------------------------------------------------------
+sim_job = job.with_(fidelity="sim")
+trace = session.trace(sim_job)
+print(f"\ntrace: {trace.g_inter} stages, makespan {trace.makespan:.3f} s, "
+      f"mean idle {trace.mean_idle_time():.3f} s "
+      f"({trace.n_replicas} data-parallel replicas priced)")
+
+# a degraded machine changes the same trace
+slow = session.trace(sim_job, scenario="straggler")
+print(f"under 'straggler': makespan {slow.makespan:.3f} s "
+      f"({(slow.makespan / trace.makespan - 1) * 100:+.1f}%)")
+
+# ---------------------------------------------------------------------------
+# 4. plan — search the configuration space
+# ---------------------------------------------------------------------------
+plan = session.plan(job)
+best = plan.best
+print(f"\nplan: best of {len(plan.evaluations)} candidates -> "
+      f"{best.config.describe()}")
+print(f"  {best.total_time:.2f} s/batch, {best.throughput:.0f} samples/s, "
+      f"{best.memory_bytes / 2**30:.1f} GiB/GPU")
+
+# plans serialize to diffable JSON artifacts (same payload as --json)
+artifact = json.dumps(plan.to_dict())
+print(f"  JSON artifact: {len(artifact)} bytes "
+      f"(best config {json.loads(artifact)['best']['config']['framework']})")
+
+# ---------------------------------------------------------------------------
+# 5. robust_plan — expected cost over a scenario distribution
+# ---------------------------------------------------------------------------
+# a named distribution...
+robust = session.robust_plan(
+    Job(model="gpt3-xl", n_gpus=32), "mixed-degraded", microbatch_sizes=(1,)
+)
+print(f"\nrobust plan over 'mixed-degraded' "
+      f"(weights {dict(zip(robust.scenario_set.labels(), [round(w, 2) for w in robust.scenario_set.weights]))}):")
+rb = robust.best
+print(f"  expected-cost winner: {rb.config.describe()}")
+print(f"    E[time] {rb.expected_time:.2f} s, worst {rb.worst_time:.2f} s "
+      f"under '{rb.worst_scenario}'")
+mm = robust.best_worst_case()
+print(f"  minimax winner      : {mm.config.describe()} "
+      f"(worst {mm.worst_time:.2f} s)")
+
+# ...or a custom weighted set; evaluations are shared through the cache,
+# so overlapping scenarios cost nothing extra
+custom = ScenarioSet.of("uniform", "degraded", weights=(0.7, 0.3), name="two-state")
+robust2 = session.robust_plan(
+    Job(model="gpt3-xl", n_gpus=32), custom, microbatch_sizes=(1,)
+)
+print(f"  custom '{custom.name}' set best: "
+      f"{robust2.best.config.describe()} "
+      f"(E[time] {robust2.best.expected_time:.2f} s)")
+
+stats = session.cache.stats()
+print(f"\nshared evaluation cache: {stats['entries']} entries, "
+      f"{stats['hits']} hits, {stats['misses']} misses")

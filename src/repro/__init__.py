@@ -35,9 +35,17 @@ Subpackages
     event-driven pipeline simulator), memoises evaluations, and reports
     the best config plus a (throughput, memory) Pareto frontier —
     ``python -m repro plan --model gpt3-2.7b --gpus 512``.
+``repro.api``
+    The canonical front door: frozen ``Job``/``Machine``/``ScenarioSet``
+    value objects consumed by a ``Session`` facade
+    (``breakdown``/``trace``/``plan``/``robust_plan``) over every
+    cost-model entry point, with robust planning across weighted
+    scenario distributions. The legacy surfaces above remain as thin
+    wrappers.
 """
 
 from . import (
+    api,
     autotune,
     cluster,
     comm,
@@ -66,6 +74,7 @@ from .train import Trainer
 __version__ = "1.0.0"
 
 __all__ = [
+    "api",
     "autotune",
     "core",
     "tensor",

@@ -1,0 +1,109 @@
+"""The workload half of a costing question, as one frozen value object.
+
+A :class:`Job` replaces the kwarg soup the legacy entry points threaded
+ad hoc (``simulate_batch(spec, n_gpus, framework, sparsity, mbs,
+pipeline_fidelity, scenario, partition_mode)``, ``Planner(...)``'s
+overlapping constructor, CLI flag strings): everything that identifies
+*what* is being trained and *how it should be costed* lives here,
+hashable, serializable, and validated once at construction.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass, replace
+
+__all__ = ["Job"]
+
+PARTITION_MODES = ("flops", "time")
+
+
+@dataclass(frozen=True)
+class Job:
+    """One training workload to cost on a :class:`~repro.api.Machine`.
+
+    ``fidelity=None`` means "unspecified": entry points then pick
+    ``"analytic"``, or ``"sim"`` when a scenario is in play (the shared
+    :func:`~repro.parallel.scenarios.resolve_fidelity` rule). An
+    explicit ``"analytic"`` combined with a scenario raises everywhere.
+
+    ``framework`` matters to :meth:`Session.breakdown`/:meth:`Session.trace`
+    (one framework runs the batch); :meth:`Session.plan` searches over
+    frameworks and uses the job's sparsity/fidelity/partition_mode only.
+    """
+
+    model: str
+    n_gpus: int
+    framework: str = "axonn"
+    sparsity: float = 0.9
+    mbs: int = 1
+    partition_mode: str = "flops"
+    fidelity: str | None = None
+
+    def __post_init__(self):
+        if not isinstance(self.model, str) or not self.model:
+            raise ValueError(f"model must be a non-empty name, got {self.model!r}")
+        if self.n_gpus < 1:
+            raise ValueError(f"n_gpus must be >= 1, got {self.n_gpus}")
+        if self.mbs < 1:
+            raise ValueError(f"mbs must be >= 1, got {self.mbs}")
+        if not 0.0 <= self.sparsity <= 1.0:
+            raise ValueError(f"sparsity must be in [0,1], got {self.sparsity}")
+        if self.partition_mode not in PARTITION_MODES:
+            raise ValueError(
+                f"unknown partition_mode {self.partition_mode!r}; "
+                f"choose from {PARTITION_MODES}"
+            )
+        from ..parallel.axonn import FRAMEWORKS  # deferred: axonn wraps the api
+
+        if self.framework not in FRAMEWORKS:
+            raise ValueError(
+                f"unknown framework {self.framework!r}; choose from {FRAMEWORKS}"
+            )
+
+    # ------------------------------------------------------------------
+    def with_(self, **changes) -> "Job":
+        """Functional update preserving validation."""
+        return replace(self, **changes)
+
+    def cache_key(self) -> tuple:
+        """Hashable canonical identity; equal for equivalently-built Jobs."""
+        return (
+            self.model,
+            self.n_gpus,
+            self.framework,
+            round(self.sparsity, 6),
+            self.mbs,
+            self.partition_mode,
+            self.fidelity,
+        )
+
+    def canonical_hash(self) -> str:
+        """Short stable digest of :meth:`cache_key`."""
+        payload = "|".join(str(x) for x in self.cache_key())
+        return hashlib.sha256(payload.encode()).hexdigest()[:16]
+
+    def describe(self) -> str:
+        fid = self.fidelity if self.fidelity is not None else "auto"
+        return (
+            f"{self.model} on {self.n_gpus} GPUs "
+            f"[{self.framework}, p={self.sparsity:g}, mbs={self.mbs}, "
+            f"partition={self.partition_mode}, fidelity={fid}]"
+        )
+
+    # ------------------------------------------------------------------
+    def to_dict(self) -> dict:
+        """JSON-ready mapping; inverse of :meth:`from_dict`."""
+        return {
+            "model": self.model,
+            "n_gpus": self.n_gpus,
+            "framework": self.framework,
+            "sparsity": self.sparsity,
+            "mbs": self.mbs,
+            "partition_mode": self.partition_mode,
+            "fidelity": self.fidelity,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "Job":
+        return cls(**data)

@@ -1,0 +1,474 @@
+"""The one front door to every cost-model entry point.
+
+``Session`` binds a :class:`~repro.api.Machine` to an evaluation cache
+and answers the four questions the legacy surface scattered over
+``simulate_batch`` kwargs, ``Planner``'s constructor, and CLI presets:
+
+* :meth:`Session.breakdown` — the Figure-8 phase breakdown of one
+  :class:`~repro.api.Job` (what ``simulate_batch`` computed);
+* :meth:`Session.trace` — the event-driven 1F1B schedule trace of the
+  job's pipeline (warmup/drain, message waits, per-replica placement);
+* :meth:`Session.plan` — search the hybrid-parallel configuration space
+  (what ``Planner`` ran), cache keys derived from the frozen
+  Job/Machine value objects;
+* :meth:`Session.robust_plan` — rank configurations by *expected* cost
+  over a weighted :class:`~repro.api.ScenarioSet`, reporting worst-case
+  cost alongside; evaluations are shared per (config, scenario) pair
+  through the same cache, and a neutral-only set degenerates to
+  :meth:`Session.plan` bit-identically.
+
+The legacy entry points (``simulate_batch``, ``Planner``, ``plan()``,
+the CLI subcommands) remain as thin wrappers over this facade.
+"""
+
+from __future__ import annotations
+
+import concurrent.futures
+import os
+import time
+from dataclasses import dataclass, field
+
+from ..models.registry import get_spec
+from ..models.spec import ModelSpec
+from ..parallel.axonn import (
+    FRAMEWORKS,
+    _breakdown_engine,
+    _framework_traits,
+    _gpt_decomposition,
+)
+from ..parallel.perf_model import BatchBreakdown
+from ..parallel.pipeline import PipelineTrace
+from ..parallel.scenarios import resolve_fidelity, simulate_hetero_pipeline
+from ..autotune.cache import GLOBAL_CACHE, EvaluationCache, evaluation_cache_key
+from ..autotune.config import CandidateConfig
+from ..autotune.estimator import CostEstimator, Evaluation, make_estimator
+from ..autotune.result import PlanResult
+from ..autotune.space import SearchSpace
+from ..reporting.tables import format_bytes, render_table
+from .job import Job
+from .machine import Machine
+from .scenario_set import ScenarioSet, get_scenario_set
+
+__all__ = ["Session", "RobustEvaluation", "RobustPlanResult"]
+
+
+# ---------------------------------------------------------------------------
+# robust-planning results
+# ---------------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class RobustEvaluation:
+    """One candidate costed across a whole scenario distribution."""
+
+    config: CandidateConfig
+    #: probability-weighted batch time over the set
+    expected_time: float
+    #: slowest batch time over the set, and the scenario that caused it
+    worst_time: float
+    worst_scenario: str
+    #: scenario label -> batch time
+    per_scenario: dict
+    memory_bytes: int
+    feasible: bool
+    batch_size: int
+
+    @property
+    def expected_throughput(self) -> float:
+        return self.batch_size / self.expected_time
+
+    def as_row(self) -> dict:
+        return {
+            "framework": self.config.framework,
+            "G_t": self.config.g_tensor,
+            "G_i": self.config.g_inter,
+            "G_d": self.config.g_data,
+            "mbs": self.config.mbs,
+            "E[time] (s)": round(self.expected_time, 3),
+            "worst (s)": round(self.worst_time, 3),
+            "worst case": self.worst_scenario,
+            "E[tput] (smp/s)": round(self.expected_throughput, 1),
+            "mem/GPU (GB)": round(self.memory_bytes / 1e9, 2),
+        }
+
+    def to_dict(self) -> dict:
+        return {
+            "config": self.config.to_dict(),
+            "expected_time": self.expected_time,
+            "worst_time": self.worst_time,
+            "worst_scenario": self.worst_scenario,
+            "per_scenario": dict(self.per_scenario),
+            "memory_bytes": self.memory_bytes,
+            "feasible": self.feasible,
+            "batch_size": self.batch_size,
+        }
+
+
+@dataclass
+class RobustPlanResult:
+    """Outcome of one robust search over a scenario distribution."""
+
+    model: str
+    n_gpus: int
+    fidelity: str
+    budget_bytes: int
+    scenario_set: ScenarioSet
+    entries: list = field(default_factory=list)
+    #: scenario label -> the per-scenario :class:`PlanResult`
+    per_scenario: dict = field(default_factory=dict)
+
+    @property
+    def feasible(self) -> list:
+        """Feasible candidates, best expected time first."""
+        return sorted(
+            (e for e in self.entries if e.feasible),
+            key=lambda e: e.expected_time,
+        )
+
+    @property
+    def best(self) -> RobustEvaluation:
+        """Best expected-cost feasible configuration."""
+        ranked = self.feasible
+        if not ranked:
+            raise RuntimeError(
+                f"{self.model} on {self.n_gpus} GPUs: no feasible configuration "
+                f"within {format_bytes(self.budget_bytes)} per GPU"
+            )
+        return ranked[0]
+
+    def best_worst_case(self) -> RobustEvaluation:
+        """The minimax pick: smallest worst-case time over the set."""
+        ranked = sorted(
+            (e for e in self.entries if e.feasible), key=lambda e: e.worst_time
+        )
+        if not ranked:
+            raise RuntimeError("no feasible configuration")
+        return ranked[0]
+
+    # ------------------------------------------------------------------
+    def summary_table(self, top: int = 8) -> str:
+        rows = [e.as_row() for e in self.feasible[:top]]
+        if not rows:
+            return "(no feasible configurations)"
+        weights = ", ".join(
+            f"{label}={w:.2f}"
+            for label, w in zip(self.scenario_set.labels(), self.scenario_set.weights)
+        )
+        return render_table(
+            rows,
+            title=(
+                f"Robust plan: {self.model} on {self.n_gpus} GPUs over "
+                f"'{self.scenario_set.name}' ({weights})"
+            ),
+        )
+
+    def report(self, top: int = 8) -> str:
+        """Full human-readable robust-plan report (what the CLI prints)."""
+        try:
+            best = self.best
+        except RuntimeError as err:
+            return str(err)
+        parts = [
+            f"Best expected config for {self.model} on {self.n_gpus} GPUs "
+            f"over scenario set '{self.scenario_set.name}': "
+            f"{best.config.describe()}\n"
+            f"  E[batch time] {best.expected_time:.2f} s "
+            f"(worst {best.worst_time:.2f} s under '{best.worst_scenario}'), "
+            f"E[throughput] {best.expected_throughput:.0f} samples/s, "
+            f"memory {format_bytes(best.memory_bytes)}/GPU",
+            self.summary_table(top=top),
+        ]
+        minimax = self.best_worst_case()
+        if minimax.config != best.config:
+            parts.append(
+                f"Minimax (best worst-case) pick differs: "
+                f"{minimax.config.describe()} — worst {minimax.worst_time:.2f} s "
+                f"vs {best.worst_time:.2f} s for the expected-cost winner."
+            )
+        return "\n\n".join(parts)
+
+    def to_dict(self) -> dict:
+        """JSON-ready mapping of the full robust ranking."""
+        feasible = self.feasible
+        return {
+            "model": self.model,
+            "n_gpus": self.n_gpus,
+            "fidelity": self.fidelity,
+            "budget_bytes": self.budget_bytes,
+            "scenario_set": self.scenario_set.to_dict(),
+            "best": feasible[0].to_dict() if feasible else None,
+            "entries": [e.to_dict() for e in self.entries],
+        }
+
+
+# ---------------------------------------------------------------------------
+# the facade
+# ---------------------------------------------------------------------------
+
+class Session:
+    """All cost-model entry points behind one object.
+
+    A session owns a :class:`~repro.api.Machine` and an evaluation
+    cache; every question asked through it reuses cached evaluations
+    keyed on the frozen (machine, job-derived, config, scenario)
+    identity.
+    """
+
+    def __init__(
+        self,
+        machine: Machine | None = None,
+        cache: EvaluationCache | None = None,
+        max_workers: int | None = None,
+    ):
+        self.machine = machine if machine is not None else Machine()
+        self.cache = GLOBAL_CACHE if cache is None else cache
+        self.max_workers = max_workers or min(8, (os.cpu_count() or 2))
+
+    # -- shared plumbing ----------------------------------------------------
+    def _resolve_spec(self, job: Job, spec: ModelSpec | None) -> ModelSpec:
+        """The job's registered model, or an explicit spec override
+        (the escape hatch legacy wrappers use for unregistered specs)."""
+        return spec if spec is not None else get_spec(job.model)
+
+    # -- single-config questions -------------------------------------------
+    def breakdown(
+        self, job: Job, scenario=None, *, spec: ModelSpec | None = None
+    ) -> BatchBreakdown:
+        """Figure-8 phase breakdown of one training batch of ``job``."""
+        spec = self._resolve_spec(job, spec)
+        fidelity, scenario = resolve_fidelity(job.fidelity, scenario)
+        return _breakdown_engine(
+            spec,
+            n_gpus=job.n_gpus,
+            framework=job.framework,
+            sparsity=job.sparsity,
+            mbs=job.mbs,
+            cal=self.machine.cal,
+            fidelity=fidelity,
+            scenario=scenario,
+            partition_mode=job.partition_mode,
+        )
+
+    def trace(
+        self, job: Job, scenario=None, *, spec: ModelSpec | None = None
+    ) -> PipelineTrace:
+        """Event-driven 1F1B schedule trace of the job's pipeline.
+
+        Always runs the Figure-3 engine (a trace *is* the event-driven
+        schedule); the job's fidelity only participates in the shared
+        conflict validation, so an explicit ``analytic`` job with a
+        scenario raises here like everywhere else.
+        """
+        spec = self._resolve_spec(job, spec)
+        fidelity, scenario = resolve_fidelity(job.fidelity, scenario, default="sim")
+        if fidelity not in ("analytic", "sim"):
+            raise ValueError(
+                f"unknown pipeline_fidelity {fidelity!r}; "
+                "choose 'analytic' or 'sim'"
+            )
+        if spec.family == "cnn":
+            raise ValueError(
+                f"{spec.name} runs pure data parallel (no pipeline to trace)"
+            )
+        traits = _framework_traits(job.framework)
+        cal = self.machine.cal
+        g_inter, _g_data, m, t_f, t_b = _gpt_decomposition(
+            spec, traits, job.n_gpus, job.sparsity, job.mbs, cal
+        )
+        return simulate_hetero_pipeline(
+            spec,
+            g_inter=g_inter,
+            m=m,
+            mbs=job.mbs,
+            t_f_model=t_f * g_inter,
+            t_b_model=t_b * g_inter,
+            n_gpus=job.n_gpus,
+            cal=cal,
+            scenario=scenario,
+            blocking_sends=job.framework == "deepspeed-3d",
+            partition_mode=job.partition_mode,
+        )
+
+    # -- search questions ---------------------------------------------------
+    def plan(
+        self,
+        job: Job,
+        scenario=None,
+        *,
+        frameworks: tuple = FRAMEWORKS,
+        microbatch_sizes: tuple = (1, 2, 4),
+        explore_no_checkpoint: bool = True,
+        spec: ModelSpec | None = None,
+    ) -> PlanResult:
+        """Search the configuration space for ``job``'s workload.
+
+        The job contributes model, GPU count, sparsity, fidelity, and
+        partition mode; the search axes (frameworks, microbatch sizes,
+        checkpointing) stay free kwargs because they enumerate the
+        space rather than identify the workload.
+        """
+        spec = self._resolve_spec(job, spec)
+        fidelity, scenario = resolve_fidelity(job.fidelity, scenario)
+        space = SearchSpace(
+            spec=spec,
+            n_gpus=job.n_gpus,
+            frameworks=frameworks,
+            sparsities=(job.sparsity,),
+            microbatch_sizes=microbatch_sizes,
+            explore_no_checkpoint=explore_no_checkpoint,
+            cal=self.machine.cal,
+        )
+        estimator = make_estimator(
+            fidelity,
+            spec,
+            self.machine.cal,
+            scenario=scenario,
+            partition_mode=job.partition_mode,
+        )
+        from ..autotune.search import PlannerStats  # deferred: search wraps the api
+
+        return self._evaluate_space(
+            spec, space, estimator, job.n_gpus, PlannerStats(),
+            partition_mode=job.partition_mode,
+        )
+
+    def robust_plan(
+        self,
+        job: Job,
+        scenarios,
+        *,
+        frameworks: tuple = FRAMEWORKS,
+        microbatch_sizes: tuple = (1, 2, 4),
+        explore_no_checkpoint: bool = True,
+        spec: ModelSpec | None = None,
+    ) -> RobustPlanResult:
+        """Rank configurations by expected cost over a scenario set.
+
+        Runs one :meth:`plan` per scenario in the set — every
+        (config, scenario) evaluation lands in the shared cache, so
+        re-planning the same distribution (or any overlapping one) costs
+        nothing — then aggregates per candidate: probability-weighted
+        expected time and the worst case with its culprit scenario. A
+        neutral-only set reproduces :meth:`plan`'s ranking bit-exactly.
+        """
+        spec = self._resolve_spec(job, spec)
+        sset = get_scenario_set(scenarios)
+        fidelity = job.fidelity
+        if fidelity is None:
+            # one coherent fidelity for the whole set: degraded members
+            # need the event engine; a neutral-only set keeps the default
+            fidelity = "analytic" if sset.is_neutral_only else "sim"
+        job = job.with_(fidelity=fidelity)
+
+        per_scenario: dict[str, PlanResult] = {}
+        for label, (sc, _w) in zip(sset.labels(), sset.items()):
+            per_scenario[label] = self.plan(
+                job,
+                scenario=sc,
+                frameworks=frameworks,
+                microbatch_sizes=microbatch_sizes,
+                explore_no_checkpoint=explore_no_checkpoint,
+                spec=spec,
+            )
+
+        entries = []
+        labels = list(sset.labels())
+        weights = list(sset.weights)
+        first = per_scenario[labels[0]]
+        by_config = {
+            label: {e.config: e for e in res.evaluations}
+            for label, res in per_scenario.items()
+        }
+        for ev in first.evaluations:
+            times = {
+                label: by_config[label][ev.config].total_time for label in labels
+            }
+            if len(labels) == 1:
+                # exact degeneration: no float round-trip through the sum
+                expected = times[labels[0]]
+            else:
+                expected = sum(w * times[l] for l, w in zip(labels, weights))
+            worst_label = max(labels, key=lambda l: times[l])
+            entries.append(
+                RobustEvaluation(
+                    config=ev.config,
+                    expected_time=expected,
+                    worst_time=times[worst_label],
+                    worst_scenario=worst_label,
+                    per_scenario=times,
+                    memory_bytes=ev.memory_bytes,
+                    feasible=all(
+                        by_config[l][ev.config].feasible for l in labels
+                    ),
+                    batch_size=ev.batch_size,
+                )
+            )
+        return RobustPlanResult(
+            model=spec.name,
+            n_gpus=job.n_gpus,
+            # the job-level fidelity, not a per-scenario estimator label
+            # like "sim@straggler" — this result spans the whole set
+            fidelity=fidelity,
+            budget_bytes=self.machine.gpu_memory_bytes,
+            scenario_set=sset,
+            entries=entries,
+            per_scenario=per_scenario,
+        )
+
+    # -- the search loop (shared with the legacy Planner) -------------------
+    def _evaluate_space(
+        self,
+        spec: ModelSpec,
+        space: SearchSpace,
+        estimator: CostEstimator,
+        n_gpus: int,
+        stats,
+        partition_mode: str = "flops",
+    ) -> PlanResult:
+        """Enumerate, memoise, evaluate concurrently, rank.
+
+        Cache keys derive from the frozen Machine identity plus the
+        estimator's fidelity label, scenario, and each config's
+        canonical hash (:func:`~repro.autotune.cache.evaluation_cache_key`).
+        """
+        t0 = time.perf_counter()
+        fidelity = estimator.fidelity
+        candidates = list(space.candidates())
+        stats.candidates = len(candidates)
+        stats.pruned_memory = space.stats.pruned_memory
+        stats.pruned_branches = space.stats.pruned_branches
+
+        evaluations: dict[CandidateConfig, Evaluation] = {}
+        misses: list[tuple[tuple, CandidateConfig]] = []
+        scenario = getattr(estimator, "scenario", None)
+        for config in candidates:
+            key = evaluation_cache_key(
+                self.machine, spec, fidelity, config,
+                scenario=scenario, partition_mode=partition_mode,
+            )
+            cached = self.cache.get(key)
+            if cached is not None:
+                evaluations[config] = cached
+                stats.cache_hits += 1
+            else:
+                misses.append((key, config))
+
+        if misses:
+            stats.evaluated = len(misses)
+            with concurrent.futures.ThreadPoolExecutor(
+                max_workers=self.max_workers
+            ) as pool:
+                for (key, config), ev in zip(
+                    misses, pool.map(estimator.evaluate, (c for _, c in misses))
+                ):
+                    self.cache.put(key, ev)
+                    evaluations[config] = ev
+
+        stats.wall_seconds = time.perf_counter() - t0
+        return PlanResult(
+            model=spec.name,
+            n_gpus=n_gpus,
+            fidelity=fidelity,
+            budget_bytes=self.machine.gpu_memory_bytes,
+            evaluations=list(evaluations.values()),
+            stats=stats,
+        )

@@ -20,7 +20,13 @@ memory budget:
 CLI: ``python -m repro plan --model gpt3-2.7b --gpus 512 --sparsity 0.9``.
 """
 
-from .cache import GLOBAL_CACHE, EvaluationCache, make_cache_key
+from .cache import (
+    GLOBAL_CACHE,
+    EvaluationCache,
+    evaluation_cache_key,
+    make_cache_key,
+    spec_signature,
+)
 from .config import FRAMEWORK_MODES, SPARSE_MODES, CandidateConfig
 from .estimator import (
     AnalyticEstimator,
@@ -28,8 +34,10 @@ from .estimator import (
     Evaluation,
     SimulatorEstimator,
     activation_footprint_bytes,
+    available_fidelities,
     candidate_memory_per_gpu,
     make_estimator,
+    register_estimator,
 )
 from .result import PlanResult
 from .search import Planner, PlannerStats, plan
@@ -45,12 +53,16 @@ __all__ = [
     "AnalyticEstimator",
     "SimulatorEstimator",
     "make_estimator",
+    "register_estimator",
+    "available_fidelities",
     "Evaluation",
     "activation_footprint_bytes",
     "candidate_memory_per_gpu",
     "EvaluationCache",
     "GLOBAL_CACHE",
     "make_cache_key",
+    "evaluation_cache_key",
+    "spec_signature",
     "Planner",
     "PlannerStats",
     "plan",

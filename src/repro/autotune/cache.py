@@ -18,7 +18,56 @@ from ..models.spec import ModelSpec
 from .config import CandidateConfig
 from .estimator import Evaluation
 
-__all__ = ["EvaluationCache", "GLOBAL_CACHE", "make_cache_key"]
+__all__ = [
+    "EvaluationCache",
+    "GLOBAL_CACHE",
+    "spec_signature",
+    "evaluation_cache_key",
+    "make_cache_key",
+]
+
+
+def spec_signature(spec: ModelSpec) -> tuple:
+    """Shape signature identifying a model spec in cache keys.
+
+    Name alone would alias differently-built specs that share a name.
+    """
+    return (spec.name, spec.param_count, spec.batch_size, spec.num_layers)
+
+
+def evaluation_cache_key(
+    machine,
+    spec: ModelSpec,
+    fidelity: str,
+    config: CandidateConfig,
+    scenario=None,
+    partition_mode: str = "flops",
+) -> tuple:
+    """Canonical cache key for one candidate evaluation.
+
+    Derived from the frozen value objects rather than hand-assembled at
+    each call site: ``machine`` is an :class:`repro.api.Machine` (its
+    :meth:`canonical_key` — a plain ``SummitCalibration`` is accepted for
+    the legacy entry points), the model contributes its
+    :func:`spec_signature`, the config its canonical hash, and
+    ``scenario`` the full frozen
+    :class:`~repro.parallel.scenarios.ClusterScenario` (not just its
+    name — two differently-parameterised scenarios sharing a name must
+    not alias). ``partition_mode`` comes from the
+    :class:`~repro.api.Job` and separates flops- from time-balanced
+    costings.
+    """
+    machine_key = (
+        machine.canonical_key() if hasattr(machine, "canonical_key") else machine
+    )
+    return (
+        *spec_signature(spec),
+        machine_key,
+        fidelity,
+        scenario,
+        partition_mode,
+        config.canonical_hash(),
+    )
 
 
 def make_cache_key(
@@ -28,26 +77,13 @@ def make_cache_key(
     config: CandidateConfig,
     scenario=None,
 ) -> tuple:
-    """Canonical cache key for one evaluation.
+    """Legacy key builder; prefer :func:`evaluation_cache_key`.
 
-    The model is identified by name and shape signature (name collisions
-    across differently-built specs would otherwise alias), the machine by
-    the frozen calibration dataclass, and the config by its canonical
-    hash. ``scenario`` is the full frozen
-    :class:`~repro.parallel.scenarios.PipelineScenario` (not just its
-    name — two differently-parameterised scenarios sharing a name must
-    not alias).
+    Kept so callers holding a bare calibration produce keys compatible
+    with the :class:`~repro.api.Machine`-derived ones (a ``Machine``'s
+    canonical key *is* its resolved calibration).
     """
-    return (
-        spec.name,
-        spec.param_count,
-        spec.batch_size,
-        spec.num_layers,
-        cal,
-        fidelity,
-        scenario,
-        config.canonical_hash(),
-    )
+    return evaluation_cache_key(cal, spec, fidelity, config, scenario=scenario)
 
 
 @dataclass

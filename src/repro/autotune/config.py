@@ -138,6 +138,23 @@ class CandidateConfig:
         """Functional update preserving validation."""
         return replace(self, **changes)
 
+    def to_dict(self) -> dict:
+        """JSON-ready mapping; inverse of :meth:`from_dict`."""
+        return {
+            "framework": self.framework,
+            "g_tensor": self.g_tensor,
+            "g_inter": self.g_inter,
+            "g_data": self.g_data,
+            "mbs": self.mbs,
+            "checkpoint_activations": self.checkpoint_activations,
+            "mode": self.mode.value,
+            "sparsity": self.sparsity,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "CandidateConfig":
+        return cls(**{**data, "mode": StorageMode(data["mode"])})
+
     def describe(self) -> str:
         ckpt = "ckpt" if self.checkpoint_activations else "no-ckpt"
         sp = f", p={self.sparsity:g}" if self.mode in SPARSE_MODES else ""

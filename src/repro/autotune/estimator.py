@@ -52,7 +52,12 @@ from ..parallel.perf_model import (
     microbatches_per_gpu,
     transmission_time,
 )
-from ..parallel.scenarios import PipelineScenario, get_scenario, simulate_hetero_pipeline
+from ..parallel.scenarios import (
+    PipelineScenario,
+    get_scenario,
+    resolve_fidelity,
+    simulate_hetero_pipeline,
+)
 from .config import SPARSE_MODES, CandidateConfig
 
 __all__ = [
@@ -63,6 +68,8 @@ __all__ = [
     "CostEstimator",
     "AnalyticEstimator",
     "SimulatorEstimator",
+    "available_fidelities",
+    "register_estimator",
     "make_estimator",
 ]
 
@@ -136,6 +143,28 @@ class Evaluation:
         """Samples per second for the global batch."""
         return self.batch_size / self.breakdown.total
 
+    def to_dict(self) -> dict:
+        """JSON-ready mapping; inverse of :meth:`from_dict`."""
+        return {
+            "config": self.config.to_dict(),
+            "breakdown": self.breakdown.to_dict(),
+            "memory_bytes": self.memory_bytes,
+            "feasible": self.feasible,
+            "batch_size": self.batch_size,
+            "fidelity": self.fidelity,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "Evaluation":
+        return cls(
+            config=CandidateConfig.from_dict(data["config"]),
+            breakdown=BatchBreakdown.from_dict(data["breakdown"]),
+            memory_bytes=data["memory_bytes"],
+            feasible=data["feasible"],
+            batch_size=data["batch_size"],
+            fidelity=data["fidelity"],
+        )
+
     def as_row(self) -> dict:
         b = self.breakdown
         return {
@@ -159,18 +188,35 @@ class Evaluation:
 # ---------------------------------------------------------------------------
 
 class CostEstimator:
-    """Base interface: cost one :class:`CandidateConfig` for one model."""
+    """Base interface: cost one :class:`CandidateConfig` for one model.
+
+    The degraded-machine ``scenario`` is part of the constructor
+    contract: subclasses that cannot price one
+    (``supports_scenarios = False``) reject it right here, so a directly
+    constructed estimator can never carry a scenario it would silently
+    ignore — enforcement no longer lives only in the factory.
+    """
 
     fidelity = "analytic"
+    #: whether this estimator can price a degraded-machine scenario
+    supports_scenarios = False
 
-    def __init__(self, spec: ModelSpec, cal: SummitCalibration = SUMMIT):
+    def __init__(
+        self,
+        spec: ModelSpec,
+        cal: SummitCalibration = SUMMIT,
+        scenario: PipelineScenario | str | None = None,
+    ):
         self.spec = spec
         self.cal = cal
         self.device = DeviceModel(cal)
+        scenario = get_scenario(scenario)
+        if scenario is not None and not self.supports_scenarios:
+            # same shared contradiction check every entry point uses
+            resolve_fidelity("analytic", scenario)
         #: degraded-machine scenario threaded into every phase the
-        #: estimator prices (pipeline *and* collectives); analytic
-        #: estimators stay scenario-free (the factory enforces it)
-        self.scenario: PipelineScenario | None = None
+        #: estimator prices (pipeline *and* collectives)
+        self.scenario: PipelineScenario | None = scenario
 
     def evaluate(self, config: CandidateConfig) -> Evaluation:
         raise NotImplementedError
@@ -406,17 +452,27 @@ class SimulatorEstimator(AnalyticEstimator):
     """
 
     fidelity = "sim"
+    supports_scenarios = True
 
     def __init__(
         self,
         spec: ModelSpec,
         cal: SummitCalibration = SUMMIT,
         scenario: PipelineScenario | str | None = None,
+        partition_mode: str = "flops",
     ):
-        super().__init__(spec, cal)
-        self.scenario = get_scenario(scenario)
+        super().__init__(spec, cal, scenario=scenario)
+        if partition_mode not in ("flops", "time"):
+            raise ValueError(
+                f"unknown partition_mode {partition_mode!r}; choose 'flops' or 'time'"
+            )
+        self.partition_mode = partition_mode
+        # the fidelity label carries every costing-relevant knob so cache
+        # keys and reports distinguish degraded/rebalanced plans
         if self.scenario is not None:
             self.fidelity = f"sim@{self.scenario.name}"
+        if partition_mode != "flops":
+            self.fidelity = f"{self.fidelity}+{partition_mode}-balanced"
 
     def _pipeline_costs(
         self, config: CandidateConfig, m: int, t_f: float, t_b: float
@@ -439,9 +495,53 @@ class SimulatorEstimator(AnalyticEstimator):
             cal=self.cal,
             scenario=self.scenario,
             blocking_sends=blocking,
+            partition_mode=self.partition_mode,
         )
         exposed = max(trace.makespan - m * (t_f + t_b), 0.0)
         return 0.0, exposed
+
+
+# ---------------------------------------------------------------------------
+# fidelity registry
+# ---------------------------------------------------------------------------
+
+#: fidelity name -> factory(spec, cal, *, scenario, partition_mode)
+_ESTIMATOR_REGISTRY: dict = {}
+
+
+def register_estimator(fidelity: str, factory=None, *, overwrite: bool = False):
+    """Register a costing backend under a fidelity name.
+
+    New fidelities plug in without editing any factory::
+
+        @register_estimator("profiled")
+        def _make(spec, cal, *, scenario=None, partition_mode="flops"):
+            return ProfiledEstimator(spec, cal, scenario=scenario)
+
+    The factory must hand ``scenario`` to an estimator that carries (or
+    rejects) it — :func:`make_estimator` verifies this, so a backend can
+    never silently price the pristine machine for a degraded request.
+
+    Usable directly (``register_estimator("sim", factory)``) or as a
+    decorator. Duplicate names raise unless ``overwrite=True`` — silent
+    replacement of a fidelity would invalidate cache-key semantics.
+    """
+
+    def _register(f):
+        if not overwrite and fidelity in _ESTIMATOR_REGISTRY:
+            raise ValueError(
+                f"fidelity {fidelity!r} is already registered; "
+                "pass overwrite=True to replace it"
+            )
+        _ESTIMATOR_REGISTRY[fidelity] = f
+        return f
+
+    return _register if factory is None else _register(factory)
+
+
+def available_fidelities() -> tuple[str, ...]:
+    """Registered fidelity names, sorted."""
+    return tuple(sorted(_ESTIMATOR_REGISTRY))
 
 
 def make_estimator(
@@ -449,15 +549,42 @@ def make_estimator(
     spec: ModelSpec,
     cal: SummitCalibration = SUMMIT,
     scenario: PipelineScenario | str | None = None,
+    partition_mode: str = "flops",
 ) -> CostEstimator:
-    """Factory: ``analytic`` (closed form) or ``sim`` (event-driven)."""
-    if fidelity == "analytic":
-        if scenario is not None:
-            raise ValueError(
-                "heterogeneity scenarios need the event-driven engine; "
-                "use fidelity='sim'"
-            )
-        return AnalyticEstimator(spec, cal)
-    if fidelity == "sim":
-        return SimulatorEstimator(spec, cal, scenario=scenario)
-    raise ValueError(f"unknown fidelity {fidelity!r}; choose 'analytic' or 'sim'")
+    """Instantiate the registered estimator for ``fidelity``."""
+    try:
+        factory = _ESTIMATOR_REGISTRY[fidelity]
+    except KeyError:
+        raise ValueError(
+            f"unknown fidelity {fidelity!r}; "
+            f"choose from: {', '.join(available_fidelities())}"
+        ) from None
+    estimator = factory(spec, cal, scenario=scenario, partition_mode=partition_mode)
+    scenario = get_scenario(scenario)
+    if scenario is not None and getattr(estimator, "scenario", None) != scenario:
+        # a factory that swallows the scenario would silently price the
+        # pristine machine (and alias its cache entries) — the exact bug
+        # the constructor contract exists to prevent
+        raise ValueError(
+            f"fidelity {fidelity!r} ignored the requested scenario "
+            f"{scenario.name!r}; its factory must pass scenario through "
+            "to the estimator (or the estimator must reject it)"
+        )
+    return estimator
+
+
+@register_estimator("analytic")
+def _make_analytic(spec, cal=SUMMIT, *, scenario=None, partition_mode="flops"):
+    if partition_mode != "flops":
+        raise ValueError(
+            "time-balanced partitioning needs the event-driven engine; "
+            "use fidelity='sim'"
+        )
+    return AnalyticEstimator(spec, cal, scenario=scenario)
+
+
+@register_estimator("sim")
+def _make_sim(spec, cal=SUMMIT, *, scenario=None, partition_mode="flops"):
+    return SimulatorEstimator(
+        spec, cal, scenario=scenario, partition_mode=partition_mode
+    )

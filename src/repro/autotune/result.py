@@ -61,6 +61,38 @@ class PlanResult:
         return ranked[0] if ranked else None
 
     # ------------------------------------------------------------------
+    def to_dict(self) -> dict:
+        """JSON-ready mapping; inverse of :meth:`from_dict`.
+
+        Full-precision floats, so two plans serialized from identical
+        inputs are diffable artifacts (``repro plan --json``).
+        """
+        best = self.feasible
+        return {
+            "model": self.model,
+            "n_gpus": self.n_gpus,
+            "fidelity": self.fidelity,
+            "budget_bytes": self.budget_bytes,
+            "best": best[0].to_dict() if best else None,
+            "evaluations": [e.to_dict() for e in self.evaluations],
+            "stats": self.stats.as_dict() if self.stats is not None else None,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "PlanResult":
+        from .search import PlannerStats
+
+        stats = data.get("stats")
+        return cls(
+            model=data["model"],
+            n_gpus=data["n_gpus"],
+            fidelity=data["fidelity"],
+            budget_bytes=data["budget_bytes"],
+            evaluations=[Evaluation.from_dict(e) for e in data["evaluations"]],
+            stats=PlannerStats(**stats) if stats is not None else None,
+        )
+
+    # ------------------------------------------------------------------
     def pareto_frontier(self) -> list[Evaluation]:
         """Non-dominated feasible configs over (throughput, memory/GPU).
 

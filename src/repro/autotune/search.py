@@ -1,36 +1,36 @@
-"""The planner: enumerate, prune, memoise, evaluate concurrently.
+"""The planner: the legacy search front end over the session facade.
 
-:class:`Planner` ties the subsystem together. One :meth:`Planner.plan`
-call:
+:class:`Planner` keeps PR 1's constructor signature but is now a thin
+wrapper over :class:`repro.api.Session` — the enumerate / memoise /
+thread-pool-evaluate loop lives in
+:meth:`repro.api.session.Session._evaluate_space`, with cache keys
+derived from the frozen :class:`~repro.api.Machine` identity instead of
+hand-assembled tuples. One :meth:`Planner.plan` call still:
 
 1. enumerates the :class:`~repro.autotune.space.SearchSpace` (structural
    constraints and memory pruning happen there, before any costing);
 2. partitions candidates into cache hits and misses against the shared
-   :data:`~repro.autotune.cache.GLOBAL_CACHE` (keyed on the canonical
-   config hash plus model/machine/fidelity identity);
-3. costs the misses in a :class:`concurrent.futures.ThreadPoolExecutor`
-   batch — the estimators are pure numeric Python, so threads keep the
-   shared cache simple while overlapping the event-driven ``sim``
-   fidelity's slower evaluations;
-4. returns a :class:`~repro.autotune.result.PlanResult` with the best
-   config, the (throughput, memory) Pareto frontier, and the paper-style
-   phase breakdown for the "why".
+   :data:`~repro.autotune.cache.GLOBAL_CACHE`;
+3. costs the misses in a thread-pool batch;
+4. returns a :class:`~repro.autotune.result.PlanResult`.
+
+.. deprecated::
+    New code should ask a :class:`repro.api.Session` directly:
+    ``Session(Machine(cal=cal)).plan(Job(model=..., n_gpus=...))`` —
+    and ``Session.robust_plan`` for scenario distributions.
 """
 
 from __future__ import annotations
 
-import concurrent.futures
 import os
-import time
 from dataclasses import dataclass
 
 from ..cluster.calibration import SUMMIT, SummitCalibration, with_memory_budget
 from ..models.registry import get_spec
 from ..models.spec import ModelSpec
 from ..parallel.axonn import FRAMEWORKS
-from .cache import GLOBAL_CACHE, EvaluationCache, make_cache_key
-from .config import CandidateConfig
-from .estimator import Evaluation, make_estimator
+from .cache import GLOBAL_CACHE, EvaluationCache
+from .estimator import make_estimator
 from .result import PlanResult
 from .space import SearchSpace
 
@@ -60,7 +60,11 @@ class PlannerStats:
 
 
 class Planner:
-    """Search the hybrid-parallel configuration space for one workload."""
+    """Search the hybrid-parallel configuration space for one workload.
+
+    .. deprecated:: thin wrapper over :class:`repro.api.Session`; new
+       code should call ``Session.plan(Job(...))`` directly.
+    """
 
     def __init__(
         self,
@@ -101,48 +105,20 @@ class Planner:
     # ------------------------------------------------------------------
     def plan(self) -> PlanResult:
         """Run the search and return the full result object."""
-        t0 = time.perf_counter()
-        candidates = list(self.space.candidates())
-        self.stats.candidates = len(candidates)
-        self.stats.pruned_memory = self.space.stats.pruned_memory
-        self.stats.pruned_branches = self.space.stats.pruned_branches
+        from ..api.machine import Machine  # deferred: the api wraps this module
+        from ..api.session import Session
 
-        evaluations: dict[CandidateConfig, Evaluation] = {}
-        misses: list[tuple[tuple, CandidateConfig]] = []
-        scenario = getattr(self.estimator, "scenario", None)
-        for config in candidates:
-            key = make_cache_key(
-                self.spec, self.cal, self.fidelity, config, scenario=scenario
-            )
-            cached = self.cache.get(key)
-            if cached is not None:
-                evaluations[config] = cached
-                self.stats.cache_hits += 1
-            else:
-                misses.append((key, config))
-
-        if misses:
-            self.stats.evaluated = len(misses)
-            with concurrent.futures.ThreadPoolExecutor(
-                max_workers=self.max_workers
-            ) as pool:
-                for (key, config), ev in zip(
-                    misses, pool.map(self.estimator.evaluate, (c for _, c in misses))
-                ):
-                    self.cache.put(key, ev)
-                    evaluations[config] = ev
-
-        self.stats.wall_seconds = time.perf_counter() - t0
-        return PlanResult(
-            model=self.spec.name,
-            n_gpus=self.n_gpus,
-            fidelity=self.fidelity,
-            budget_bytes=self.cal.gpu_memory_bytes,
-            evaluations=list(evaluations.values()),
-            stats=self.stats,
+        session = Session(
+            Machine(cal=self.cal), cache=self.cache, max_workers=self.max_workers
+        )
+        return session._evaluate_space(
+            self.spec, self.space, self.estimator, self.n_gpus, self.stats
         )
 
 
 def plan(model: str | ModelSpec, n_gpus: int, **kwargs) -> PlanResult:
-    """One-shot convenience wrapper: ``Planner(...).plan()``."""
+    """One-shot convenience wrapper: ``Planner(...).plan()``.
+
+    .. deprecated:: prefer ``repro.api.Session.plan``.
+    """
     return Planner(model, n_gpus, **kwargs).plan()

@@ -242,23 +242,40 @@ def run_memory(args) -> str:
 
 
 def run_plan(args) -> str:
-    from .autotune import Planner
+    import json
 
-    try:
-        planner = Planner(
-            args.model,
-            args.gpus,
-            fidelity=args.fidelity,
-            scenario=args.scenario,
-            sparsities=(args.sparsity,),
-            budget_gb=args.budget_gb,
-            explore_no_checkpoint=not args.paper_protocol,
+    from .api import Job, Machine, Session
+
+    if args.scenarios and args.scenario:
+        raise SystemExit(
+            "repro plan: error: --scenario and --scenarios are mutually "
+            "exclusive (a distribution already names its scenarios)"
         )
+    # --scenarios leaves an unset fidelity to robust_plan's own rule
+    # (analytic for a neutral-only set, sim otherwise); a single
+    # --scenario keeps the historical contract of requiring an explicit
+    # --fidelity sim (the conflict raises below otherwise).
+    fidelity = args.fidelity if args.scenarios else (args.fidelity or "analytic")
+    try:
+        session = Session(Machine.summit(budget_gb=args.budget_gb))
+        job = Job(
+            model=args.model,
+            n_gpus=args.gpus,
+            sparsity=args.sparsity,
+            fidelity=fidelity,
+        )
+        kwargs = dict(explore_no_checkpoint=not args.paper_protocol)
+        if args.scenarios:
+            result = session.robust_plan(job, args.scenarios, **kwargs)
+        else:
+            result = session.plan(job, scenario=args.scenario, **kwargs)
     except (KeyError, ValueError) as err:
         # unknown model / bad gpu count / bad budget: argparse-style exit
         msg = err.args[0] if err.args else str(err)
         raise SystemExit(f"repro plan: error: {msg}")
-    return planner.plan().report(top=args.top)
+    if args.json:
+        return json.dumps(result.to_dict(), indent=2)
+    return result.report(top=args.top)
 
 
 def run_simulate(args) -> str:
@@ -366,7 +383,7 @@ EXPERIMENTS = {
     "table1": (run_table1, "model/hyperparameter inventory"),
     "table2": (run_table2, "% of peak fp16 throughput, GPT-3 13B"),
     "memory": (run_memory, "the Section I/VI memory-saving claim"),
-    "plan": (run_plan, "autotune: best hybrid-parallel config for a model/GPU count"),
+    "plan": (run_plan, "autotune: best hybrid-parallel config (--scenarios for robust plans)"),
     "simulate": (run_simulate, "cluster scenarios (straggler, slow-link, degraded-ring, ...)"),
 }
 
@@ -395,8 +412,9 @@ def main(argv: list[str] | None = None) -> int:
                 help="per-GPU memory budget in GB (default: the 16 GB V100)",
             )
             p.add_argument(
-                "--fidelity", choices=("analytic", "sim"), default="analytic",
-                help="closed-form Eqs. 6-11 or event-driven pipeline simulation",
+                "--fidelity", choices=("analytic", "sim"), default=None,
+                help="closed-form Eqs. 6-11 or event-driven pipeline "
+                     "simulation (default: analytic; sim with --scenarios)",
             )
             p.add_argument("--top", type=int, default=8, help="rows in the summary")
             p.add_argument(
@@ -410,6 +428,19 @@ def main(argv: list[str] | None = None) -> int:
                      "slow-link, skewed, contention) and collective "
                      "presets (degraded-ring, ring-straggler, "
                      "slow-ring-link, degraded); see 'repro simulate'",
+            )
+            from .api.scenario_set import SCENARIO_SETS
+
+            p.add_argument(
+                "--scenarios", default=None, choices=sorted(SCENARIO_SETS),
+                help="robust plan: rank configs by expected cost over a "
+                     "weighted scenario distribution (worst case "
+                     "reported alongside)",
+            )
+            p.add_argument(
+                "--json", action="store_true",
+                help="emit the full plan as JSON (a diffable artifact) "
+                     "instead of the report",
             )
         if name == "simulate":
             from .parallel.scenarios import SCENARIOS

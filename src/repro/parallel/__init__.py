@@ -46,6 +46,7 @@ from .scenarios import (
     PipelineScenario,
     compare_partition_modes,
     get_scenario,
+    resolve_fidelity,
     run_scenario,
     simulate_hetero_pipeline,
 )
@@ -73,6 +74,7 @@ __all__ = [
     "PipelineScenario",
     "SCENARIOS",
     "get_scenario",
+    "resolve_fidelity",
     "run_scenario",
     "PipelineTrace",
     "TaskRecord",

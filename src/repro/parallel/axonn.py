@@ -33,7 +33,7 @@ from .perf_model import (
     microbatches_per_gpu,
     transmission_time,
 )
-from .scenarios import get_scenario, simulate_hetero_pipeline
+from .scenarios import simulate_hetero_pipeline
 
 __all__ = ["FRAMEWORKS", "simulate_batch", "strong_scaling"]
 
@@ -68,11 +68,16 @@ def simulate_batch(
     sparsity: float = 0.9,
     mbs: int = 1,
     cal: SummitCalibration = SUMMIT,
-    pipeline_fidelity: str = "analytic",
+    pipeline_fidelity: str | None = None,
     scenario=None,
     partition_mode: str = "flops",
 ) -> BatchBreakdown:
     """Predict the batch-time breakdown of one training iteration.
+
+    .. deprecated::
+        Thin wrapper kept for the historical signature; prefer the
+        :class:`repro.api.Session` facade —
+        ``Session(Machine(cal=cal)).breakdown(Job(...), scenario=...)``.
 
     CNNs (``spec.family == 'cnn'``) run pure data parallel (they fit on one
     GPU, as in the paper's Figure 5); GPT models run the hybrid with
@@ -85,48 +90,111 @@ def simulate_batch(
     topology for every data-parallel replica's chain (the batch pays the
     slowest replica), and an optional
     :class:`~repro.parallel.scenarios.ClusterScenario` (name or
-    instance — passing one implies ``'sim'``) degrading stages, links,
-    or the data-parallel allreduce ring.
+    instance) degrading stages, links, or the data-parallel allreduce
+    ring. Leaving ``pipeline_fidelity`` unset lets a scenario imply
+    ``'sim'``; explicitly passing ``'analytic'`` with a scenario raises
+    (the shared :func:`~repro.parallel.scenarios.resolve_fidelity`
+    contract).
     """
-    scenario = get_scenario(scenario)
-    if scenario is not None:
-        pipeline_fidelity = "sim"
+    _framework_traits(framework)  # legacy KeyError for unknown frameworks
+    from ..api.job import Job  # deferred: the api package builds on this module
+    from ..api.machine import Machine
+    from ..api.session import Session
+
+    job = Job(
+        model=spec.name,
+        n_gpus=n_gpus,
+        framework=framework,
+        sparsity=sparsity,
+        mbs=mbs,
+        partition_mode=partition_mode,
+        fidelity=pipeline_fidelity,
+    )
+    return Session(Machine(cal=cal)).breakdown(job, scenario=scenario, spec=spec)
+
+
+def _gpt_decomposition(
+    spec: ModelSpec,
+    traits: dict,
+    n_gpus: int,
+    sparsity: float,
+    mbs: int,
+    cal: SummitCalibration,
+) -> tuple[int, int, int, float, float]:
+    """Hybrid decomposition + per-stage times of a GPT workload.
+
+    Returns ``(g_inter, g_data, m, t_f, t_b)``: ``G_inter`` from the
+    memory model, the per-microbatch per-stage forward time from the
+    device model, and the checkpointed (recompute) backward at
+    ``3 t_f``. Shared by the batch engine and
+    :meth:`repro.api.Session.trace` so the two can never drift.
+    """
+    device = DeviceModel(cal)
+    compute_kind = traits["compute"] or ComputeKind.DENSE_GEMM
+    g_inter = choose_g_inter(spec, n_gpus, traits["mode"], sparsity, mbs, cal)
+    g_data = n_gpus // g_inter
+    m = microbatches_per_gpu(spec.batch_size, g_data, mbs)
+    t_f = device.time(spec.fwd_flops_per_sample() * mbs, compute_kind) / g_inter
+    return g_inter, g_data, m, t_f, 3.0 * t_f
+
+
+def _breakdown_engine(
+    spec: ModelSpec,
+    *,
+    n_gpus: int,
+    framework: str,
+    sparsity: float,
+    mbs: int,
+    cal: SummitCalibration,
+    fidelity: str,
+    scenario,
+    partition_mode: str,
+) -> BatchBreakdown:
+    """The batch-time engine behind :meth:`repro.api.Session.breakdown`.
+
+    Takes an already-resolved (fidelity, scenario) pair — validation
+    lives in :func:`~repro.parallel.scenarios.resolve_fidelity` — and
+    computes the Figure-8 phases exactly as the historical
+    ``simulate_batch`` did.
+    """
+    pipeline_fidelity = fidelity
     if pipeline_fidelity not in ("analytic", "sim"):
         raise ValueError(
             f"unknown pipeline_fidelity {pipeline_fidelity!r}; "
             "choose 'analytic' or 'sim'"
         )
+    if pipeline_fidelity == "analytic" and partition_mode != "flops":
+        raise ValueError(
+            "time-balanced partitioning needs the event-driven engine; "
+            "use fidelity='sim'"
+        )
     traits = _framework_traits(framework)
     device = DeviceModel(cal)
     is_cnn = spec.family == "cnn"
-    compute_kind = traits["compute"] or (ComputeKind.CONV if is_cnn else ComputeKind.DENSE_GEMM)
     if is_cnn and framework == "sputnik":
         raise ValueError("Sputnik does not support sparse convolutions (paper Sec. V-B)")
 
     # ----- decomposition ---------------------------------------------------
-    if is_cnn:
-        g_inter = 1
-    else:
-        g_inter = choose_g_inter(spec, n_gpus, traits["mode"], sparsity, mbs, cal)
-    g_data = n_gpus // g_inter
+    # fwd + bwd(2x) + checkpoint recompute (1x) = 4x fwd for transformers;
+    # CNNs in the paper do not checkpoint (they fit easily): 3x.
+    bwd_factor = 2.0 if is_cnn else 3.0
     if is_cnn:
         # pure DP: every GPU computes B/G samples, no microbatch pipeline
         if spec.batch_size % n_gpus:
             raise ValueError(f"batch {spec.batch_size} not divisible by {n_gpus} GPUs")
-        m = 1
+        g_inter, g_data, m = 1, n_gpus, 1
         samples_per_gpu = spec.batch_size // n_gpus
+        t_f = t_b = 0.0
     else:
-        m = microbatches_per_gpu(spec.batch_size, g_data, mbs)
+        g_inter, g_data, m, t_f, t_b = _gpt_decomposition(
+            spec, traits, n_gpus, sparsity, mbs, cal
+        )
         samples_per_gpu = m * mbs
 
     config = ParallelConfig(n_gpus=n_gpus, g_inter=g_inter, g_data=g_data, mbs=mbs, microbatches=m)
 
     # ----- compute ---------------------------------------------------------
     fwd_flops_sample = spec.fwd_flops_per_sample()
-    # fwd + bwd(2x) + checkpoint recompute (1x) = 4x fwd for transformers;
-    # CNNs in the paper do not checkpoint (they fit easily): 3x.
-    recompute = not is_cnn
-    bwd_factor = 3.0 if recompute else 2.0
     if is_cnn:
         hint = spec.efficiency_hint
         eff_max = hint.get("eff_max", cal.conv_efficiency)
@@ -135,10 +203,7 @@ def simulate_batch(
         compute = (1.0 + bwd_factor) * fwd_flops_sample * samples_per_gpu / (
             device.peak_flops * eff
         )
-        t_f = t_b = 0.0
     else:
-        t_f = device.time(fwd_flops_sample * mbs, compute_kind) / g_inter  # per mb per stage
-        t_b = bwd_factor * t_f
         compute = m * (t_f + t_b)
     backward_compute = compute * bwd_factor / (1.0 + bwd_factor)
 
@@ -239,7 +304,7 @@ def strong_scaling(
     sparsity: float = 0.9,
     mbs: int = 1,
     cal: SummitCalibration = SUMMIT,
-    pipeline_fidelity: str = "analytic",
+    pipeline_fidelity: str | None = None,
     scenario=None,
     partition_mode: str = "flops",
 ) -> dict[str, list[BatchBreakdown]]:

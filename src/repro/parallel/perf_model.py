@@ -86,6 +86,19 @@ class ParallelConfig:
                 f"G_inter*G_data = {self.g_inter}*{self.g_data} != G = {self.n_gpus}"
             )
 
+    def to_dict(self) -> dict:
+        return {
+            "n_gpus": self.n_gpus,
+            "g_inter": self.g_inter,
+            "g_data": self.g_data,
+            "mbs": self.mbs,
+            "microbatches": self.microbatches,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "ParallelConfig":
+        return cls(**data)
+
 
 @dataclass
 class BatchBreakdown:
@@ -131,3 +144,30 @@ class BatchBreakdown:
             "other_s": round(self.other, 4),
             "total_s": round(self.total, 4),
         }
+
+    def to_dict(self) -> dict:
+        """Exact JSON-ready mapping (full-precision floats, unlike
+        :meth:`as_row`); inverse of :meth:`from_dict`, so breakdowns are
+        diffable artifacts."""
+        # notes may carry enums (e.g. StorageMode); flatten to plain values
+        notes = {k: getattr(v, "value", v) for k, v in self.notes.items()}
+        return {
+            "framework": self.framework,
+            "model": self.model,
+            "config": self.config.to_dict(),
+            "compute": self.compute,
+            "p2p": self.p2p,
+            "bubble": self.bubble,
+            "collective": self.collective,
+            "other": self.other,
+            "total": self.total,
+            "memory_per_gpu": self.memory_per_gpu,
+            "notes": notes,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "BatchBreakdown":
+        data = dict(data)
+        data.pop("total", None)  # derived
+        data["config"] = ParallelConfig.from_dict(data["config"])
+        return cls(**data)

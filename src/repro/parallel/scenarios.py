@@ -49,6 +49,7 @@ __all__ = [
     "PipelineScenario",
     "SCENARIOS",
     "get_scenario",
+    "resolve_fidelity",
     "simulate_hetero_pipeline",
     "compare_partition_modes",
     "run_scenario",
@@ -186,9 +187,52 @@ class ClusterScenario:
         """True when any collective-phase knob is non-neutral."""
         return (
             (bool(self.ring_link_multipliers) and min(self.ring_link_multipliers) != 1.0)
-            or self.coll_straggler_rank is not None
+            or (
+                self.coll_straggler_rank is not None
+                and self.coll_straggler_factor != 1.0
+            )
             or self.cross_node_bw_multiplier != 1.0
         )
+
+    @property
+    def is_neutral(self) -> bool:
+        """True when every knob is the identity transform.
+
+        A neutral scenario prices every phase exactly like no scenario at
+        all (``base_msg_time`` is only a CLI default, not a transform), so
+        callers may canonicalise it to ``None`` — :class:`ScenarioSet`
+        does, which is what makes a neutral-only robust plan bit-identical
+        to a plain one.
+        """
+        return (
+            (self.straggler_stage is None or self.straggler_factor == 1.0)
+            and (self.slow_link is None or self.slow_link_factor == 1.0)
+            and self.compute_skew == 0.0
+            and not self.link_contention
+            and not self.degrades_collectives
+        )
+
+    def to_dict(self) -> dict:
+        """JSON-ready mapping; inverse of :meth:`from_dict`."""
+        return {
+            "name": self.name,
+            "description": self.description,
+            "straggler_stage": self.straggler_stage,
+            "straggler_factor": self.straggler_factor,
+            "slow_link": self.slow_link,
+            "slow_link_factor": self.slow_link_factor,
+            "compute_skew": self.compute_skew,
+            "link_contention": self.link_contention,
+            "base_msg_time": self.base_msg_time,
+            "ring_link_multipliers": list(self.ring_link_multipliers),
+            "coll_straggler_rank": self.coll_straggler_rank,
+            "coll_straggler_factor": self.coll_straggler_factor,
+            "cross_node_bw_multiplier": self.cross_node_bw_multiplier,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "ClusterScenario":
+        return cls(**data)
 
 
 #: Backwards-compatible alias: PR 2 introduced the pipeline-only
@@ -265,6 +309,32 @@ def get_scenario(scenario: "str | ClusterScenario | None") -> ClusterScenario | 
         raise ValueError(
             f"unknown scenario {scenario!r}; presets: {sorted(SCENARIOS)}"
         ) from None
+
+
+def resolve_fidelity(
+    fidelity: "str | None",
+    scenario: "str | ClusterScenario | None",
+    default: str = "analytic",
+) -> "tuple[str, ClusterScenario | None]":
+    """The one fidelity/scenario validation every entry point shares.
+
+    ``fidelity=None`` means the caller left it unspecified: a scenario
+    then implies the event-driven ``"sim"`` engine (the historical
+    convenience), and no scenario falls back to ``default``. An
+    *explicit* ``"analytic"`` together with a scenario is a
+    contradiction — the closed form cannot price degraded machines — and
+    raises instead of being silently rewritten (``simulate_batch`` used
+    to flip it while ``make_estimator`` raised; now both come here).
+    """
+    scenario = get_scenario(scenario)
+    if fidelity is None:
+        return ("sim" if scenario is not None else default), scenario
+    if fidelity == "analytic" and scenario is not None:
+        raise ValueError(
+            "heterogeneity scenarios need the event-driven engine; "
+            "use fidelity='sim'"
+        )
+    return fidelity, scenario
 
 
 @functools.lru_cache(maxsize=64)

@@ -1,0 +1,111 @@
+"""Golden parity: the api redesign must not move a single bit.
+
+The literals below were produced by the pre-refactor entry points
+(``simulate_batch`` with the hand-threaded kwargs, PR 1's ``Planner``)
+and pin the legacy surface byte-for-byte: every phase of the Figure-8
+breakdown, the planner's winning config and its exact batch time. All
+arithmetic is pure deterministic float math, so equality is exact — any
+drift means the thin-wrapper rewiring changed semantics.
+"""
+
+import pytest
+
+from repro.api import Job, Machine, Session
+from repro.autotune import EvaluationCache, Planner
+from repro.models import get_spec
+from repro.parallel import simulate_batch
+
+# (framework -> (compute, p2p, bubble, collective, other, total, mem/GPU))
+# from simulate_batch(gpt3-2.7b, 128, fw, sparsity=0.9) @ commit 88bc684
+GOLDEN_128 = {
+    "axonn": (
+        2.6046605470378665, 0.9075848533333334, 0.5697694946645333,
+        0.3152289, 0.13023302735189332, 4.527476822387627, 12354112256,
+    ),
+    "axonn+samo": (
+        3.1349712030378667, 0.22689621333333335, 0.3255825683797333,
+        0.152202582, 0.13023302735189332, 3.9698855941028266, 11607887360,
+    ),
+    "deepspeed-3d": (
+        2.6046605470378665, 1.1798603093333335, 0.5697694946645333,
+        0.3152289, 0.13023302735189332, 4.799752278387627, 12354112256,
+    ),
+    "sputnik": (
+        6.511651367594666, 0.0, 0.0,
+        0.306821078, 0.3255825683797333, 7.1440550139744, 13258161152,
+    ),
+}
+
+
+class TestLegacySimulateBatchGolden:
+    @pytest.mark.parametrize("framework", sorted(GOLDEN_128))
+    def test_breakdown_bit_identical(self, framework):
+        spec = get_spec("gpt3-2.7b")
+        b = simulate_batch(spec, 128, framework, sparsity=0.9)
+        compute, p2p, bubble, coll, other, total, mem = GOLDEN_128[framework]
+        assert b.compute == compute
+        assert b.p2p == p2p
+        assert b.bubble == bubble
+        assert b.collective == coll
+        assert b.other == other
+        assert b.total == total
+        assert b.memory_per_gpu == mem
+
+    def test_sim_fidelity_bit_identical(self):
+        spec = get_spec("gpt3-2.7b")
+        b = simulate_batch(spec, 128, "axonn", pipeline_fidelity="sim")
+        assert b.total == 4.7049458990127
+
+    def test_scenario_still_implies_sim_when_fidelity_unset(self):
+        spec = get_spec("gpt3-2.7b")
+        b = simulate_batch(spec, 128, "axonn", scenario="straggler")
+        assert b.notes["pipeline_fidelity"] == "sim"
+        assert b.total == 4.264955131507627
+
+    def test_cnn_pure_dp_bit_identical(self):
+        b = simulate_batch(get_spec("vgg19"), 16, "axonn+samo")
+        assert b.total == 0.5415167429121711
+        assert b.memory_per_gpu == 6024974384
+
+    def test_session_breakdown_equals_legacy(self):
+        """The facade and the legacy wrapper are the same numbers."""
+        spec = get_spec("gpt3-2.7b")
+        legacy = simulate_batch(spec, 128, "axonn+samo", sparsity=0.9)
+        job = Job(model="gpt3-2.7b", n_gpus=128, framework="axonn+samo")
+        facade = Session(Machine()).breakdown(job)
+        assert facade.total == legacy.total
+        assert facade.to_dict() == legacy.to_dict()
+
+
+class TestLegacyPlannerGolden:
+    def test_analytic_plan_bit_identical(self):
+        res = Planner("gpt3-xl", 64, cache=EvaluationCache()).plan()
+        assert res.best.config.canonical_key() == (
+            "axonn+samo", 1, 1, 64, 4, False, "samo", 0.9
+        )
+        assert res.best.total_time == 2.3654800399331952
+        assert res.best.memory_bytes == 16320832312
+        assert len(res.evaluations) == 233
+        assert len(res.feasible) == 233
+
+    def test_sim_scenario_plan_bit_identical(self):
+        res = Planner(
+            "gpt3-xl", 32, fidelity="sim", scenario="straggler",
+            microbatch_sizes=(1,), cache=EvaluationCache(),
+        ).plan()
+        assert res.fidelity == "sim@straggler"
+        assert res.best.config.canonical_key() == (
+            "axonn", 1, 8, 4, 1, False, "dense", 0.0
+        )
+        assert res.best.total_time == 5.64271813216939
+
+    def test_session_plan_equals_planner(self):
+        cache = EvaluationCache()
+        legacy = Planner("gpt3-xl", 64, cache=cache).plan()
+        facade = Session(Machine(), cache=EvaluationCache()).plan(
+            Job(model="gpt3-xl", n_gpus=64)
+        )
+        assert [e.config for e in facade.feasible] == [
+            e.config for e in legacy.feasible
+        ]
+        assert facade.best.total_time == legacy.best.total_time
