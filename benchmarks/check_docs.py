@@ -1,0 +1,85 @@
+"""Docs integrity checker: relative links and ``path::name`` citations.
+
+``docs/cost_model.md`` cites the function implementing every equation as
+``path::function`` (or ``path::Class.method``); this script fails when a
+cited file is missing or no longer defines the cited name, and when a
+relative markdown link in ``docs/*.md`` or ``README.md`` points nowhere.
+Run standalone (the CI docs job) or through ``tests/test_docs.py``
+(tier-1), so the docs cannot drift from the code.
+"""
+
+from __future__ import annotations
+
+import re
+import sys
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parents[1]
+
+#: [text](target) — markdown links; external and anchor links are skipped
+_LINK = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
+#: `path::name` citations (inside backticks, path must contain a slash)
+_CITE = re.compile(r"`([\w./-]+/[\w./-]+\.(?:py|md))::([\w.]+)`")
+
+
+def doc_files() -> list[Path]:
+    return sorted(REPO.glob("docs/*.md")) + [REPO / "README.md"]
+
+
+def check_links(path: Path) -> list[str]:
+    """Broken relative links in one markdown file."""
+    errors = []
+    for target in _LINK.findall(path.read_text()):
+        if target.startswith(("http://", "https://", "#", "mailto:")):
+            continue
+        target = target.split("#")[0]
+        if not target:
+            continue
+        resolved = (path.parent / target).resolve()
+        if not resolved.exists():
+            errors.append(f"{path.relative_to(REPO)}: broken link -> {target}")
+    return errors
+
+
+def check_citations(path: Path) -> list[str]:
+    """``path::name`` citations whose file or definition is gone."""
+    errors = []
+    for file_part, name in _CITE.findall(path.read_text()):
+        cited = REPO / file_part
+        if not cited.exists():
+            errors.append(f"{path.relative_to(REPO)}: cited file missing -> {file_part}")
+            continue
+        # Class.method cites the method; bare names cite a def or class
+        leaf = name.split(".")[-1]
+        text = cited.read_text()
+        if not re.search(rf"^\s*(def|class)\s+{re.escape(leaf)}\b", text, re.M):
+            errors.append(
+                f"{path.relative_to(REPO)}: {file_part} no longer defines {name!r}"
+            )
+    return errors
+
+
+def run() -> list[str]:
+    errors: list[str] = []
+    n_links = n_cites = 0
+    for doc in doc_files():
+        n_links += len(_LINK.findall(doc.read_text()))
+        n_cites += len(_CITE.findall(doc.read_text()))
+        errors += check_links(doc)
+        errors += check_citations(doc)
+    print(
+        f"check_docs: {len(doc_files())} files, {n_links} links, "
+        f"{n_cites} citations, {len(errors)} errors"
+    )
+    return errors
+
+
+def main() -> int:
+    errors = run()
+    for e in errors:
+        print(f"  {e}", file=sys.stderr)
+    return 1 if errors else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

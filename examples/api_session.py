@@ -90,6 +90,34 @@ print(f"  custom '{custom.name}' set best: "
       f"{robust2.best.config.describe()} "
       f"(E[time] {robust2.best.expected_time:.2f} s)")
 
+# ---------------------------------------------------------------------------
+# 6. place — optimize the data-parallel replica placement
+# ---------------------------------------------------------------------------
+# The block layout puts replica r on ranks [r*mpd, (r+1)*mpd); a chain
+# straddling a node boundary pays InfiniBand hops. place() searches for
+# a better assignment and is never worse than the block layout.
+placed = session.place(Job(model="gpt3-2.7b", n_gpus=16))
+print(f"\nplace: {placed.placement.n_replicas} replicas x "
+      f"{placed.placement.g_inter} stages")
+print(f"  slowest chain: block {placed.default_makespan:.3f} s -> "
+      f"optimized {placed.makespan:.3f} s ({placed.improvement_pct:+.2f}%)")
+print(f"  placement: {placed.placement.describe()}")
+assert placed.makespan <= placed.default_makespan  # the hard guarantee
+
+# ---------------------------------------------------------------------------
+# 7. overlap — hide the allreduce behind the pipeline drain
+# ---------------------------------------------------------------------------
+# The additive model charges the data-parallel allreduce after the
+# drain; overlap=True prices its event-timeline exposure instead.
+deg_job = Job(model="gpt3-2.7b", n_gpus=128, fidelity="sim")
+additive = session.breakdown(deg_job, scenario="degraded-ring")
+overlapped = session.breakdown(deg_job.with_(overlap=True), scenario="degraded-ring")
+print(f"\noverlap under 'degraded-ring': collective "
+      f"{additive.collective:.3f} s additive -> "
+      f"{overlapped.collective:.3f} s exposed "
+      f"({overlapped.collective_hidden:.3f} s hidden behind the drain)")
+print(f"  batch total {additive.total:.3f} s -> {overlapped.total:.3f} s")
+
 stats = session.cache.stats()
 print(f"\nshared evaluation cache: {stats['entries']} entries, "
       f"{stats['hits']} hits, {stats['misses']} misses")

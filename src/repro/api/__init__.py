@@ -35,6 +35,7 @@ from ..autotune.estimator import (
     make_estimator,
     register_estimator,
 )
+from ..parallel.placement import Placement, PlacementResult
 from ..parallel.scenarios import SCENARIOS, ClusterScenario, get_scenario
 from .job import Job
 from .machine import Machine
@@ -53,6 +54,8 @@ __all__ = [
     "Session",
     "RobustEvaluation",
     "RobustPlanResult",
+    "Placement",
+    "PlacementResult",
     "register_estimator",
     "available_fidelities",
     "make_estimator",

@@ -30,6 +30,19 @@ class Job:
     ``framework`` matters to :meth:`Session.breakdown`/:meth:`Session.trace`
     (one framework runs the batch); :meth:`Session.plan` searches over
     frameworks and uses the job's sparsity/fidelity/partition_mode only.
+
+    ``overlap=True`` hides the bucketed data-parallel all-reduce behind
+    the pipeline drain on the event timeline; ``placement="best"``
+    prices the pipeline at the optimized replica placement instead of
+    the contiguous block layout. Both need the event engine, so they
+    imply ``fidelity="sim"`` when the fidelity is unspecified and raise
+    with an explicit ``"analytic"``.
+
+    >>> job = Job(model="gpt3-xl", n_gpus=64, framework="axonn+samo")
+    >>> job.with_(overlap=True).overlap
+    True
+    >>> Job.from_dict(job.to_dict()) == job
+    True
     """
 
     model: str
@@ -39,6 +52,8 @@ class Job:
     mbs: int = 1
     partition_mode: str = "flops"
     fidelity: str | None = None
+    overlap: bool = False
+    placement: str = "block"
 
     def __post_init__(self):
         if not isinstance(self.model, str) or not self.model:
@@ -54,6 +69,16 @@ class Job:
                 f"unknown partition_mode {self.partition_mode!r}; "
                 f"choose from {PARTITION_MODES}"
             )
+        # the engine owns the placement vocabulary; validating against it
+        # here keeps Job and simulate_hetero_pipeline from ever drifting
+        from ..parallel.scenarios import PLACEMENTS  # deferred: parallel wraps the api
+
+        if self.placement not in PLACEMENTS:
+            raise ValueError(
+                f"unknown placement {self.placement!r}; choose from {PLACEMENTS}"
+            )
+        if not isinstance(self.overlap, bool):
+            raise ValueError(f"overlap must be a bool, got {self.overlap!r}")
         from ..parallel.axonn import FRAMEWORKS  # deferred: axonn wraps the api
 
         if self.framework not in FRAMEWORKS:
@@ -76,6 +101,8 @@ class Job:
             self.mbs,
             self.partition_mode,
             self.fidelity,
+            self.overlap,
+            self.placement,
         )
 
     def canonical_hash(self) -> str:
@@ -85,10 +112,15 @@ class Job:
 
     def describe(self) -> str:
         fid = self.fidelity if self.fidelity is not None else "auto"
+        extras = ""
+        if self.overlap:
+            extras += ", overlap"
+        if self.placement != "block":
+            extras += f", placement={self.placement}"
         return (
             f"{self.model} on {self.n_gpus} GPUs "
             f"[{self.framework}, p={self.sparsity:g}, mbs={self.mbs}, "
-            f"partition={self.partition_mode}, fidelity={fid}]"
+            f"partition={self.partition_mode}, fidelity={fid}{extras}]"
         )
 
     # ------------------------------------------------------------------
@@ -102,6 +134,8 @@ class Job:
             "mbs": self.mbs,
             "partition_mode": self.partition_mode,
             "fidelity": self.fidelity,
+            "overlap": self.overlap,
+            "placement": self.placement,
         }
 
     @classmethod

@@ -26,6 +26,16 @@ class Machine:
     :func:`~repro.cluster.calibration.with_memory_budget`), so two
     machines with equal calibrations are the same machine — same hash,
     same cache entries.
+
+    >>> m = Machine.summit(budget_gb=12)
+    >>> m.gpu_memory_bytes == 12 * 1024**3
+    True
+    >>> m.gpus_per_node
+    6
+    >>> m == Machine.summit(budget_gb=12)  # frozen value object
+    True
+    >>> m.topology(12).n_nodes
+    2
     """
 
     cal: SummitCalibration = SUMMIT

@@ -27,6 +27,16 @@ class ScenarioSet:
     Scenarios whose every knob is neutral are canonicalised to ``None``
     at construction, so a "uniform-only" set prices — and caches —
     exactly like no scenario at all.
+
+    >>> s = ScenarioSet.of("uniform", "degraded", weights=(3, 1), name="two-state")
+    >>> s.labels()  # the neutral 'uniform' preset canonicalises to None
+    ('neutral', 'degraded')
+    >>> s.weights
+    (0.75, 0.25)
+    >>> s.is_neutral_only
+    False
+    >>> ScenarioSet.from_dict(s.to_dict()) == s
+    True
     """
 
     name: str
@@ -153,12 +163,32 @@ SCENARIO_SETS: dict[str, ScenarioSet] = {
                 (SCENARIOS["slow-ring-link"], 1.0),
             ),
         ),
+        # the same machine priced under the two-level allreduce schedule:
+        # healthy, on a congested fabric, and the flat-ring baseline for
+        # comparison (algo selection is a scenario knob, so a robust plan
+        # can weigh collective schedules like any other machine condition)
+        ScenarioSet(
+            "hierarchical-mixed",
+            (
+                (None, 0.40),
+                (SCENARIOS["hierarchical"], 0.35),
+                (SCENARIOS["hierarchical-degraded"], 0.25),
+            ),
+        ),
     )
 }
 
 
 def get_scenario_set(scenarios) -> ScenarioSet:
-    """Resolve a scenario set given by name, instance, or scenario list."""
+    """Resolve a scenario set given by name, instance, or scenario list.
+
+    >>> get_scenario_set("mixed-degraded").name
+    'mixed-degraded'
+    >>> get_scenario_set(["straggler", "degraded-ring"]).weights
+    (0.5, 0.5)
+    >>> sorted(SCENARIO_SETS)  # the named distributions the CLI exposes
+    ['collective-degraded', 'hierarchical-mixed', 'mixed-degraded', 'neutral', 'pipeline-degraded']
+    """
     if isinstance(scenarios, ScenarioSet):
         return scenarios
     if isinstance(scenarios, str):

@@ -1,7 +1,7 @@
 """The one front door to every cost-model entry point.
 
 ``Session`` binds a :class:`~repro.api.Machine` to an evaluation cache
-and answers the four questions the legacy surface scattered over
+and answers the questions the legacy surface scattered over
 ``simulate_batch`` kwargs, ``Planner``'s constructor, and CLI presets:
 
 * :meth:`Session.breakdown` — the Figure-8 phase breakdown of one
@@ -15,7 +15,15 @@ and answers the four questions the legacy surface scattered over
   over a weighted :class:`~repro.api.ScenarioSet`, reporting worst-case
   cost alongside; evaluations are shared per (config, scenario) pair
   through the same cache, and a neutral-only set degenerates to
-  :meth:`Session.plan` bit-identically.
+  :meth:`Session.plan` bit-identically;
+* :meth:`Session.place` — optimize the data-parallel replica placement
+  of the job's pipeline (never worse than the default block layout).
+
+The job-level ``overlap``/``placement`` knobs thread through every
+question: ``overlap=True`` prices the data-parallel all-reduce at its
+event-timeline exposure behind the pipeline drain, and
+``placement="best"`` prices the pipeline at the optimized replica
+placement.
 
 The legacy entry points (``simulate_batch``, ``Planner``, ``plan()``,
 the CLI subcommands) remain as thin wrappers over this facade.
@@ -38,6 +46,7 @@ from ..parallel.axonn import (
 )
 from ..parallel.perf_model import BatchBreakdown
 from ..parallel.pipeline import PipelineTrace
+from ..parallel.placement import PlacementResult, place_replicas
 from ..parallel.scenarios import resolve_fidelity, simulate_hetero_pipeline
 from ..autotune.cache import GLOBAL_CACHE, EvaluationCache, evaluation_cache_key
 from ..autotune.config import CandidateConfig
@@ -233,9 +242,20 @@ class Session:
     def breakdown(
         self, job: Job, scenario=None, *, spec: ModelSpec | None = None
     ) -> BatchBreakdown:
-        """Figure-8 phase breakdown of one training batch of ``job``."""
+        """Figure-8 phase breakdown of one training batch of ``job``.
+
+        >>> from repro.api import Job, Machine, Session
+        >>> b = Session(Machine.summit()).breakdown(
+        ...     Job(model="gpt3-xl", n_gpus=64, framework="axonn+samo"))
+        >>> (b.config.g_inter, b.config.g_data)
+        (1, 64)
+        >>> b.total == b.compute + b.p2p + b.bubble + b.collective + b.other
+        True
+        """
         spec = self._resolve_spec(job, spec)
-        fidelity, scenario = resolve_fidelity(job.fidelity, scenario)
+        fidelity, scenario = resolve_fidelity(
+            job.fidelity, scenario, overlap=job.overlap, placement=job.placement
+        )
         return _breakdown_engine(
             spec,
             n_gpus=job.n_gpus,
@@ -246,6 +266,8 @@ class Session:
             fidelity=fidelity,
             scenario=scenario,
             partition_mode=job.partition_mode,
+            overlap=job.overlap,
+            placement=job.placement,
         )
 
     def trace(
@@ -257,9 +279,20 @@ class Session:
         schedule); the job's fidelity only participates in the shared
         conflict validation, so an explicit ``analytic`` job with a
         scenario raises here like everywhere else.
+
+        >>> from repro.api import Job, Machine, Session
+        >>> t = Session(Machine.summit()).trace(
+        ...     Job(model="gpt3-2.7b", n_gpus=16))
+        >>> (t.g_inter, t.n_replicas)
+        (8, 2)
+        >>> t.makespan > 0 and t.mean_idle_time() > 0
+        True
         """
         spec = self._resolve_spec(job, spec)
-        fidelity, scenario = resolve_fidelity(job.fidelity, scenario, default="sim")
+        fidelity, scenario = resolve_fidelity(
+            job.fidelity, scenario, default="sim",
+            overlap=job.overlap, placement=job.placement,
+        )
         if fidelity not in ("analytic", "sim"):
             raise ValueError(
                 f"unknown pipeline_fidelity {fidelity!r}; "
@@ -286,6 +319,61 @@ class Session:
             scenario=scenario,
             blocking_sends=job.framework == "deepspeed-3d",
             partition_mode=job.partition_mode,
+            placement=job.placement,
+        )
+
+    def place(
+        self,
+        job: Job,
+        scenario=None,
+        *,
+        spec: ModelSpec | None = None,
+        swap_sweeps: int = 2,
+    ) -> PlacementResult:
+        """Optimize the replica placement of ``job``'s pipeline.
+
+        Searches assignments of pipeline-stage ranks to data-parallel
+        replicas (greedy node packing + local swaps over
+        :meth:`Topology.replica_pipeline_ranks`-style chains), minimizing
+        the slowest replica's chain time under ``scenario``. The result
+        is **never worse than the default block layout** — when nothing
+        beats it, the block layout is returned.
+
+        >>> from repro.api import Job, Machine, Session
+        >>> res = Session(Machine.summit()).place(
+        ...     Job(model="gpt3-2.7b", n_gpus=16))
+        >>> res.makespan <= res.default_makespan
+        True
+        >>> res.placement.n_replicas == res.default_placement.n_replicas
+        True
+        """
+        spec = self._resolve_spec(job, spec)
+        _fidelity, scenario = resolve_fidelity(
+            job.fidelity, scenario, default="sim",
+            overlap=job.overlap, placement=job.placement,
+        )
+        if spec.family == "cnn":
+            raise ValueError(
+                f"{spec.name} runs pure data parallel (no pipeline to place)"
+            )
+        traits = _framework_traits(job.framework)
+        cal = self.machine.cal
+        g_inter, _g_data, m, t_f, t_b = _gpt_decomposition(
+            spec, traits, job.n_gpus, job.sparsity, job.mbs, cal
+        )
+        return place_replicas(
+            spec,
+            g_inter=g_inter,
+            m=m,
+            mbs=job.mbs,
+            t_f_model=t_f * g_inter,
+            t_b_model=t_b * g_inter,
+            n_gpus=job.n_gpus,
+            cal=cal,
+            scenario=scenario,
+            blocking_sends=job.framework == "deepspeed-3d",
+            partition_mode=job.partition_mode,
+            swap_sweeps=swap_sweeps,
         )
 
     # -- search questions ---------------------------------------------------
@@ -301,13 +389,24 @@ class Session:
     ) -> PlanResult:
         """Search the configuration space for ``job``'s workload.
 
-        The job contributes model, GPU count, sparsity, fidelity, and
-        partition mode; the search axes (frameworks, microbatch sizes,
-        checkpointing) stay free kwargs because they enumerate the
-        space rather than identify the workload.
+        The job contributes model, GPU count, sparsity, fidelity,
+        partition mode, and the overlap/placement costing knobs; the
+        search axes (frameworks, microbatch sizes, checkpointing) stay
+        free kwargs because they enumerate the space rather than
+        identify the workload.
+
+        >>> from repro.api import Job, Machine, Session
+        >>> plan = Session(Machine.summit()).plan(
+        ...     Job(model="gpt3-xl", n_gpus=64))
+        >>> plan.best.config.framework
+        'axonn+samo'
+        >>> plan.best.total_time <= plan.feasible[-1].total_time
+        True
         """
         spec = self._resolve_spec(job, spec)
-        fidelity, scenario = resolve_fidelity(job.fidelity, scenario)
+        fidelity, scenario = resolve_fidelity(
+            job.fidelity, scenario, overlap=job.overlap, placement=job.placement
+        )
         space = SearchSpace(
             spec=spec,
             n_gpus=job.n_gpus,
@@ -323,6 +422,8 @@ class Session:
             self.machine.cal,
             scenario=scenario,
             partition_mode=job.partition_mode,
+            overlap=job.overlap,
+            placement=job.placement,
         )
         from ..autotune.search import PlannerStats  # deferred: search wraps the api
 
@@ -349,14 +450,26 @@ class Session:
         nothing — then aggregates per candidate: probability-weighted
         expected time and the worst case with its culprit scenario. A
         neutral-only set reproduces :meth:`plan`'s ranking bit-exactly.
+
+        >>> from repro.api import Job, Machine, Session
+        >>> res = Session(Machine.summit()).robust_plan(
+        ...     Job(model="gpt3-xl", n_gpus=64), "neutral")
+        >>> res.best.worst_scenario
+        'neutral'
+        >>> res.best.expected_time == res.best.worst_time
+        True
         """
         spec = self._resolve_spec(job, spec)
         sset = get_scenario_set(scenarios)
         fidelity = job.fidelity
         if fidelity is None:
-            # one coherent fidelity for the whole set: degraded members
-            # need the event engine; a neutral-only set keeps the default
-            fidelity = "analytic" if sset.is_neutral_only else "sim"
+            # one coherent fidelity for the whole set: degraded members —
+            # or an overlap/placement job knob — need the event engine; a
+            # neutral-only set without those knobs keeps the default
+            needs_engine = (
+                not sset.is_neutral_only or job.overlap or job.placement != "block"
+            )
+            fidelity = "sim" if needs_engine else "analytic"
         job = job.with_(fidelity=fidelity)
 
         per_scenario: dict[str, PlanResult] = {}

@@ -53,8 +53,11 @@ from ..parallel.perf_model import (
     transmission_time,
 )
 from ..parallel.scenarios import (
+    PLACEMENTS,
+    OVERLAP_BUCKETS,
     PipelineScenario,
     get_scenario,
+    overlap_exposed_collective,
     resolve_fidelity,
     simulate_hetero_pipeline,
 )
@@ -200,6 +203,12 @@ class CostEstimator:
     fidelity = "analytic"
     #: whether this estimator can price a degraded-machine scenario
     supports_scenarios = False
+    #: overlap-aware collective pricing (only the event engine can)
+    overlap = False
+    #: replica placement the pipeline is priced at ("block" or "best")
+    placement = "block"
+    #: bucket count of the overlapped data-parallel all-reduce
+    n_buckets = OVERLAP_BUCKETS
 
     def __init__(
         self,
@@ -306,7 +315,7 @@ class AnalyticEstimator(CostEstimator):
         overhead = self._compress_overhead(config, m)
 
         # -- p2p + bubble ---------------------------------------------------
-        p2p, bubble = self._pipeline_costs(config, m, t_f, t_b)
+        p2p, bubble, trace = self._pipeline_costs(config, m, t_f, t_b)
 
         # -- collectives ----------------------------------------------------
         coll = collective_time(
@@ -318,6 +327,27 @@ class AnalyticEstimator(CostEstimator):
             cal=cal,
             scenario=self.scenario,
         )
+        overlap_notes = {}
+        if self.overlap:
+            # one gate shared with the breakdown engine: only frameworks
+            # with an asynchronous message-driven schedule can hide the
+            # all-reduce behind their drain
+            from ..parallel.axonn import _framework_traits  # deferred: axonn wraps this module's results
+
+            if trace is not None and _framework_traits(config.framework)["async_pipeline"]:
+                # overlap-aware fidelity: the data-parallel all-reduce hides
+                # behind the drain on the event timeline (the tensor-parallel
+                # collectives below stay additive — they sit inside the
+                # microbatch critical path, not after the flush)
+                report = overlap_exposed_collective(trace, coll, self.n_buckets)
+                overlap_notes = {
+                    "overlap": True,
+                    "collective_additive": report.additive,
+                    "collective_hidden": report.hidden,
+                }
+                coll = report.exposed
+            else:
+                overlap_notes = {"overlap": False}
         coll += self._tensor_parallel_collective(config, m)
 
         other = cal.other_fraction * compute
@@ -340,6 +370,7 @@ class AnalyticEstimator(CostEstimator):
                 "mode": config.mode,
                 "g_tensor": config.g_tensor,
                 "fidelity": self.fidelity,
+                **overlap_notes,
             },
         )
         return Evaluation(
@@ -370,9 +401,11 @@ class AnalyticEstimator(CostEstimator):
 
     def _pipeline_costs(
         self, config: CandidateConfig, m: int, t_f: float, t_b: float
-    ) -> tuple[float, float]:
+    ) -> tuple:
+        """Returns ``(p2p, bubble, trace)``; the closed form has no
+        schedule trace (``None``), so overlap can never apply to it."""
         if config.g_inter <= 1:
-            return 0.0, 0.0
+            return 0.0, 0.0, None
         cal = self.cal
         t_msg = self._boundary_message_time(config)
         p2p = transmission_time(
@@ -382,7 +415,7 @@ class AnalyticEstimator(CostEstimator):
         if config.framework == "deepspeed-3d":
             p2p *= cal.deepspeed_p2p_penalty
             bubble *= cal.deepspeed_bubble_penalty
-        return p2p, bubble
+        return p2p, bubble, None
 
     def _evaluate_cnn(self, config: CandidateConfig) -> Evaluation:
         """Pure data parallel (the paper's CNN regime, Figure 5)."""
@@ -449,6 +482,14 @@ class SimulatorEstimator(AnalyticEstimator):
     partitioner's actual stage loads and link times follow the topology
     (NVLink intra-node hops vs cross-node hops, per-cut payloads); an
     optional scenario degrades stages/links on top.
+
+    ``overlap=True`` additionally replaces the additive data-parallel
+    collective with its event-timeline exposure
+    (:func:`~repro.parallel.scenarios.overlap_exposed_collective`), and
+    ``placement="best"`` prices every candidate at the optimized replica
+    placement (:mod:`repro.parallel.placement`) instead of the block
+    layout; both knobs land in the fidelity label so cache keys and
+    reports cannot alias the additive numbers.
     """
 
     fidelity = "sim"
@@ -460,28 +501,49 @@ class SimulatorEstimator(AnalyticEstimator):
         cal: SummitCalibration = SUMMIT,
         scenario: PipelineScenario | str | None = None,
         partition_mode: str = "flops",
+        overlap: bool = False,
+        placement: str = "block",
+        n_buckets: int = OVERLAP_BUCKETS,
     ):
         super().__init__(spec, cal, scenario=scenario)
         if partition_mode not in ("flops", "time"):
             raise ValueError(
                 f"unknown partition_mode {partition_mode!r}; choose 'flops' or 'time'"
             )
+        if placement not in PLACEMENTS:
+            raise ValueError(
+                f"unknown placement {placement!r}; choose from {PLACEMENTS}"
+            )
+        if n_buckets < 1:
+            raise ValueError(f"n_buckets must be >= 1, got {n_buckets}")
         self.partition_mode = partition_mode
+        self.overlap = bool(overlap)
+        self.placement = placement
+        self.n_buckets = n_buckets
         # the fidelity label carries every costing-relevant knob so cache
-        # keys and reports distinguish degraded/rebalanced plans
+        # keys and reports distinguish degraded/rebalanced/overlapped plans
         if self.scenario is not None:
             self.fidelity = f"sim@{self.scenario.name}"
         if partition_mode != "flops":
             self.fidelity = f"{self.fidelity}+{partition_mode}-balanced"
+        if self.overlap:
+            self.fidelity = f"{self.fidelity}+overlap"
+            if n_buckets != OVERLAP_BUCKETS:
+                # a different bucket count prices a different exposure;
+                # it must not alias the default's cache entries
+                self.fidelity = f"{self.fidelity}[{n_buckets}]"
+        if self.placement != "block":
+            self.fidelity = f"{self.fidelity}+{self.placement}-placement"
 
     def _pipeline_costs(
         self, config: CandidateConfig, m: int, t_f: float, t_b: float
-    ) -> tuple[float, float]:
+    ) -> tuple:
         # A degraded machine hits single-stage configs too (data-parallel
-        # sync waits for the slow replica), so only the scenario-free
-        # g_inter == 1 case short-circuits.
-        if config.g_inter <= 1 and self.scenario is None:
-            return 0.0, 0.0
+        # sync waits for the slow replica) and overlap needs the schedule
+        # trace even for one stage, so only the knob-free g_inter == 1
+        # case short-circuits.
+        if config.g_inter <= 1 and self.scenario is None and not self.overlap:
+            return 0.0, 0.0, None
         blocking = config.framework == "deepspeed-3d"
         trace = simulate_hetero_pipeline(
             self.spec,
@@ -496,9 +558,10 @@ class SimulatorEstimator(AnalyticEstimator):
             scenario=self.scenario,
             blocking_sends=blocking,
             partition_mode=self.partition_mode,
+            placement=self.placement,
         )
         exposed = max(trace.makespan - m * (t_f + t_b), 0.0)
-        return 0.0, exposed
+        return 0.0, exposed, trace
 
 
 # ---------------------------------------------------------------------------
@@ -550,8 +613,16 @@ def make_estimator(
     cal: SummitCalibration = SUMMIT,
     scenario: PipelineScenario | str | None = None,
     partition_mode: str = "flops",
+    overlap: bool = False,
+    placement: str = "block",
 ) -> CostEstimator:
-    """Instantiate the registered estimator for ``fidelity``."""
+    """Instantiate the registered estimator for ``fidelity``.
+
+    ``overlap``/``placement`` are forwarded only when non-default, so
+    registered factories that predate those knobs keep working; a
+    factory that cannot honour them fails loudly (TypeError) instead of
+    silently pricing the additive block layout.
+    """
     try:
         factory = _ESTIMATOR_REGISTRY[fidelity]
     except KeyError:
@@ -559,7 +630,14 @@ def make_estimator(
             f"unknown fidelity {fidelity!r}; "
             f"choose from: {', '.join(available_fidelities())}"
         ) from None
-    estimator = factory(spec, cal, scenario=scenario, partition_mode=partition_mode)
+    extras = {}
+    if overlap:
+        extras["overlap"] = True
+    if placement != "block":
+        extras["placement"] = placement
+    estimator = factory(
+        spec, cal, scenario=scenario, partition_mode=partition_mode, **extras
+    )
     scenario = get_scenario(scenario)
     if scenario is not None and getattr(estimator, "scenario", None) != scenario:
         # a factory that swallows the scenario would silently price the
@@ -574,17 +652,29 @@ def make_estimator(
 
 
 @register_estimator("analytic")
-def _make_analytic(spec, cal=SUMMIT, *, scenario=None, partition_mode="flops"):
+def _make_analytic(
+    spec, cal=SUMMIT, *, scenario=None, partition_mode="flops",
+    overlap=False, placement="block",
+):
     if partition_mode != "flops":
         raise ValueError(
             "time-balanced partitioning needs the event-driven engine; "
             "use fidelity='sim'"
         )
+    if overlap or placement != "block":
+        raise ValueError(
+            "overlap and placement optimization need the event-driven "
+            "engine; use fidelity='sim'"
+        )
     return AnalyticEstimator(spec, cal, scenario=scenario)
 
 
 @register_estimator("sim")
-def _make_sim(spec, cal=SUMMIT, *, scenario=None, partition_mode="flops"):
+def _make_sim(
+    spec, cal=SUMMIT, *, scenario=None, partition_mode="flops",
+    overlap=False, placement="block",
+):
     return SimulatorEstimator(
-        spec, cal, scenario=scenario, partition_mode=partition_mode
+        spec, cal, scenario=scenario, partition_mode=partition_mode,
+        overlap=overlap, placement=placement,
     )

@@ -252,10 +252,12 @@ def run_plan(args) -> str:
             "exclusive (a distribution already names its scenarios)"
         )
     # --scenarios leaves an unset fidelity to robust_plan's own rule
-    # (analytic for a neutral-only set, sim otherwise); a single
+    # (analytic for a neutral-only set, sim otherwise), and --overlap /
+    # --placement best imply sim through resolve_fidelity; a bare single
     # --scenario keeps the historical contract of requiring an explicit
     # --fidelity sim (the conflict raises below otherwise).
-    fidelity = args.fidelity if args.scenarios else (args.fidelity or "analytic")
+    needs_engine = args.scenarios or args.overlap or args.placement == "best"
+    fidelity = args.fidelity if needs_engine else (args.fidelity or "analytic")
     try:
         session = Session(Machine.summit(budget_gb=args.budget_gb))
         job = Job(
@@ -263,6 +265,8 @@ def run_plan(args) -> str:
             n_gpus=args.gpus,
             sparsity=args.sparsity,
             fidelity=fidelity,
+            overlap=args.overlap,
+            placement=args.placement,
         )
         kwargs = dict(explore_no_checkpoint=not args.paper_protocol)
         if args.scenarios:
@@ -276,6 +280,58 @@ def run_plan(args) -> str:
     if args.json:
         return json.dumps(result.to_dict(), indent=2)
     return result.report(top=args.top)
+
+
+def run_place(args) -> str:
+    import json
+
+    from .api import Job, Machine, Session
+    from .reporting import render_table
+
+    try:
+        session = Session(Machine.summit())
+        job = Job(
+            model=args.model,
+            n_gpus=args.gpus,
+            framework=args.framework,
+            sparsity=args.sparsity,
+            mbs=args.mbs,
+        )
+        result = session.place(job, scenario=args.scenario, swap_sweeps=args.sweeps)
+    except (KeyError, ValueError) as err:
+        msg = err.args[0] if err.args else str(err)
+        raise SystemExit(f"repro place: error: {msg}")
+    if args.json:
+        return json.dumps(result.to_dict(), indent=2)
+
+    scenario_label = args.scenario or "neutral"
+    lines = [
+        f"Replica placement for {job.describe()} under '{scenario_label}':",
+        f"  {result.placement.n_replicas} replicas x {result.placement.g_inter} stages, "
+        f"{result.evaluations} chain evaluations, {result.swaps} swaps applied",
+    ]
+    rows = [
+        {
+            "replica": r,
+            "block chain (s)": round(d, 4),
+            "placed chain (s)": round(t, 4),
+            "ranks": ",".join(str(x) for x in chain),
+        }
+        for r, (d, t, chain) in enumerate(
+            zip(result.default_chain_times, result.chain_times, result.placement.replicas)
+        )
+    ]
+    lines.append(render_table(rows, title="Per-replica chain makespans"))
+    lines += [
+        f"slowest chain: block layout {result.default_makespan:.4f} s -> "
+        f"optimized {result.makespan:.4f} s ({result.improvement_pct:+.2f}%)",
+    ]
+    if result.is_default:
+        lines.append(
+            "(the block layout is already optimal here; it is returned unchanged "
+            "- the optimizer never does worse)"
+        )
+    return "\n".join(lines)
 
 
 def run_simulate(args) -> str:
@@ -385,6 +441,7 @@ EXPERIMENTS = {
     "memory": (run_memory, "the Section I/VI memory-saving claim"),
     "plan": (run_plan, "autotune: best hybrid-parallel config (--scenarios for robust plans)"),
     "simulate": (run_simulate, "cluster scenarios (straggler, slow-link, degraded-ring, ...)"),
+    "place": (run_place, "optimize the data-parallel replica placement (vs the block layout)"),
 }
 
 
@@ -441,6 +498,40 @@ def main(argv: list[str] | None = None) -> int:
                 "--json", action="store_true",
                 help="emit the full plan as JSON (a diffable artifact) "
                      "instead of the report",
+            )
+            p.add_argument(
+                "--overlap", action="store_true",
+                help="overlap-aware costing: hide the bucketed "
+                     "data-parallel allreduce behind the pipeline drain "
+                     "on the event timeline (implies --fidelity sim)",
+            )
+            p.add_argument(
+                "--placement", choices=("block", "best"), default="block",
+                help="price candidates at the default block layout or at "
+                     "the optimized replica placement (best implies "
+                     "--fidelity sim; see 'repro place')",
+            )
+        if name == "place":
+            p.add_argument("--model", default="gpt3-2.7b", help="Table I model name")
+            p.add_argument("--gpus", type=int, default=16, help="total GPU count")
+            p.add_argument(
+                "--framework", default="axonn",
+                help="framework whose decomposition is placed "
+                     "(axonn, axonn+samo, deepspeed-3d, sputnik)",
+            )
+            p.add_argument("--sparsity", type=float, default=0.9)
+            p.add_argument("--mbs", type=int, default=1, help="microbatch size")
+            p.add_argument(
+                "--scenario", default=None,
+                help="optimize under a degraded machine (any 'repro simulate' preset)",
+            )
+            p.add_argument(
+                "--sweeps", type=int, default=2,
+                help="local-swap refinement passes after the greedy construction",
+            )
+            p.add_argument(
+                "--json", action="store_true",
+                help="emit the placement result as JSON instead of the report",
             )
         if name == "simulate":
             from .parallel.scenarios import SCENARIOS

@@ -7,7 +7,10 @@ provenance live in :mod:`repro.cluster.calibration`.
 
 from .calibration import SUMMIT, SummitCalibration
 from .collectives import (
+    allreduce_algos,
+    allreduce_time,
     broadcast_time,
+    register_allreduce_algo,
     ring_allgather_time,
     ring_allreduce_time,
     ring_reduce_scatter_time,
@@ -36,6 +39,9 @@ __all__ = [
     "ring_allgather_time",
     "ring_reduce_scatter_time",
     "broadcast_time",
+    "allreduce_time",
+    "allreduce_algos",
+    "register_allreduce_algo",
     "p2p_message_time",
     "pipeline_message_bytes",
     "hierarchical_allreduce_time",

@@ -25,6 +25,9 @@ __all__ = [
     "ring_allgather_time",
     "ring_reduce_scatter_time",
     "broadcast_time",
+    "allreduce_time",
+    "allreduce_algos",
+    "register_allreduce_algo",
 ]
 
 
@@ -103,6 +106,86 @@ def ring_allgather_time(
 ) -> float:
     """Seconds for a ring all-gather (half an all-reduce)."""
     return ring_reduce_scatter_time(nbytes, group_size, cal, topology, ranks, scenario)
+
+
+# ---------------------------------------------------------------------------
+# allreduce algorithm registry
+# ---------------------------------------------------------------------------
+
+#: algorithm name -> cost function with the uniform signature
+#: ``fn(nbytes, group_size, cal, topology=, ranks=, scenario=)``
+_ALLREDUCE_ALGOS: dict = {}
+
+
+def register_allreduce_algo(name: str, fn=None, *, overwrite: bool = False):
+    """Register an all-reduce cost model under an algorithm name.
+
+    Scenario members select the algorithm through
+    ``ClusterScenario(coll_algo=...)`` and :func:`allreduce_time`
+    dispatches on it, so new schedules (tree, two-level, rabenseifner)
+    plug in without editing any call site. Usable directly or as a
+    decorator; duplicate names raise unless ``overwrite=True``.
+    """
+
+    def _register(f):
+        if not overwrite and name in _ALLREDUCE_ALGOS:
+            raise ValueError(
+                f"allreduce algo {name!r} is already registered; "
+                "pass overwrite=True to replace it"
+            )
+        _ALLREDUCE_ALGOS[name] = f
+        return f
+
+    return _register if fn is None else _register(fn)
+
+
+def allreduce_algos() -> tuple[str, ...]:
+    """Registered all-reduce algorithm names, sorted."""
+    _ensure_builtin_algos()
+    return tuple(sorted(_ALLREDUCE_ALGOS))
+
+
+def _ensure_builtin_algos() -> None:
+    # hierarchical registers itself on import; pull it in so the registry
+    # is complete even when only this module was imported
+    if "hierarchical" not in _ALLREDUCE_ALGOS:
+        from . import hierarchical  # noqa: F401  (import side effect)
+
+
+def resolve_allreduce_algo(name: str):
+    """Look up a registered algorithm; unknown names raise ValueError."""
+    _ensure_builtin_algos()
+    try:
+        return _ALLREDUCE_ALGOS[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown allreduce algo {name!r}; "
+            f"registered: {', '.join(allreduce_algos())}"
+        ) from None
+
+
+def allreduce_time(
+    nbytes: int,
+    group_size: int,
+    cal: SummitCalibration = SUMMIT,
+    topology: Topology | None = None,
+    ranks: list[int] | None = None,
+    scenario=None,
+    algo: str | None = None,
+) -> float:
+    """Seconds for an all-reduce under the selected algorithm.
+
+    ``algo=None`` defers to the scenario's ``coll_algo`` knob (the flat
+    ring when no scenario is given), so a :class:`ScenarioSet` member can
+    price the same workload under a different collective schedule.
+    """
+    if algo is None:
+        algo = getattr(scenario, "coll_algo", None) or "ring"
+    fn = resolve_allreduce_algo(algo)
+    return fn(nbytes, group_size, cal, topology=topology, ranks=ranks, scenario=scenario)
+
+
+register_allreduce_algo("ring", ring_allreduce_time)
 
 
 def broadcast_time(

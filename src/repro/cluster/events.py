@@ -63,11 +63,14 @@ class SerialResource:
     bookkeeping — it never touches an :class:`EventLoop` itself.
     """
 
-    def __init__(self, name: str = ""):
+    def __init__(self, name: str = "", record: bool = False):
         self.name = name
         self.free_at: float = 0.0
         self.busy_time: float = 0.0
         self.acquisitions: int = 0
+        #: booked ``(start, end)`` windows, kept only when ``record=True``
+        #: (the overlap engine uses them to report bucket timelines)
+        self.windows: list[tuple[float, float]] | None = [] if record else None
 
     def acquire(self, now: float, duration: float) -> tuple[float, float]:
         """Book ``duration`` seconds starting no earlier than ``now``.
@@ -82,6 +85,8 @@ class SerialResource:
         self.free_at = end
         self.busy_time += duration
         self.acquisitions += 1
+        if self.windows is not None:
+            self.windows.append((start, end))
         return start, end
 
     def __repr__(self) -> str:

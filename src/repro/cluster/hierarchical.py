@@ -22,7 +22,8 @@ import numpy as np
 
 from ..comm.backend import Communicator
 from .calibration import SUMMIT, SummitCalibration
-from .collectives import ring_allreduce_time
+from .collectives import register_allreduce_algo, ring_allreduce_time
+from .topology import Topology
 
 __all__ = [
     "hierarchical_allreduce_time",
@@ -40,6 +41,9 @@ def hierarchical_allreduce_time(
     nbytes: int,
     group_size: int,
     cal: SummitCalibration = SUMMIT,
+    topology: Topology | None = None,
+    ranks: list[int] | None = None,
+    scenario=None,
 ) -> float:
     """Seconds for a node-aware hierarchical all-reduce of ``nbytes``.
 
@@ -50,7 +54,22 @@ def hierarchical_allreduce_time(
        GPU owns, over IB (every GPU participates in the ring of its
        shard-peers, so IB injection bandwidth is fully used);
     3. intra-node ring all-gather of ``nbytes`` over NVLink.
+
+    ``scenario`` (a :class:`~repro.parallel.scenarios.ClusterScenario`,
+    duck-typed like the flat-ring models) degrades each tier through the
+    same knobs the ring consults: the slowest ring-link multiplier paces
+    both tiers, ``cross_node_bw_multiplier`` hits only the inter-node
+    phase (the hierarchical schedule's selling point — intra-node traffic
+    is immune to fabric congestion), and a stalling rank stretches the
+    whole synchronized schedule. Neutral knobs reproduce the pristine
+    cost bit-for-bit. ``topology`` is accepted for signature parity with
+    the registry but unused: node arity comes from the calibration.
     """
+    if scenario is not None and not hasattr(scenario, "collective_beta_multiplier"):
+        raise TypeError(
+            f"scenario must be a ClusterScenario-like object, got {scenario!r}; "
+            "resolve preset names via repro.parallel.get_scenario"
+        )
     if group_size < 1:
         raise ValueError("group_size must be >= 1")
     if group_size == 1 or nbytes == 0:
@@ -58,14 +77,25 @@ def hierarchical_allreduce_time(
     local = min(group_size, cal.gpus_per_node)
     n_nodes = -(-group_size // cal.gpus_per_node)
     beta_nv = cal.nvlink_bw * _INTRA_NODE_EFF
+    if scenario is not None and local > 1:
+        beta_nv *= scenario.collective_beta_multiplier(local, spans_nodes=False)
 
     t = 0.0
     if local > 1:
         # reduce-scatter + allgather, each (local-1)/local * n over NVLink
         t += 2 * ((local - 1) * cal.coll_alpha + ((local - 1) / local) * nbytes / beta_nv)
     if n_nodes > 1:
-        shard = nbytes / local
-        t += ring_allreduce_time(int(np.ceil(shard)), n_nodes, cal)
+        shard = int(np.ceil(nbytes / local))
+        beta_x = cal.coll_beta
+        if scenario is not None:
+            beta_x *= scenario.collective_beta_multiplier(n_nodes, spans_nodes=True)
+        steps = 2 * (n_nodes - 1)
+        t += steps * cal.coll_alpha + (2 * (n_nodes - 1) / n_nodes) * shard / beta_x
+    if scenario is not None:
+        # one group-wide stretch: ring steps in every tier are synchronized,
+        # so a stalling rank paces the whole schedule (applied once, not
+        # once per tier, to avoid double-charging the same straggler)
+        t *= scenario.collective_stall_factor(group_size, ranks)
     return t
 
 
@@ -89,12 +119,19 @@ def best_allreduce_time(
     nbytes: int,
     group_size: int,
     cal: SummitCalibration = SUMMIT,
+    topology: Topology | None = None,
+    ranks: list[int] | None = None,
+    scenario=None,
 ) -> float:
     """min(flat ring, hierarchical) — what a tuned NCCL would pick."""
     return min(
-        ring_allreduce_time(nbytes, group_size, cal),
-        hierarchical_allreduce_time(nbytes, group_size, cal),
+        ring_allreduce_time(nbytes, group_size, cal, topology, ranks, scenario),
+        hierarchical_allreduce_time(nbytes, group_size, cal, topology, ranks, scenario),
     )
+
+
+register_allreduce_algo("hierarchical", hierarchical_allreduce_time)
+register_allreduce_algo("best", best_allreduce_time)
 
 
 # ---------------------------------------------------------------------------

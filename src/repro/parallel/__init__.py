@@ -39,13 +39,27 @@ from .perf_model import (
     transmission_time,
 )
 from .pipeline import PipelineTrace, TaskRecord, simulate_pipeline
-from .pipeline_exec import PipelineStageTrainer, StageModule, partition_module_list
+from .pipeline_exec import (
+    BucketedGradSync,
+    PipelineStageTrainer,
+    StageModule,
+    partition_module_list,
+)
+from .placement import (
+    Placement,
+    PlacementResult,
+    block_placement,
+    optimize_placement,
+    place_replicas,
+)
 from .scenarios import (
     SCENARIOS,
     ClusterScenario,
+    OverlapReport,
     PipelineScenario,
     compare_partition_modes,
     get_scenario,
+    overlap_exposed_collective,
     resolve_fidelity,
     run_scenario,
     simulate_hetero_pipeline,
@@ -70,6 +84,14 @@ __all__ = [
     "simulate_pipeline",
     "simulate_hetero_pipeline",
     "compare_partition_modes",
+    "OverlapReport",
+    "overlap_exposed_collective",
+    "Placement",
+    "PlacementResult",
+    "block_placement",
+    "optimize_placement",
+    "place_replicas",
+    "BucketedGradSync",
     "ClusterScenario",
     "PipelineScenario",
     "SCENARIOS",

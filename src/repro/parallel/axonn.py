@@ -33,7 +33,7 @@ from .perf_model import (
     microbatches_per_gpu,
     transmission_time,
 )
-from .scenarios import simulate_hetero_pipeline
+from .scenarios import overlap_exposed_collective, simulate_hetero_pipeline
 
 __all__ = ["FRAMEWORKS", "simulate_batch", "strong_scaling"]
 
@@ -41,23 +41,30 @@ FRAMEWORKS = ("axonn", "axonn+samo", "deepspeed-3d", "sputnik")
 
 
 def _framework_traits(framework: str) -> dict:
+    # async_pipeline: whether the framework's message-driven asynchronous
+    # schedule can hide bucketed data-parallel allreduces behind the drain
+    # (overlap=True is a no-op for synchronous pipelines)
     if framework == "axonn":
         return dict(mode=StorageMode.DENSE, sparse_grads=False, compute=None,
-                    p2p_penalty=1.0, bubble_penalty=1.0, compress_overhead=False)
+                    p2p_penalty=1.0, bubble_penalty=1.0, compress_overhead=False,
+                    async_pipeline=True)
     if framework == "axonn+samo":
         return dict(mode=StorageMode.SAMO, sparse_grads=True, compute=None,
-                    p2p_penalty=1.0, bubble_penalty=1.0, compress_overhead=True)
+                    p2p_penalty=1.0, bubble_penalty=1.0, compress_overhead=True,
+                    async_pipeline=True)
     if framework == "deepspeed-3d":
         # ZeRO-1 shards optimizer state, but DeepSpeed-3D's model-parallel
         # footprint (Megatron intra-layer within a node + pipeline) ends up
         # needing the same model-parallel degree as AxoNN — so it
         # partitions like the dense mode and differs in schedule quality.
         return dict(mode=StorageMode.DENSE, sparse_grads=False, compute=None,
-                    p2p_penalty=None, bubble_penalty=None, compress_overhead=False)
+                    p2p_penalty=None, bubble_penalty=None, compress_overhead=False,
+                    async_pipeline=False)
     if framework == "sputnik":
         return dict(mode=StorageMode.SPARSE_KERNEL, sparse_grads=True,
                     compute=ComputeKind.SPARSE_SPUTNIK,
-                    p2p_penalty=1.0, bubble_penalty=1.0, compress_overhead=False)
+                    p2p_penalty=1.0, bubble_penalty=1.0, compress_overhead=False,
+                    async_pipeline=True)
     raise KeyError(f"unknown framework {framework!r}; choose from {FRAMEWORKS}")
 
 
@@ -71,6 +78,8 @@ def simulate_batch(
     pipeline_fidelity: str | None = None,
     scenario=None,
     partition_mode: str = "flops",
+    overlap: bool = False,
+    placement: str = "block",
 ) -> BatchBreakdown:
     """Predict the batch-time breakdown of one training iteration.
 
@@ -95,6 +104,14 @@ def simulate_batch(
     ``'sim'``; explicitly passing ``'analytic'`` with a scenario raises
     (the shared :func:`~repro.parallel.scenarios.resolve_fidelity`
     contract).
+
+    ``overlap=True`` hides the bucketed data-parallel all-reduce behind
+    the pipeline drain on the event timeline
+    (:func:`~repro.parallel.scenarios.overlap_exposed_collective`);
+    ``placement="best"`` prices the batch at the optimized replica
+    placement instead of the block layout. Both need the event engine
+    (they imply ``'sim'`` when the fidelity is unset) and both default
+    to off, leaving the additive block-layout numbers untouched.
     """
     _framework_traits(framework)  # legacy KeyError for unknown frameworks
     from ..api.job import Job  # deferred: the api package builds on this module
@@ -109,6 +126,8 @@ def simulate_batch(
         mbs=mbs,
         partition_mode=partition_mode,
         fidelity=pipeline_fidelity,
+        overlap=overlap,
+        placement=placement,
     )
     return Session(Machine(cal=cal)).breakdown(job, scenario=scenario, spec=spec)
 
@@ -149,19 +168,30 @@ def _breakdown_engine(
     fidelity: str,
     scenario,
     partition_mode: str,
+    overlap: bool = False,
+    placement: str = "block",
 ) -> BatchBreakdown:
     """The batch-time engine behind :meth:`repro.api.Session.breakdown`.
 
     Takes an already-resolved (fidelity, scenario) pair — validation
     lives in :func:`~repro.parallel.scenarios.resolve_fidelity` — and
     computes the Figure-8 phases exactly as the historical
-    ``simulate_batch`` did.
+    ``simulate_batch`` did. With ``overlap=False`` and
+    ``placement="block"`` (the defaults) every number is byte-identical
+    to the additive engine; ``overlap=True`` replaces the collective
+    phase with the event-timeline exposure and records the additive and
+    hidden amounts in the notes.
     """
     pipeline_fidelity = fidelity
     if pipeline_fidelity not in ("analytic", "sim"):
         raise ValueError(
             f"unknown pipeline_fidelity {pipeline_fidelity!r}; "
             "choose 'analytic' or 'sim'"
+        )
+    if pipeline_fidelity == "analytic" and (overlap or placement != "block"):
+        raise ValueError(
+            "overlap and placement optimization need the event-driven "
+            "engine; use fidelity='sim'"
         )
     if pipeline_fidelity == "analytic" and partition_mode != "flops":
         raise ValueError(
@@ -218,9 +248,11 @@ def _breakdown_engine(
     compute_total = compute + overhead
 
     # ----- point-to-point + bubble -----------------------------------------
-    if g_inter <= 1 and scenario is None:
+    trace = None
+    if is_cnn or (g_inter <= 1 and scenario is None and not overlap):
         # (a scenario still hits single-stage configs: data-parallel sync
-        # waits for the straggler replica, priced by the sim branch below)
+        # waits for the straggler replica — and overlap needs the schedule
+        # trace even for one stage; both are priced by the sim branch)
         p2p = 0.0
         bubble = 0.0
     elif pipeline_fidelity == "sim":
@@ -240,6 +272,7 @@ def _breakdown_engine(
             scenario=scenario,
             blocking_sends=framework == "deepspeed-3d",
             partition_mode=partition_mode,
+            placement=placement,
         )
         p2p = 0.0
         bubble = max(trace.makespan - m * (t_f + t_b), 0.0)
@@ -261,18 +294,41 @@ def _breakdown_engine(
         bubble *= bubble_penalty
 
     # ----- collective -------------------------------------------------------
-    overlap = cal.dp_overlap_fraction if is_cnn else 0.0
+    # pure-DP CNN runs get the DDP-style fractional overlap; hybrid runs
+    # get the event-timeline overlap below (when overlap=True)
+    dp_overlap = cal.dp_overlap_fraction if is_cnn else 0.0
     coll = collective_time(
         spec,
         g_inter,
         g_data,
         sparse=traits["sparse_grads"],
         sparsity=sparsity,
-        overlap_with_backward=overlap,
+        overlap_with_backward=dp_overlap,
         backward_compute_time=backward_compute,
         cal=cal,
         scenario=scenario,
     )
+
+    notes = {
+        "t_f": t_f,
+        "t_b": t_b,
+        "overhead": overhead,
+        "mode": traits["mode"],
+        "pipeline_fidelity": pipeline_fidelity,
+    }
+    if overlap and trace is not None and traits["async_pipeline"]:
+        # Overlap-aware fidelity: the bucketed data-parallel all-reduce
+        # contends with the drain on the event timeline instead of being
+        # charged additively after it.
+        report = overlap_exposed_collective(trace, coll)
+        notes["overlap"] = True
+        notes["collective_additive"] = report.additive
+        notes["collective_hidden"] = report.hidden
+        coll = report.exposed
+    elif overlap:
+        # synchronous pipelines (deepspeed-3d) and CNNs keep the additive
+        # path: there is no asynchronous drain to hide behind
+        notes["overlap"] = False
 
     other = cal.other_fraction * compute
     mem = memory_per_gpu(spec, g_inter, traits["mode"], sparsity, mbs, g_data=g_data, cal=cal)
@@ -287,13 +343,7 @@ def _breakdown_engine(
         collective=coll,
         other=other,
         memory_per_gpu=mem,
-        notes={
-            "t_f": t_f,
-            "t_b": t_b,
-            "overhead": overhead,
-            "mode": traits["mode"],
-            "pipeline_fidelity": pipeline_fidelity,
-        },
+        notes=notes,
     )
 
 
@@ -307,6 +357,8 @@ def strong_scaling(
     pipeline_fidelity: str | None = None,
     scenario=None,
     partition_mode: str = "flops",
+    overlap: bool = False,
+    placement: str = "block",
 ) -> dict[str, list[BatchBreakdown]]:
     """Run :func:`simulate_batch` over a GPU-count sweep per framework."""
     out: dict[str, list[BatchBreakdown]] = {}
@@ -317,7 +369,8 @@ def strong_scaling(
             simulate_batch(
                 spec, g, fw, sparsity=sparsity, mbs=mbs, cal=cal,
                 pipeline_fidelity=pipeline_fidelity, scenario=scenario,
-                partition_mode=partition_mode,
+                partition_mode=partition_mode, overlap=overlap,
+                placement=placement,
             )
             for g in gpu_counts
         ]

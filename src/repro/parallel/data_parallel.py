@@ -13,7 +13,7 @@ exposed time is what remains after overlap.
 from __future__ import annotations
 
 from ..cluster.calibration import SUMMIT, SummitCalibration
-from ..cluster.collectives import ring_allreduce_time
+from ..cluster.collectives import allreduce_time
 from ..models.spec import ModelSpec
 
 __all__ = ["gradient_bytes_per_gpu", "collective_time"]
@@ -53,16 +53,21 @@ def collective_time(
 
     ``overlap_with_backward`` in [0,1] hides that fraction of the
     all-reduce under ``backward_compute_time`` (pure-DP bucketed overlap);
-    hybrid pipeline runs pass 0 (the sync happens after the flush).
+    hybrid pipeline runs pass 0 (the sync happens after the flush —
+    unless the overlap-aware event engine is pricing the batch, which
+    hides the bucketed all-reduce behind the pipeline drain instead, see
+    :func:`repro.parallel.scenarios.overlap_exposed_collective`).
     ``scenario`` (a :class:`~repro.parallel.scenarios.ClusterScenario`
-    or preset name) degrades the ring — slow ring links, a stalling
-    rank, halved cross-node bandwidth; neutral knobs reproduce the
-    pristine ring exactly.
+    or preset name) degrades the collective — slow ring links, a
+    stalling rank, halved cross-node bandwidth — and selects the
+    all-reduce schedule through its ``coll_algo`` knob (the flat ring by
+    default, or the two-level hierarchical schedule); neutral knobs
+    reproduce the pristine ring exactly.
     """
     from .scenarios import get_scenario  # late: scenarios imports this module's siblings
 
     nbytes = gradient_bytes_per_gpu(spec, g_inter, sparse, sparsity)
-    raw = ring_allreduce_time(nbytes, g_data, cal, scenario=get_scenario(scenario))
+    raw = allreduce_time(nbytes, g_data, cal, scenario=get_scenario(scenario))
     if overlap_with_backward <= 0.0:
         return raw
     hidden = min(raw * overlap_with_backward, backward_compute_time)

@@ -125,6 +125,21 @@ class BatchBreakdown:
         """Total communication-attributable time (p2p + bubble + collective)."""
         return self.p2p + self.bubble + self.collective
 
+    @property
+    def collective_additive(self) -> float:
+        """The collective phase the additive model would charge.
+
+        Equal to :attr:`collective` unless the overlap-aware event engine
+        priced this batch, in which case the exposed (post-overlap) time
+        lands in :attr:`collective` and the pre-overlap sum lives here.
+        """
+        return self.notes.get("collective_additive", self.collective)
+
+    @property
+    def collective_hidden(self) -> float:
+        """Collective seconds hidden under the pipeline drain (overlap runs)."""
+        return self.notes.get("collective_hidden", 0.0)
+
     def speedup_over(self, other: "BatchBreakdown") -> float:
         """Percentage speedup of *this* run relative to ``other``:
         ``(t_other / t_self - 1) * 100`` (the paper's annotation metric)."""

@@ -27,7 +27,12 @@ from ..tensor.module import Module
 from ..tensor.tensor import Tensor
 from ..train.mixed_precision import DenseMixedPrecisionState
 
-__all__ = ["PipelineStageTrainer", "StageModule", "partition_module_list"]
+__all__ = [
+    "PipelineStageTrainer",
+    "StageModule",
+    "partition_module_list",
+    "BucketedGradSync",
+]
 
 TAG_ACT = 11
 TAG_GRAD = 13
@@ -77,6 +82,86 @@ class StageModule(Module):
         for b in self._chain:
             x = b(x)
         return x
+
+
+class BucketedGradSync:
+    """Data-parallel gradient all-reduce in size-balanced buckets.
+
+    The executable counterpart of the overlap cost model
+    (:func:`repro.parallel.scenarios.overlap_exposed_collective`): instead
+    of one monolithic all-reduce after the flush, the stage's gradient
+    buffers are grouped into ``n_buckets`` roughly equal-byte buckets and
+    each bucket is reduced as one concatenated message — the granularity
+    that lets a real transport put bucket ``k`` on the wire while the
+    backward pass still produces bucket ``k+1``. Summation happens in
+    fp32 (matching the hand-written hooks in the examples, so results are
+    bitwise-compatible with the per-tensor sync), then written back into
+    the fp16 buffers in place.
+
+    Works as the ``grad_sync`` hook of :class:`PipelineStageTrainer` for
+    both state flavours: SAMO's compressed state (``state.compressed`` /
+    ``state.dense`` entries) and the dense mixed-precision state
+    (``state.grad16`` buffers).
+    """
+
+    def __init__(self, comm: Communicator, n_buckets: int = 4, average: bool = True):
+        if n_buckets < 1:
+            raise ValueError(f"n_buckets must be >= 1, got {n_buckets}")
+        self.comm = comm
+        self.n_buckets = n_buckets
+        self.average = average
+        self.bytes_communicated = 0
+        self.buckets_sent = 0
+
+    @staticmethod
+    def _gradient_views(state) -> list[np.ndarray]:
+        """The state's live fp16 gradient buffers, in production order."""
+        views: list[np.ndarray] = []
+        if hasattr(state, "compressed"):  # SAMO training state
+            for e in state.compressed:
+                if e.grad16_c is not None:
+                    views.append(e.grad16_c)
+            for d in state.dense:
+                if d.grad16 is not None:
+                    views.append(d.grad16)
+        elif hasattr(state, "grad16"):  # dense mixed-precision state
+            views.extend(g for g in state.grad16 if g is not None)
+        else:
+            raise TypeError(
+                f"unsupported training state {type(state).__name__}; expected "
+                "SAMO compressed state or DenseMixedPrecisionState"
+            )
+        return views
+
+    def _buckets(self, views: list[np.ndarray]) -> list[list[np.ndarray]]:
+        """Greedy contiguous split into <= n_buckets near-equal-byte runs."""
+        total = sum(v.nbytes for v in views)
+        target = max(total / self.n_buckets, 1)
+        buckets: list[list[np.ndarray]] = [[]]
+        filled = 0
+        for v in views:
+            if filled >= target and len(buckets) < self.n_buckets:
+                buckets.append([])
+                filled = 0
+            buckets[-1].append(v)
+            filled += v.nbytes
+        return [b for b in buckets if b]
+
+    def __call__(self, state) -> None:
+        views = self._gradient_views(state)
+        if not views:
+            return
+        for bucket in self._buckets(views):
+            flat = np.concatenate([v.astype(np.float32).ravel() for v in bucket])
+            total = self.comm.allreduce(flat)
+            if self.average:
+                total = total / self.comm.size
+            offset = 0
+            for v in bucket:
+                v[...] = total[offset : offset + v.size].reshape(v.shape).astype(v.dtype)
+                offset += v.size
+            self.bytes_communicated += sum(v.nbytes for v in bucket)
+            self.buckets_sent += 1
 
 
 class PipelineStageTrainer:

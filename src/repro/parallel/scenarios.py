@@ -36,7 +36,12 @@ import functools
 from dataclasses import dataclass
 
 from ..cluster.calibration import SUMMIT, SummitCalibration
-from ..cluster.collectives import ring_allreduce_time
+from ..cluster.collectives import (
+    allreduce_time,
+    resolve_allreduce_algo,
+    ring_allreduce_time,
+)
+from ..cluster.events import EventLoop, SerialResource
 from ..cluster.p2p import pipeline_message_bytes
 from ..cluster.topology import Topology
 from ..models.spec import ModelSpec
@@ -50,10 +55,14 @@ __all__ = [
     "SCENARIOS",
     "get_scenario",
     "resolve_fidelity",
+    "OverlapReport",
+    "overlap_exposed_collective",
     "simulate_hetero_pipeline",
     "compare_partition_modes",
     "run_scenario",
 ]
+
+PLACEMENTS = ("block", "best")
 
 
 @dataclass(frozen=True)
@@ -106,6 +115,11 @@ class ClusterScenario:
     #: ring bandwidth multiplier applied only when the group spans
     #: nodes (0.5 = the degraded/halved cross-node ring option)
     cross_node_bw_multiplier: float = 1.0
+    #: which all-reduce schedule the collective phase is priced under —
+    #: any name in :func:`repro.cluster.collectives.allreduce_algos`
+    #: ("ring" is the flat NCCL baseline; "hierarchical" is the two-level
+    #: reduce-scatter → cross-node ring → all-gather schedule)
+    coll_algo: str = "ring"
 
     def __post_init__(self):
         if not isinstance(self.ring_link_multipliers, tuple):
@@ -128,6 +142,7 @@ class ClusterScenario:
             raise ValueError(
                 f"coll_straggler_rank must be non-negative, got {self.coll_straggler_rank}"
             )
+        resolve_allreduce_algo(self.coll_algo)  # unknown algos raise here
 
     # -- pipeline transforms -------------------------------------------
     def scale_stage_times(self, times: list[float]) -> list[float]:
@@ -184,7 +199,12 @@ class ClusterScenario:
 
     @property
     def degrades_collectives(self) -> bool:
-        """True when any collective-phase knob is non-neutral."""
+        """True when any collective-phase knob is non-neutral.
+
+        A non-default ``coll_algo`` counts: it prices the collective under
+        a different schedule, so the scenario must not be canonicalised
+        away as the pristine machine.
+        """
         return (
             (bool(self.ring_link_multipliers) and min(self.ring_link_multipliers) != 1.0)
             or (
@@ -192,6 +212,7 @@ class ClusterScenario:
                 and self.coll_straggler_factor != 1.0
             )
             or self.cross_node_bw_multiplier != 1.0
+            or self.coll_algo != "ring"
         )
 
     @property
@@ -228,6 +249,7 @@ class ClusterScenario:
             "coll_straggler_rank": self.coll_straggler_rank,
             "coll_straggler_factor": self.coll_straggler_factor,
             "cross_node_bw_multiplier": self.cross_node_bw_multiplier,
+            "coll_algo": self.coll_algo,
         }
 
     @classmethod
@@ -295,6 +317,17 @@ SCENARIOS: dict[str, ClusterScenario] = {
             straggler_factor=1.5,
             cross_node_bw_multiplier=0.5,
         ),
+        ClusterScenario(
+            "hierarchical",
+            "two-level allreduce: NVLink reduce-scatter, cross-node ring, NVLink allgather",
+            coll_algo="hierarchical",
+        ),
+        ClusterScenario(
+            "hierarchical-degraded",
+            "two-level allreduce on a fabric with halved cross-node bandwidth",
+            coll_algo="hierarchical",
+            cross_node_bw_multiplier=0.5,
+        ),
     )
 }
 
@@ -315,25 +348,45 @@ def resolve_fidelity(
     fidelity: "str | None",
     scenario: "str | ClusterScenario | None",
     default: str = "analytic",
+    overlap: bool = False,
+    placement: str = "block",
 ) -> "tuple[str, ClusterScenario | None]":
     """The one fidelity/scenario validation every entry point shares.
 
-    ``fidelity=None`` means the caller left it unspecified: a scenario
-    then implies the event-driven ``"sim"`` engine (the historical
-    convenience), and no scenario falls back to ``default``. An
-    *explicit* ``"analytic"`` together with a scenario is a
-    contradiction — the closed form cannot price degraded machines — and
-    raises instead of being silently rewritten (``simulate_batch`` used
-    to flip it while ``make_estimator`` raised; now both come here).
+    ``fidelity=None`` means the caller left it unspecified: a scenario —
+    or any other knob only the event engine can honour
+    (``overlap=True``, ``placement="best"``) — then implies the
+    event-driven ``"sim"`` engine, and otherwise it falls back to
+    ``default``. An *explicit* ``"analytic"`` together with one of those
+    knobs is a contradiction — the closed form cannot price degraded
+    machines, comm/compute overlap, or optimized placements — and raises
+    instead of being silently rewritten (``simulate_batch`` used to flip
+    it while ``make_estimator`` raised; now both come here).
     """
-    scenario = get_scenario(scenario)
-    if fidelity is None:
-        return ("sim" if scenario is not None else default), scenario
-    if fidelity == "analytic" and scenario is not None:
+    if placement not in PLACEMENTS:
         raise ValueError(
-            "heterogeneity scenarios need the event-driven engine; "
-            "use fidelity='sim'"
+            f"unknown placement {placement!r}; choose from {PLACEMENTS}"
         )
+    scenario = get_scenario(scenario)
+    needs_engine = scenario is not None or overlap or placement == "best"
+    if fidelity is None:
+        return ("sim" if needs_engine else default), scenario
+    if fidelity == "analytic":
+        if scenario is not None:
+            raise ValueError(
+                "heterogeneity scenarios need the event-driven engine; "
+                "use fidelity='sim'"
+            )
+        if overlap:
+            raise ValueError(
+                "allreduce/drain overlap needs the event-driven engine; "
+                "use fidelity='sim'"
+            )
+        if placement == "best":
+            raise ValueError(
+                "placement optimization needs the event-driven engine; "
+                "use fidelity='sim'"
+            )
     return fidelity, scenario
 
 
@@ -376,6 +429,148 @@ def _partition(
     return plan
 
 
+# ---------------------------------------------------------------------------
+# allreduce/drain overlap
+# ---------------------------------------------------------------------------
+
+#: default bucket count for the overlapped data-parallel all-reduce
+OVERLAP_BUCKETS = 8
+
+
+@dataclass(frozen=True)
+class OverlapReport:
+    """Event-timeline accounting of an overlapped data-parallel all-reduce.
+
+    ``additive`` is what the additive model charges (the full collective
+    serialized after the pipeline flush); ``exposed`` is what the event
+    timeline leaves visible beyond the pipeline makespan; ``hidden`` is
+    their difference. ``hideable_window`` is the engine's hiding budget
+    ``D`` — the span from the earliest moment any gradient bucket can be
+    final (the start of the earliest stage's last backward task) to the
+    pipeline makespan — so ``max(0, additive - hideable_window) <=
+    exposed < additive`` always holds (with >= 2 buckets and non-zero
+    backward time; one bucket degenerates to the additive sum).
+    """
+
+    additive: float
+    exposed: float
+    hidden: float
+    hideable_window: float
+    finish: float
+    n_buckets: int
+    per_stage_exposed: tuple[float, ...]
+
+
+def overlap_exposed_collective(
+    trace: PipelineTrace,
+    comm_time: float,
+    n_buckets: int = OVERLAP_BUCKETS,
+) -> OverlapReport:
+    """Exposed data-parallel all-reduce time when overlapped with the drain.
+
+    AxoNN hides bucketed gradient all-reduces behind pipeline compute:
+    stage ``s``'s gradients are final once its *last* backward microbatch
+    has passed over them, which happens while downstream work is still
+    draining. This function replays that on the event timeline of a
+    finished pipeline schedule:
+
+    * stage ``s``'s payload splits into ``n_buckets`` buckets; the
+      backward sweeps the stage's layers in reverse, so bucket ``j``
+      becomes final ``(j+1)/K`` of the way through the stage's last
+      backward task;
+    * each stage's data-parallel ring is a FIFO
+      :class:`~repro.cluster.events.SerialResource`; for stages below the
+      top the ring's NIC is first occupied by the stage's final upstream
+      gradient message — the all-reduce *contends with the pipeline
+      drain* on the cross-node link instead of teleporting past it;
+    * every bucket costs ``comm_time / K`` (the one-shot collective split
+      evenly — NCCL pipelines bucketed collectives, so the per-bucket
+      latency overhead is not re-charged).
+
+    The exposed time is whatever the last bucket leaves sticking out past
+    the pipeline makespan, floored at zero. ``n_buckets=1`` (gradients
+    only final at the very end, sent as one message) reproduces the
+    additive sum exactly; more buckets hide more, but never more than the
+    ``hideable_window`` documented on :class:`OverlapReport`.
+    """
+    if n_buckets < 1:
+        raise ValueError(f"n_buckets must be >= 1, got {n_buckets}")
+    if comm_time < 0:
+        raise ValueError(f"comm_time must be non-negative, got {comm_time}")
+    g = trace.g_inter
+    last_bwd = []
+    for s in range(g):
+        bwd = [t for t in trace.gpu_tasks(s) if t.kind == "B"]
+        if not bwd:
+            raise ValueError(f"stage {s} executed no backward tasks; not a full trace")
+        last_bwd.append(max(bwd, key=lambda t: t.end))
+    hideable = trace.makespan - min(t.start for t in last_bwd)
+    if comm_time == 0.0:
+        return OverlapReport(0.0, 0.0, 0.0, hideable, trace.makespan, n_buckets, (0.0,) * g)
+
+    loop = EventLoop()
+    finish = [0.0] * g
+    bucket_cost = comm_time / n_buckets
+    for s in range(g):
+        last = last_bwd[s]
+        ring = SerialResource(f"dp-ring/stage{s}", record=True)
+        if s > 0 and trace.link_times:
+            # the stage's final activation-gradient send to stage s-1 books
+            # the NIC first: buckets queue behind the drain message
+            ring.acquire(0.0, last.end + trace.link_times[s - 1])
+        t_last = last.end - last.start
+        for j in range(n_buckets):
+            ready = last.end - t_last * (n_buckets - 1 - j) / n_buckets
+
+            def fire(ring=ring, s=s):
+                _, end = ring.acquire(loop.now, bucket_cost)
+                finish[s] = max(finish[s], end)
+
+            loop.at(ready, fire)
+    loop.run()
+
+    per_stage = tuple(max(0.0, f - trace.makespan) for f in finish)
+    exposed = max(per_stage)
+    return OverlapReport(
+        additive=comm_time,
+        exposed=exposed,
+        hidden=comm_time - exposed,
+        hideable_window=hideable,
+        finish=max(finish),
+        n_buckets=n_buckets,
+        per_stage_exposed=per_stage,
+    )
+
+
+def _chain_inputs(
+    spec: ModelSpec,
+    g_inter: int,
+    mbs: int,
+    t_f_model: float,
+    t_b_model: float,
+    partition_mode: str,
+    scenario: "ClusterScenario | None",
+) -> "tuple[list[float], list[float], list[int], bool]":
+    """Scenario-scaled per-stage times + cut payloads shared by the
+    heterogeneous engine and the placement optimizer (so the two can
+    never price the same chain differently)."""
+    stage_rates = None
+    if partition_mode == "time" and scenario is not None:
+        stage_rates = tuple(scenario.scale_stage_times([1.0] * g_inter))
+    plan = _partition(spec, g_inter, partition_mode, stage_rates)
+    t_f_stages, t_b_stages = plan.stage_times(t_f_model, t_b_model)
+    cut_payloads = [
+        pipeline_message_bytes(mbs, spec.stage_boundary_message_elems(b))
+        for b in plan.boundaries[1:-1]
+    ]
+    contention = False
+    if scenario is not None:
+        t_f_stages = scenario.scale_stage_times(t_f_stages)
+        t_b_stages = scenario.scale_stage_times(t_b_stages)
+        contention = scenario.link_contention
+    return t_f_stages, t_b_stages, cut_payloads, contention
+
+
 def simulate_hetero_pipeline(
     spec: ModelSpec,
     *,
@@ -390,6 +585,7 @@ def simulate_hetero_pipeline(
     scenario: "str | ClusterScenario | None" = None,
     blocking_sends: bool = False,
     partition_mode: str = "flops",
+    placement: str = "block",
 ) -> PipelineTrace:
     """Run the Figure-3 engine with model- and topology-derived inputs.
 
@@ -407,52 +603,79 @@ def simulate_hetero_pipeline(
     replica's schedule — the one the synchronous data-parallel step
     waits for — with ``n_replicas``/``slowest_replica`` recording the
     placement sweep.
+
+    ``placement="best"`` replaces the default contiguous block layout
+    with the :mod:`repro.parallel.placement` optimizer's assignment
+    (greedy node packing plus local swaps, minimizing the slowest
+    replica's chain time under this same scenario); ``"block"`` keeps the
+    historical layout bit-for-bit.
     """
+    if placement not in PLACEMENTS:
+        raise ValueError(f"unknown placement {placement!r}; choose from {PLACEMENTS}")
     scenario = get_scenario(scenario)
-    stage_rates = None
-    if partition_mode == "time" and scenario is not None:
-        stage_rates = tuple(scenario.scale_stage_times([1.0] * g_inter))
-    plan = _partition(spec, g_inter, partition_mode, stage_rates)
-    t_f_stages, t_b_stages = plan.stage_times(t_f_model, t_b_model)
+    t_f_stages, t_b_stages, cut_payloads, contention = _chain_inputs(
+        spec, g_inter, mbs, t_f_model, t_b_model, partition_mode, scenario
+    )
 
     mpd = g_inter * g_tensor
+    placed_traces: dict = {}
     if g_inter > 1:
-        cut_payloads = [
-            pipeline_message_bytes(mbs, spec.stage_boundary_message_elems(b))
-            for b in plan.boundaries[1:-1]
-        ]
         topo = _topology(n_gpus or mpd, cal)
         n_replicas = max(topo.n_gpus // mpd, 1)
+        if placement == "best":
+            from .placement import place_replicas  # deferred: placement wraps this module
+
+            placed = place_replicas(
+                spec,
+                g_inter=g_inter,
+                m=m,
+                mbs=mbs,
+                t_f_model=t_f_model,
+                t_b_model=t_b_model,
+                n_gpus=n_gpus,
+                g_tensor=g_tensor,
+                cal=cal,
+                scenario=scenario,
+                blocking_sends=blocking_sends,
+                partition_mode=partition_mode,
+                # hot path (one call per planner candidate): search on a
+                # truncated batch, full-m verdict inside place_replicas
+                search_microbatches=max(4 * g_inter, 16),
+            )
+            replica_ranks = [list(r) for r in placed.placement.replicas]
+            placed_traces = placed.traces or {}
+        else:
+            replica_ranks = [
+                topo.replica_pipeline_ranks(r, g_inter, g_tensor)
+                for r in range(n_replicas)
+            ]
         # Replicas at the same node offset share a link-time profile, so
         # the sweep dedupes to at most gpus_per_node distinct schedules.
         profiles: dict[tuple[float, ...], int] = {}
-        for r in range(n_replicas):
-            ranks = topo.replica_pipeline_ranks(r, g_inter, g_tensor)
+        for r, ranks in enumerate(replica_ranks):
             profiles.setdefault(tuple(topo.pipeline_link_times(ranks, cut_payloads)), r)
     else:
         n_replicas = max((n_gpus or mpd) // mpd, 1)
         profiles = {(): 0}
-
-    contention = False
-    if scenario is not None:
-        t_f_stages = scenario.scale_stage_times(t_f_stages)
-        t_b_stages = scenario.scale_stage_times(t_b_stages)
-        contention = scenario.link_contention
 
     slowest: PipelineTrace | None = None
     for profile, replica in profiles.items():
         link_times = list(profile)
         if scenario is not None:
             link_times = scenario.scale_link_times(link_times)
-        trace = simulate_pipeline(
-            g_inter,
-            m,
-            t_f_stage=t_f_stages,
-            t_b_stage=t_b_stages,
-            msg_time=link_times if link_times else 0.0,
-            blocking_sends=blocking_sends,
-            link_contention=contention,
-        )
+        # the placement verdict already simulated these chains at full m
+        # (keyed by the scaled profile); reuse instead of re-running
+        trace = placed_traces.get(tuple(link_times))
+        if trace is None:
+            trace = simulate_pipeline(
+                g_inter,
+                m,
+                t_f_stage=t_f_stages,
+                t_b_stage=t_b_stages,
+                msg_time=link_times if link_times else 0.0,
+                blocking_sends=blocking_sends,
+                link_contention=contention,
+            )
         if slowest is None or trace.makespan > slowest.makespan:
             slowest = trace
             slowest.slowest_replica = replica
@@ -530,7 +753,10 @@ def run_scenario(
     eq7 = bubble_time(g_inter, t_f * g_inter, t_b * g_inter)
     ref_bytes, ref_group = 100 * 2**20, 8
     ar_base = ring_allreduce_time(ref_bytes, ref_group)
-    ar_scenario = ring_allreduce_time(ref_bytes, ref_group, scenario=sc)
+    # the dispatcher honours the scenario's coll_algo knob, so presets
+    # like "hierarchical" report their schedule's time (a speedup shows
+    # as a slowdown factor below 1)
+    ar_scenario = allreduce_time(ref_bytes, ref_group, scenario=sc)
     summary = {
         "scenario": sc.name,
         "description": sc.description,

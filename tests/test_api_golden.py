@@ -77,6 +77,47 @@ class TestLegacySimulateBatchGolden:
         assert facade.to_dict() == legacy.to_dict()
 
 
+class TestOverlapPlacementGolden:
+    """The new fidelity knobs must leave the pinned numbers untouched
+    when off, and strictly improve the right phase when on."""
+
+    def test_overlap_off_is_byte_identical_to_pr4_goldens(self):
+        """overlap=False / placement='block' spelled out explicitly must
+        reproduce every pinned PR 4 number bit-for-bit."""
+        spec = get_spec("gpt3-2.7b")
+        for framework, golden in GOLDEN_128.items():
+            b = simulate_batch(
+                spec, 128, framework, sparsity=0.9,
+                overlap=False, placement="block",
+            )
+            assert b.total == golden[5], framework
+        b = simulate_batch(
+            spec, 128, "axonn", pipeline_fidelity="sim",
+            overlap=False, placement="block",
+        )
+        assert b.total == 4.7049458990127
+
+    def test_overlap_exposed_comm_golden(self):
+        """Pinned overlap numbers: exposed strictly below additive, never
+        below comm - drain (full derivation in docs/cost_model.md)."""
+        spec = get_spec("gpt3-2.7b")
+        add = simulate_batch(spec, 128, "axonn", scenario="degraded-ring")
+        ov = simulate_batch(
+            spec, 128, "axonn", scenario="degraded-ring", overlap=True
+        )
+        assert add.collective == 0.6259577999999999
+        assert ov.collective == 0.5620701614720014
+        assert ov.collective < add.collective
+        assert ov.collective_hidden == add.collective - ov.collective
+        assert ov.total < add.total
+
+    def test_session_place_never_worse_golden(self):
+        job = Job(model="gpt3-2.7b", n_gpus=16)
+        res = Session(Machine()).place(job)
+        assert res.makespan <= res.default_makespan
+        assert res.default_makespan == 27.766624348680676
+
+
 class TestLegacyPlannerGolden:
     def test_analytic_plan_bit_identical(self):
         res = Planner("gpt3-xl", 64, cache=EvaluationCache()).plan()

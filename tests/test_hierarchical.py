@@ -75,6 +75,114 @@ class TestCostModel:
         assert t < 3 * ring_allreduce_time(nbytes, group) + 1.0
 
 
+class TestScenarioAware:
+    """Scenario-threaded hierarchical cost model + the algo registry."""
+
+    def test_neutral_knob_parity_with_pristine(self):
+        from repro.parallel import ClusterScenario
+
+        sc = ClusterScenario("x", coll_algo="hierarchical")
+        for g, n in ((6, 64 * MB), (48, 256 * MB), (768, 16 * MB)):
+            assert hierarchical_allreduce_time(n, g, scenario=sc) == (
+                hierarchical_allreduce_time(n, g)
+            )
+
+    def test_single_node_parity_with_flat_ring(self):
+        """Inside one node the two-level schedule *is* the NVLink ring:
+        reduce-scatter + all-gather == one intra-node ring all-reduce."""
+        from repro.cluster import Topology
+
+        topo = Topology(6)
+        for n in (1024, MB, 64 * MB):
+            assert hierarchical_allreduce_time(n, 6) == ring_allreduce_time(
+                n, 6, topology=topo, ranks=list(range(6))
+            )
+
+    def test_monotone_under_cross_node_bw_multiplier(self):
+        from repro.parallel import ClusterScenario
+
+        ts = [
+            hierarchical_allreduce_time(
+                256 * MB,
+                48,
+                scenario=ClusterScenario(
+                    "x", coll_algo="hierarchical", cross_node_bw_multiplier=m
+                ),
+            )
+            for m in (1.0, 0.75, 0.5, 0.25)
+        ]
+        assert ts == sorted(ts) and len(set(ts)) == len(ts)
+
+    def test_cross_node_multiplier_spares_intra_node_phases(self):
+        """The hierarchical schedule's selling point: fabric congestion
+        hits only the inter-node tier, so a single-node group is immune."""
+        from repro.parallel import ClusterScenario
+
+        sc = ClusterScenario(
+            "x", coll_algo="hierarchical", cross_node_bw_multiplier=0.25
+        )
+        assert hierarchical_allreduce_time(64 * MB, 6, scenario=sc) == (
+            hierarchical_allreduce_time(64 * MB, 6)
+        )
+
+    def test_stall_factor_applied_once(self):
+        from repro.parallel import ClusterScenario
+
+        sc = ClusterScenario(
+            "x",
+            coll_algo="hierarchical",
+            coll_straggler_rank=0,
+            coll_straggler_factor=2.0,
+        )
+        assert hierarchical_allreduce_time(256 * MB, 48, scenario=sc) == (
+            2.0 * hierarchical_allreduce_time(256 * MB, 48)
+        )
+
+    def test_registry_dispatch(self):
+        from repro.cluster import allreduce_algos, allreduce_time
+        from repro.parallel import SCENARIOS
+
+        assert {"ring", "hierarchical", "best"} <= set(allreduce_algos())
+        sc = SCENARIOS["hierarchical"]
+        assert allreduce_time(256 * MB, 48, scenario=sc) == (
+            hierarchical_allreduce_time(256 * MB, 48)
+        )
+        # no scenario -> the flat ring, bit-for-bit
+        assert allreduce_time(256 * MB, 48) == ring_allreduce_time(256 * MB, 48)
+        with pytest.raises(ValueError, match="unknown allreduce algo"):
+            allreduce_time(MB, 8, algo="quantum")
+
+    def test_unknown_coll_algo_rejected_at_scenario_construction(self):
+        from repro.parallel import ClusterScenario
+
+        with pytest.raises(ValueError, match="unknown allreduce algo"):
+            ClusterScenario("x", coll_algo="quantum")
+
+    def test_hierarchical_scenario_is_not_neutral(self):
+        from repro.api import ScenarioSet
+        from repro.parallel import SCENARIOS
+
+        sc = SCENARIOS["hierarchical"]
+        assert not sc.is_neutral and sc.degrades_collectives
+        # ScenarioSet must not canonicalise it away as the pristine machine
+        sset = ScenarioSet.of(sc, name="just-hier")
+        assert sset.scenarios[0] is not None
+        assert sc.from_dict(sc.to_dict()) == sc
+
+    def test_breakdown_collective_shrinks_at_scale(self):
+        """At 128 GPUs (22 nodes) the two-level schedule cuts cross-node
+        bytes by the node arity; the priced collective must drop."""
+        from repro.api import Job, Machine, Session
+
+        s = Session(Machine.summit())
+        job = Job(model="gpt3-2.7b", n_gpus=128, fidelity="sim")
+        ring = s.breakdown(job)
+        hier = s.breakdown(job, scenario="hierarchical")
+        assert hier.collective < ring.collective
+        # the pipeline phases are untouched by a collective-only scenario
+        assert hier.compute == ring.compute
+
+
 class TestExecutable:
     @pytest.mark.parametrize("world,gpn", [(4, 2), (6, 3), (6, 6), (8, 1)])
     def test_matches_backend_allreduce(self, world, gpn):
