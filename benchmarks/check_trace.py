@@ -1,0 +1,63 @@
+"""Chrome-trace artifact checker: the CI smoke for ``repro trace``.
+
+Usage::
+
+    python -m repro trace --chrome /tmp/t.json
+    python benchmarks/check_trace.py /tmp/t.json
+
+Validates the exported file the same way the tests do
+(:func:`repro.obs.validate_chrome_trace`: every ``B`` closes with an
+``E``, per-track timestamps are monotone) and additionally asserts the
+acceptance-criteria content: the default degraded-ring overlap run must
+contain distinct tracks for pipeline stages, links, and allreduce
+buckets. Exits non-zero on any failure.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parents[1] / "src"))
+
+from repro.obs import validate_chrome_trace  # noqa: E402
+
+
+def run(path: str, require_tracks: bool = True) -> list[str]:
+    try:
+        doc = json.loads(Path(path).read_text())
+    except (OSError, json.JSONDecodeError) as err:
+        return [f"cannot load {path}: {err}"]
+    errors = validate_chrome_trace(doc)
+
+    events = doc.get("traceEvents", [])
+    tracks = sorted(
+        e["args"]["name"]
+        for e in events
+        if e.get("ph") == "M" and e.get("name") == "thread_name"
+    )
+    n_be = sum(1 for e in events if e.get("ph") in ("B", "E"))
+    print(
+        f"check_trace: {path}: {n_be} B/E events over {len(tracks)} tracks, "
+        f"{len(errors)} structural errors"
+    )
+    if require_tracks:
+        for kind in ("stage", "link", "ring"):
+            if not any(kind in t for t in tracks):
+                errors.append(f"no '{kind}' track in {tracks[:8]}...")
+    return errors
+
+
+def main(argv: list[str]) -> int:
+    if len(argv) < 2:
+        print("usage: check_trace.py TRACE.json [--no-require-tracks]", file=sys.stderr)
+        return 2
+    errors = run(argv[1], require_tracks="--no-require-tracks" not in argv[2:])
+    for e in errors:
+        print(f"  {e}", file=sys.stderr)
+    return 1 if errors else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

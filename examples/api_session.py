@@ -121,3 +121,20 @@ print(f"  batch total {additive.total:.3f} s -> {overlapped.total:.3f} s")
 stats = session.cache.stats()
 print(f"\nshared evaluation cache: {stats['entries']} entries, "
       f"{stats['hits']} hits, {stats['misses']} misses")
+
+# ---------------------------------------------------------------------------
+# 8. metrics — every op above was counted and timed (repro.obs)
+# ---------------------------------------------------------------------------
+# The session carries a live MetricsRegistry even without tracing:
+# planner cache hits + misses reconcile exactly with candidates, and
+# estimator.calls{fidelity=...} with actual evaluations. Pass
+# Session(machine, trace_to="out.json") to also export a Chrome trace
+# (see docs/observability.md).
+metrics = session.metrics()
+ops = {k: v for k, v in metrics.items() if k.startswith("session.ops")}
+print(f"\nsession metrics ({len(metrics)} series): ops {ops}")
+print(f"  planner: {metrics['planner.candidates']} candidates = "
+      f"{metrics['planner.cache.hits']} cache hits + "
+      f"{metrics['planner.cache.misses']} evaluations")
+assert (metrics["planner.cache.hits"] + metrics["planner.cache.misses"]
+        == metrics["planner.candidates"])

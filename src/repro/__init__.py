@@ -42,6 +42,11 @@ Subpackages
     cost-model entry point, with robust planning across weighted
     scenario distributions. The legacy surfaces above remain as thin
     wrappers.
+``repro.obs``
+    Observability: span tracer + metrics registry behind no-op
+    defaults, Chrome ``trace_event`` export (Perfetto-loadable), and
+    the ``Session``/CLI wiring (``Session(trace_to=...)``,
+    ``Session.metrics()``, ``repro trace --chrome out.json``).
 """
 
 from . import (
@@ -51,6 +56,7 @@ from . import (
     comm,
     core,
     models,
+    obs,
     optim,
     parallel,
     pruning,
@@ -76,6 +82,7 @@ __version__ = "1.0.0"
 __all__ = [
     "api",
     "autotune",
+    "obs",
     "core",
     "tensor",
     "models",

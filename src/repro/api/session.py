@@ -32,6 +32,7 @@ the CLI subcommands) remain as thin wrappers over this facade.
 from __future__ import annotations
 
 import concurrent.futures
+import contextlib
 import os
 import time
 from dataclasses import dataclass, field
@@ -53,6 +54,7 @@ from ..autotune.config import CandidateConfig
 from ..autotune.estimator import CostEstimator, Evaluation, make_estimator
 from ..autotune.result import PlanResult
 from ..autotune.space import SearchSpace
+from ..obs import OBS, MetricsRegistry, Tracer, observed, write_chrome_trace
 from ..reporting.tables import format_bytes, render_table
 from .job import Job
 from .machine import Machine
@@ -124,6 +126,9 @@ class RobustPlanResult:
     entries: list = field(default_factory=list)
     #: scenario label -> the per-scenario :class:`PlanResult`
     per_scenario: dict = field(default_factory=dict)
+    #: accounting aggregated over the per-scenario searches (scenarios,
+    #: candidates, evaluated, cache_hits, wall_seconds)
+    stats: dict = field(default_factory=dict)
 
     @property
     def feasible(self) -> list:
@@ -206,6 +211,7 @@ class RobustPlanResult:
             "scenario_set": self.scenario_set.to_dict(),
             "best": feasible[0].to_dict() if feasible else None,
             "entries": [e.to_dict() for e in self.entries],
+            "stats": dict(self.stats),
         }
 
 
@@ -220,6 +226,15 @@ class Session:
     cache; every question asked through it reuses cached evaluations
     keyed on the frozen (machine, job-derived, config, scenario)
     identity.
+
+    Every session also owns a :class:`~repro.obs.MetricsRegistry`: each
+    operation runs under :func:`repro.obs.observed` with the session's
+    registry installed, so :meth:`metrics` answers cache hit-rates,
+    per-fidelity call counts and wall-time latency histograms without
+    any opt-in. Span tracing *is* opt-in — pass ``trace_to="out.json"``
+    and every operation's virtual-time schedule (stages, links,
+    allreduce buckets) plus wall-time session spans are flushed to a
+    Chrome/Perfetto-loadable trace after each call.
     """
 
     def __init__(
@@ -227,10 +242,46 @@ class Session:
         machine: Machine | None = None,
         cache: EvaluationCache | None = None,
         max_workers: int | None = None,
+        trace_to: str | None = None,
     ):
         self.machine = machine if machine is not None else Machine()
         self.cache = GLOBAL_CACHE if cache is None else cache
         self.max_workers = max_workers or min(8, (os.cpu_count() or 2))
+        self.trace_to = trace_to
+        self.registry = MetricsRegistry()
+        self.tracer: Tracer | None = Tracer() if trace_to else None
+
+    # -- observability ------------------------------------------------------
+    def metrics(self) -> dict:
+        """Flat JSON-ready snapshot of every session metric."""
+        return self.registry.snapshot()
+
+    def metrics_text(self) -> str:
+        """Prometheus-style text rendering of the session metrics."""
+        return self.registry.render_prometheus()
+
+    @contextlib.contextmanager
+    def _op(self, name: str):
+        """Run one public operation under the session's observability.
+
+        Installs the session registry (and tracer, when ``trace_to`` was
+        given) into the process-wide :data:`~repro.obs.OBS`, times the
+        operation into ``session.op_seconds{op=...}``, and flushes the
+        accumulated spans to ``trace_to`` on exit. Nestable —
+        ``robust_plan`` re-enters through its per-scenario ``plan``
+        calls and the inner exit restores the outer state.
+        """
+        t0 = time.perf_counter()
+        with observed(tracer=self.tracer, metrics=self.registry):
+            try:
+                yield
+            finally:
+                self.registry.counter("session.ops", {"op": name}).inc()
+                self.registry.histogram("session.op_seconds", {"op": name}).observe(
+                    time.perf_counter() - t0
+                )
+                if self.trace_to and self.tracer is not None:
+                    write_chrome_trace(self.trace_to, self.tracer.spans)
 
     # -- shared plumbing ----------------------------------------------------
     def _resolve_spec(self, job: Job, spec: ModelSpec | None) -> ModelSpec:
@@ -256,19 +307,20 @@ class Session:
         fidelity, scenario = resolve_fidelity(
             job.fidelity, scenario, overlap=job.overlap, placement=job.placement
         )
-        return _breakdown_engine(
-            spec,
-            n_gpus=job.n_gpus,
-            framework=job.framework,
-            sparsity=job.sparsity,
-            mbs=job.mbs,
-            cal=self.machine.cal,
-            fidelity=fidelity,
-            scenario=scenario,
-            partition_mode=job.partition_mode,
-            overlap=job.overlap,
-            placement=job.placement,
-        )
+        with self._op("breakdown"):
+            return _breakdown_engine(
+                spec,
+                n_gpus=job.n_gpus,
+                framework=job.framework,
+                sparsity=job.sparsity,
+                mbs=job.mbs,
+                cal=self.machine.cal,
+                fidelity=fidelity,
+                scenario=scenario,
+                partition_mode=job.partition_mode,
+                overlap=job.overlap,
+                placement=job.placement,
+            )
 
     def trace(
         self, job: Job, scenario=None, *, spec: ModelSpec | None = None
@@ -307,20 +359,21 @@ class Session:
         g_inter, _g_data, m, t_f, t_b = _gpt_decomposition(
             spec, traits, job.n_gpus, job.sparsity, job.mbs, cal
         )
-        return simulate_hetero_pipeline(
-            spec,
-            g_inter=g_inter,
-            m=m,
-            mbs=job.mbs,
-            t_f_model=t_f * g_inter,
-            t_b_model=t_b * g_inter,
-            n_gpus=job.n_gpus,
-            cal=cal,
-            scenario=scenario,
-            blocking_sends=job.framework == "deepspeed-3d",
-            partition_mode=job.partition_mode,
-            placement=job.placement,
-        )
+        with self._op("trace"):
+            return simulate_hetero_pipeline(
+                spec,
+                g_inter=g_inter,
+                m=m,
+                mbs=job.mbs,
+                t_f_model=t_f * g_inter,
+                t_b_model=t_b * g_inter,
+                n_gpus=job.n_gpus,
+                cal=cal,
+                scenario=scenario,
+                blocking_sends=job.framework == "deepspeed-3d",
+                partition_mode=job.partition_mode,
+                placement=job.placement,
+            )
 
     def place(
         self,
@@ -361,20 +414,21 @@ class Session:
         g_inter, _g_data, m, t_f, t_b = _gpt_decomposition(
             spec, traits, job.n_gpus, job.sparsity, job.mbs, cal
         )
-        return place_replicas(
-            spec,
-            g_inter=g_inter,
-            m=m,
-            mbs=job.mbs,
-            t_f_model=t_f * g_inter,
-            t_b_model=t_b * g_inter,
-            n_gpus=job.n_gpus,
-            cal=cal,
-            scenario=scenario,
-            blocking_sends=job.framework == "deepspeed-3d",
-            partition_mode=job.partition_mode,
-            swap_sweeps=swap_sweeps,
-        )
+        with self._op("place"):
+            return place_replicas(
+                spec,
+                g_inter=g_inter,
+                m=m,
+                mbs=job.mbs,
+                t_f_model=t_f * g_inter,
+                t_b_model=t_b * g_inter,
+                n_gpus=job.n_gpus,
+                cal=cal,
+                scenario=scenario,
+                blocking_sends=job.framework == "deepspeed-3d",
+                partition_mode=job.partition_mode,
+                swap_sweeps=swap_sweeps,
+            )
 
     # -- search questions ---------------------------------------------------
     def plan(
@@ -427,10 +481,11 @@ class Session:
         )
         from ..autotune.search import PlannerStats  # deferred: search wraps the api
 
-        return self._evaluate_space(
-            spec, space, estimator, job.n_gpus, PlannerStats(),
-            partition_mode=job.partition_mode,
-        )
+        with self._op("plan"):
+            return self._evaluate_space(
+                spec, space, estimator, job.n_gpus, PlannerStats(),
+                partition_mode=job.partition_mode,
+            )
 
     def robust_plan(
         self,
@@ -473,15 +528,16 @@ class Session:
         job = job.with_(fidelity=fidelity)
 
         per_scenario: dict[str, PlanResult] = {}
-        for label, (sc, _w) in zip(sset.labels(), sset.items()):
-            per_scenario[label] = self.plan(
-                job,
-                scenario=sc,
-                frameworks=frameworks,
-                microbatch_sizes=microbatch_sizes,
-                explore_no_checkpoint=explore_no_checkpoint,
-                spec=spec,
-            )
+        with self._op("robust_plan"):
+            for label, (sc, _w) in zip(sset.labels(), sset.items()):
+                per_scenario[label] = self.plan(
+                    job,
+                    scenario=sc,
+                    frameworks=frameworks,
+                    microbatch_sizes=microbatch_sizes,
+                    explore_no_checkpoint=explore_no_checkpoint,
+                    spec=spec,
+                )
 
         entries = []
         labels = list(sset.labels())
@@ -525,6 +581,15 @@ class Session:
             scenario_set=sset,
             entries=entries,
             per_scenario=per_scenario,
+            stats={
+                "scenarios": len(labels),
+                "candidates": sum(r.stats.candidates for r in per_scenario.values()),
+                "evaluated": sum(r.stats.evaluated for r in per_scenario.values()),
+                "cache_hits": sum(r.stats.cache_hits for r in per_scenario.values()),
+                "wall_seconds": round(
+                    sum(r.stats.wall_seconds for r in per_scenario.values()), 4
+                ),
+            },
         )
 
     # -- the search loop (shared with the legacy Planner) -------------------
@@ -565,13 +630,30 @@ class Session:
             else:
                 misses.append((key, config))
 
+        metrics = OBS.metrics
+        metrics.counter("planner.candidates").inc(len(candidates))
+        metrics.counter("planner.cache.hits").inc(len(candidates) - len(misses))
+        metrics.counter("planner.cache.misses").inc(len(misses))
+
         if misses:
             stats.evaluated = len(misses)
+            calls = metrics.counter("estimator.calls", {"fidelity": fidelity})
+            latency = metrics.histogram(
+                "estimator.evaluate_seconds", {"fidelity": fidelity}
+            )
+
+            def evaluate(config: CandidateConfig) -> Evaluation:
+                t = time.perf_counter()
+                ev = estimator.evaluate(config)
+                latency.observe(time.perf_counter() - t)
+                calls.inc()
+                return ev
+
             with concurrent.futures.ThreadPoolExecutor(
                 max_workers=self.max_workers
             ) as pool:
                 for (key, config), ev in zip(
-                    misses, pool.map(estimator.evaluate, (c for _, c in misses))
+                    misses, pool.map(evaluate, (c for _, c in misses))
                 ):
                     self.cache.put(key, ev)
                     evaluations[config] = ev

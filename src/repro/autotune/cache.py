@@ -88,12 +88,18 @@ def make_cache_key(
 
 @dataclass
 class EvaluationCache:
-    """Thread-safe evaluation memo with hit/miss accounting."""
+    """Thread-safe evaluation memo with hit/miss/dedup accounting.
+
+    ``dedup`` counts :meth:`put` calls that overwrote an existing entry
+    — concurrent planners racing on the same key each evaluated the
+    config, so a rising dedup count flags wasted duplicate work.
+    """
 
     _entries: dict = field(default_factory=dict)
     _lock: threading.Lock = field(default_factory=threading.Lock)
     hits: int = 0
     misses: int = 0
+    dedup: int = 0
 
     def get(self, key: tuple) -> Evaluation | None:
         with self._lock:
@@ -106,6 +112,8 @@ class EvaluationCache:
 
     def put(self, key: tuple, evaluation: Evaluation) -> None:
         with self._lock:
+            if key in self._entries:
+                self.dedup += 1
             self._entries[key] = evaluation
 
     def clear(self) -> None:
@@ -113,6 +121,7 @@ class EvaluationCache:
             self._entries.clear()
             self.hits = 0
             self.misses = 0
+            self.dedup = 0
 
     def __len__(self) -> int:
         return len(self._entries)
@@ -121,7 +130,12 @@ class EvaluationCache:
         return key in self._entries
 
     def stats(self) -> dict:
-        return {"entries": len(self._entries), "hits": self.hits, "misses": self.misses}
+        return {
+            "entries": len(self._entries),
+            "hits": self.hits,
+            "misses": self.misses,
+            "dedup": self.dedup,
+        }
 
 
 #: Process-wide default cache shared by all planners.

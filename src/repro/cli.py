@@ -278,8 +278,14 @@ def run_plan(args) -> str:
         msg = err.args[0] if err.args else str(err)
         raise SystemExit(f"repro plan: error: {msg}")
     if args.json:
-        return json.dumps(result.to_dict(), indent=2)
-    return result.report(top=args.top)
+        doc = result.to_dict()
+        if args.metrics:
+            doc["metrics"] = session.metrics()
+        return json.dumps(doc, indent=2)
+    report = result.report(top=args.top)
+    if args.metrics:
+        report += "\n\nMetrics:\n" + session.metrics_text().rstrip()
+    return report
 
 
 def run_place(args) -> str:
@@ -302,7 +308,10 @@ def run_place(args) -> str:
         msg = err.args[0] if err.args else str(err)
         raise SystemExit(f"repro place: error: {msg}")
     if args.json:
-        return json.dumps(result.to_dict(), indent=2)
+        doc = result.to_dict()
+        if args.metrics:
+            doc["metrics"] = session.metrics()
+        return json.dumps(doc, indent=2)
 
     scenario_label = args.scenario or "neutral"
     lines = [
@@ -331,24 +340,82 @@ def run_place(args) -> str:
             "(the block layout is already optimal here; it is returned unchanged "
             "- the optimizer never does worse)"
         )
+    if args.metrics:
+        lines += ["", "Metrics:", session.metrics_text().rstrip()]
+    return "\n".join(lines)
+
+
+def run_trace(args) -> str:
+    from .api import Job, Machine, Session
+    from .obs import Tracer
+
+    try:
+        if args.chrome:
+            session = Session(Machine.summit(), trace_to=args.chrome)
+        else:
+            # no export target: still collect spans for the summary
+            session = Session(Machine.summit())
+            session.tracer = Tracer()
+        job = Job(
+            model=args.model,
+            n_gpus=args.gpus,
+            framework=args.framework,
+            sparsity=args.sparsity,
+            overlap=args.overlap,
+        )
+        b = session.breakdown(job, scenario=args.scenario)
+    except (KeyError, ValueError) as err:
+        msg = err.args[0] if err.args else str(err)
+        raise SystemExit(f"repro trace: error: {msg}")
+
+    scenario_label = args.scenario or "pristine"
+    lines = [
+        f"Traced {job.describe()} under '{scenario_label}'"
+        + (" with allreduce/drain overlap" if args.overlap else ""),
+        f"  batch total {b.total:.3f} s (compute {b.compute:.3f}, p2p {b.p2p:.3f}, "
+        f"bubble {b.bubble:.3f}, collective {b.collective:.3f})",
+        "",
+        "Spans by category:",
+    ]
+    for category, count in session.tracer.by_category().items():
+        lines.append(f"  {category or '(uncategorized)':24s} {count}")
+    tracks = session.tracer.tracks()
+    lines.append(f"{len(session.tracer)} spans over {len(tracks)} tracks")
+    if args.chrome:
+        from .obs import validate_chrome_trace
+        import json
+
+        with open(args.chrome) as fh:
+            errors = validate_chrome_trace(json.load(fh))
+        lines += [
+            "",
+            f"Chrome trace written to {args.chrome} "
+            f"({'valid' if not errors else 'INVALID: ' + '; '.join(errors[:3])}) — "
+            "open it at https://ui.perfetto.dev or chrome://tracing",
+        ]
+    if args.metrics:
+        lines += ["", "Metrics:", session.metrics_text().rstrip()]
     return "\n".join(lines)
 
 
 def run_simulate(args) -> str:
     from .models import get_spec
+    from .obs import MetricsRegistry, observed
     from .parallel import compare_partition_modes, run_scenario
     from .reporting import render_table
 
+    registry = MetricsRegistry()
     try:
-        trace, info = run_scenario(
-            args.preset,
-            g_inter=args.g_inter,
-            n_microbatches=args.microbatches,
-            t_f=args.t_f,
-            t_b=args.t_b,
-            msg_time=args.msg_time,
-            prefer_backward=not args.fifo,
-        )
+        with observed(metrics=registry):
+            trace, info = run_scenario(
+                args.preset,
+                g_inter=args.g_inter,
+                n_microbatches=args.microbatches,
+                t_f=args.t_f,
+                t_b=args.t_b,
+                msg_time=args.msg_time,
+                prefer_backward=not args.fifo,
+            )
     except ValueError as err:
         raise SystemExit(f"repro simulate: error: {err}")
 
@@ -399,6 +466,8 @@ def run_simulate(args) -> str:
             "(partition-mode comparison skipped: scenario leaves stage "
             "compute rates uniform, so mode='time' equals mode='flops')"
         )
+        if args.metrics:
+            lines += ["", "Metrics:", registry.render_prometheus().rstrip()]
         return "\n".join(lines)
     try:
         spec = get_spec(args.model)
@@ -424,6 +493,8 @@ def run_simulate(args) -> str:
             f"  balanced_partition(mode='time') : makespan {time_ms:.3f} s "
             f"({gain:+.1f}% makespan reduction)",
         ]
+    if args.metrics:
+        lines += ["", "Metrics:", registry.render_prometheus().rstrip()]
     return "\n".join(lines)
 
 
@@ -442,6 +513,7 @@ EXPERIMENTS = {
     "plan": (run_plan, "autotune: best hybrid-parallel config (--scenarios for robust plans)"),
     "simulate": (run_simulate, "cluster scenarios (straggler, slow-link, degraded-ring, ...)"),
     "place": (run_place, "optimize the data-parallel replica placement (vs the block layout)"),
+    "trace": (run_trace, "span-trace one batch; --chrome exports a Perfetto-loadable timeline"),
 }
 
 
@@ -511,6 +583,11 @@ def main(argv: list[str] | None = None) -> int:
                      "the optimized replica placement (best implies "
                      "--fidelity sim; see 'repro place')",
             )
+            p.add_argument(
+                "--metrics", action="store_true",
+                help="append the session metrics (cache hit/miss counts, "
+                     "per-fidelity evaluation latency) to the output",
+            )
         if name == "place":
             p.add_argument("--model", default="gpt3-2.7b", help="Table I model name")
             p.add_argument("--gpus", type=int, default=16, help="total GPU count")
@@ -532,6 +609,10 @@ def main(argv: list[str] | None = None) -> int:
             p.add_argument(
                 "--json", action="store_true",
                 help="emit the placement result as JSON instead of the report",
+            )
+            p.add_argument(
+                "--metrics", action="store_true",
+                help="append the session metrics to the output",
             )
         if name == "simulate":
             from .parallel.scenarios import SCENARIOS
@@ -560,6 +641,40 @@ def main(argv: list[str] | None = None) -> int:
                 "--model", default="gpt3-xl",
                 help="Table I model whose flops partition feeds the "
                      "flops-vs-time partition-mode comparison",
+            )
+            p.add_argument(
+                "--metrics", action="store_true",
+                help="append engine metrics (events processed, overlap "
+                     "bucket counts) to the output",
+            )
+        if name == "trace":
+            p.add_argument("--model", default="gpt3-2.7b", help="Table I model name")
+            p.add_argument("--gpus", type=int, default=128, help="total GPU count")
+            p.add_argument(
+                "--framework", default="axonn",
+                help="framework whose batch is traced "
+                     "(axonn, axonn+samo, deepspeed-3d, sputnik)",
+            )
+            p.add_argument("--sparsity", type=float, default=0.9)
+            p.add_argument(
+                "--scenario", default="degraded-ring",
+                help="scenario to trace under (any 'repro simulate' preset; "
+                     "default degraded-ring)",
+            )
+            p.add_argument(
+                "--no-overlap", action="store_false", dest="overlap",
+                help="additive collective costing instead of the default "
+                     "overlapped allreduce (overlap makes the hidden vs "
+                     "exposed bucket tracks interesting)",
+            )
+            p.add_argument(
+                "--chrome", default=None, metavar="OUT.json",
+                help="write the Chrome trace_event JSON here (open in "
+                     "https://ui.perfetto.dev or chrome://tracing)",
+            )
+            p.add_argument(
+                "--metrics", action="store_true",
+                help="append the session metrics to the output",
             )
 
     args = parser.parse_args(argv)

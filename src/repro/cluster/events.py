@@ -3,12 +3,19 @@
 Drives the pipeline simulator: events are (time, seq, callback) triples in
 a binary heap; callbacks may schedule further events. Deterministic given
 deterministic callbacks (ties broken by insertion order).
+
+Both classes are observable through :data:`repro.obs.OBS`: when a real
+tracer is installed the loop emits one virtual-time span per callback
+and resources label their booked windows; when disabled (the default)
+the only cost is one attribute read per :meth:`EventLoop.run` call.
 """
 
 from __future__ import annotations
 
 import heapq
 from typing import Callable
+
+from ..obs import OBS
 
 __all__ = ["EventLoop", "SerialResource"]
 
@@ -36,19 +43,57 @@ class EventLoop:
         self._seq += 1
 
     def run(self, max_events: int = 10_000_000) -> float:
-        """Process events until the queue drains; returns final time."""
+        """Process events until the queue drains; returns final time.
+
+        ``events_processed`` is kept correct on every exit path — normal
+        drain, a budget :class:`RuntimeError`, or a callback raising —
+        so post-mortem inspection after a scheduling loop sees the real
+        count, not the pre-run value.
+        """
         n = 0
-        while self._heap:
-            t, _, fn = heapq.heappop(self._heap)
-            self.now = t
-            fn()
-            n += 1
-            if n > max_events:
-                raise RuntimeError(
-                    f"event budget exceeded ({max_events}); likely a scheduling loop"
+        try:
+            if not OBS.enabled:  # one check per run, not per event
+                while self._heap:
+                    t, _, fn = heapq.heappop(self._heap)
+                    self.now = t
+                    fn()
+                    n += 1
+                    if n > max_events:
+                        raise RuntimeError(
+                            f"event budget exceeded ({max_events}) after "
+                            f"processing {self.events_processed + n} events; "
+                            f"likely a scheduling loop"
+                        )
+                return self.now
+            # traced twin of the loop above: kept branch-free there so the
+            # disabled hot path pays nothing per event
+            tracer = OBS.tracer
+            track = tracer.group("events")
+            while self._heap:
+                t, seq, fn = heapq.heappop(self._heap)
+                self.now = t
+                fn()
+                n += 1
+                # the callback's effects land at self.now; a later `now`
+                # would mean fn() re-entered the loop, so t..self.now is
+                # the event's span either way
+                tracer.record(
+                    getattr(fn, "__qualname__", repr(fn)).split(".")[-1],
+                    t,
+                    self.now,
+                    category="event",
+                    track=track,
+                    seq=seq,
                 )
-        self.events_processed += n
-        return self.now
+                if n > max_events:
+                    raise RuntimeError(
+                        f"event budget exceeded ({max_events}) after processing "
+                        f"{self.events_processed + n} events; likely a scheduling loop"
+                    )
+            return self.now
+        finally:
+            self.events_processed += n
+            OBS.metrics.counter("events.processed").inc(n)
 
     def __repr__(self) -> str:
         return f"EventLoop(now={self.now:.6f}, pending={len(self._heap)})"
@@ -68,15 +113,19 @@ class SerialResource:
         self.free_at: float = 0.0
         self.busy_time: float = 0.0
         self.acquisitions: int = 0
-        #: booked ``(start, end)`` windows, kept only when ``record=True``
-        #: (the overlap engine uses them to report bucket timelines)
-        self.windows: list[tuple[float, float]] | None = [] if record else None
+        #: booked ``(start, end, label)`` windows, kept only when
+        #: ``record=True`` (the overlap engine and the Chrome exporter
+        #: both read these — one source of truth for occupancy)
+        self.windows: list[tuple[float, float, str]] | None = [] if record else None
 
-    def acquire(self, now: float, duration: float) -> tuple[float, float]:
+    def acquire(
+        self, now: float, duration: float, label: str = ""
+    ) -> tuple[float, float]:
         """Book ``duration`` seconds starting no earlier than ``now``.
 
         Returns ``(start, end)`` of the booked window; ``start > now``
-        means the caller queued behind earlier occupants.
+        means the caller queued behind earlier occupants. ``label``
+        names the window in recorded traces (e.g. ``"bucket3"``).
         """
         if duration < 0:
             raise ValueError(f"duration must be non-negative, got {duration}")
@@ -85,9 +134,20 @@ class SerialResource:
         self.free_at = end
         self.busy_time += duration
         self.acquisitions += 1
-        if self.windows is not None:
-            self.windows.append((start, end))
+        if self.windows is not None and duration > 0:
+            self.windows.append((start, end, label))
         return start, end
+
+    def book(self, start: float, end: float, label: str = "") -> None:
+        """Record an occupancy window without serializing on it.
+
+        For full-duplex / uncontended use of the underlying medium:
+        keeps the window timeline complete without moving ``free_at``.
+        """
+        if end < start:
+            raise ValueError(f"window ends before it starts ({end} < {start})")
+        if self.windows is not None and end > start:
+            self.windows.append((start, end, label))
 
     def __repr__(self) -> str:
         return f"SerialResource({self.name!r}, free_at={self.free_at:.6f})"

@@ -1,0 +1,211 @@
+"""Exporters: Chrome ``trace_event`` JSON and flat metrics dumps.
+
+:func:`write_chrome_trace` turns collected :class:`~repro.obs.Span`
+records into the Chrome trace-event format (the JSON that
+``chrome://tracing`` and `Perfetto <https://ui.perfetto.dev>`_ load):
+
+* each span track becomes a named thread (``thread_name`` metadata
+  events) so stages, links and allreduce buckets render as separate
+  swimlanes;
+* virtual-time spans and wall-clock spans land in two separate
+  processes (``pid`` 1/2) — the two clock domains share a file but
+  never a timeline;
+* spans are emitted as ``B``/``E`` begin/end pairs. Within one track
+  the emitter lays overlapping spans out into spill lanes (``track``,
+  ``track (2)``, ...) so every lane nests properly — a hard format
+  requirement ``ph: "X"`` events would sidestep but duration events
+  make checkable.
+
+:func:`validate_chrome_trace` is the structural checker the tests and
+``benchmarks/check_trace.py`` share: every ``B`` has a matching ``E``,
+per-track timestamps are monotone, durations are non-negative.
+"""
+
+from __future__ import annotations
+
+import json
+
+from .tracer import Span
+
+__all__ = [
+    "chrome_trace_events",
+    "write_chrome_trace",
+    "validate_chrome_trace",
+]
+
+#: seconds -> Chrome microseconds
+TIME_SCALE = 1e6
+#: process ids per clock domain (virtual timeline first)
+_CLOCK_PID = {"virtual": 1, "wall": 2}
+_PID_NAME = {1: "virtual time (event engine)", 2: "wall clock"}
+
+
+def _lane_layout(spans: list[Span]) -> list[tuple[int, Span]]:
+    """Assign each span of one track to a lane with proper nesting.
+
+    Spans are processed in ``(start, -end)`` order; a span goes to the
+    first lane where it either starts after everything open has closed
+    or nests inside the innermost open span. Partial overlaps — legal
+    for spans, illegal for ``B``/``E`` events — spill to a fresh lane.
+    """
+    ordered = sorted(spans, key=lambda s: (s.start, -s.end, s.name))
+    lanes: list[list[Span]] = []  # per-lane stack of open spans
+    out: list[tuple[int, Span]] = []
+    for s in ordered:
+        placed = False
+        for lane_id, stack in enumerate(lanes):
+            while stack and stack[-1].end <= s.start:
+                stack.pop()
+            if not stack or s.end <= stack[-1].end:
+                stack.append(s)
+                out.append((lane_id, s))
+                placed = True
+                break
+        if not placed:
+            lanes.append([s])
+            out.append((len(lanes) - 1, s))
+    return out
+
+
+def chrome_trace_events(spans) -> list[dict]:
+    """Render spans as a Chrome ``traceEvents`` list (B/E pairs)."""
+    by_track: dict[tuple[int, str], list[Span]] = {}
+    for s in spans:
+        pid = _CLOCK_PID[s.clock]
+        by_track.setdefault((pid, s.track), []).append(s)
+
+    events: list[dict] = []
+    used_pids = sorted({pid for pid, _ in by_track})
+    for pid in used_pids:
+        events.append({
+            "ph": "M", "name": "process_name", "pid": pid, "tid": 0,
+            "args": {"name": _PID_NAME[pid]},
+        })
+
+    # stable tids: tracks sorted by name within each process, spill
+    # lanes directly after their parent track
+    tid = 0
+    for (pid, track) in sorted(by_track, key=lambda k: (k[0], k[1])):
+        layout = _lane_layout(by_track[(pid, track)])
+        n_lanes = max(lane for lane, _ in layout) + 1
+        lane_tids = []
+        for lane in range(n_lanes):
+            tid += 1
+            lane_tids.append(tid)
+            lane_name = track if lane == 0 else f"{track} ({lane + 1})"
+            events.append({
+                "ph": "M", "name": "thread_name", "pid": pid, "tid": tid,
+                "args": {"name": lane_name},
+            })
+            events.append({
+                "ph": "M", "name": "thread_sort_index", "pid": pid, "tid": tid,
+                "args": {"sort_index": tid},
+            })
+        # emit B/E per lane via a nesting stack
+        per_lane: dict[int, list[Span]] = {}
+        for lane, s in layout:
+            per_lane.setdefault(lane, []).append(s)
+        for lane, lane_spans in sorted(per_lane.items()):
+            stack: list[Span] = []
+            for s in lane_spans:  # already (start, -end) ordered
+                while stack and stack[-1].end <= s.start:
+                    closed = stack.pop()
+                    events.append(_event("E", closed, pid, lane_tids[lane]))
+                events.append(_event("B", s, pid, lane_tids[lane]))
+                stack.append(s)
+            while stack:
+                closed = stack.pop()
+                events.append(_event("E", closed, pid, lane_tids[lane]))
+    return events
+
+
+def _event(ph: str, span: Span, pid: int, tid: int) -> dict:
+    ev = {
+        "ph": ph,
+        "name": span.name,
+        "cat": span.category or "span",
+        "pid": pid,
+        "tid": tid,
+        "ts": round((span.start if ph == "B" else span.end) * TIME_SCALE, 3),
+    }
+    if ph == "B" and span.attrs:
+        ev["args"] = dict(span.attrs)
+    return ev
+
+
+def write_chrome_trace(path, spans) -> dict:
+    """Write a Chrome/Perfetto-loadable trace file; returns a summary."""
+    events = chrome_trace_events(spans)
+    doc = {
+        "traceEvents": events,
+        "displayTimeUnit": "ms",
+        "otherData": {"producer": "repro.obs"},
+    }
+    with open(path, "w") as fh:
+        json.dump(doc, fh)
+    tracks = sorted({
+        e["args"]["name"] for e in events
+        if e["ph"] == "M" and e["name"] == "thread_name"
+    })
+    return {
+        "path": str(path),
+        "events": sum(1 for e in events if e["ph"] in ("B", "E")),
+        "tracks": tracks,
+    }
+
+
+def validate_chrome_trace(doc) -> list[str]:
+    """Structural errors in a Chrome trace document (empty list = valid).
+
+    Checks the properties the exporter guarantees: every ``B`` closes
+    with an ``E`` on the same ``(pid, tid)``, per-track timestamps are
+    monotone non-decreasing in emission order, and no event carries a
+    negative timestamp. Accepts the dict form (``{"traceEvents": [...]}``)
+    or a bare event list.
+    """
+    events = doc.get("traceEvents") if isinstance(doc, dict) else doc
+    if not isinstance(events, list):
+        return ["traceEvents is not a list"]
+    errors: list[str] = []
+    stacks: dict[tuple, list[str]] = {}
+    last_ts: dict[tuple, float] = {}
+    n_be = 0
+    for i, ev in enumerate(events):
+        ph = ev.get("ph")
+        if ph == "M":
+            continue
+        if ph not in ("B", "E"):
+            errors.append(f"event {i}: unsupported phase {ph!r}")
+            continue
+        n_be += 1
+        key = (ev.get("pid"), ev.get("tid"))
+        ts = ev.get("ts")
+        if not isinstance(ts, (int, float)) or ts < 0:
+            errors.append(f"event {i}: bad timestamp {ts!r}")
+            continue
+        if key in last_ts and ts < last_ts[key]:
+            errors.append(
+                f"event {i}: track {key} timestamp regressed "
+                f"({ts} < {last_ts[key]})"
+            )
+        last_ts[key] = ts
+        stack = stacks.setdefault(key, [])
+        if ph == "B":
+            stack.append(ev.get("name", ""))
+        else:
+            if not stack:
+                errors.append(f"event {i}: E with no open B on track {key}")
+            elif stack[-1] != ev.get("name", ""):
+                errors.append(
+                    f"event {i}: E for {ev.get('name')!r} closes "
+                    f"{stack[-1]!r} on track {key}"
+                )
+                stack.pop()
+            else:
+                stack.pop()
+    for key, stack in stacks.items():
+        for name in stack:
+            errors.append(f"track {key}: B {name!r} never closed")
+    if n_be == 0:
+        errors.append("trace contains no B/E events")
+    return errors

@@ -1,0 +1,207 @@
+"""Span tracing: the timeline half of the observability layer.
+
+A :class:`Span` is one named interval on one named *track* — a stage's
+forward task, a link occupancy window, an allreduce bucket, a planner
+call. Spans live in either of two clock domains:
+
+* ``"virtual"`` — simulated seconds on the event-engine timeline
+  (:class:`~repro.cluster.events.EventLoop` time), recorded with
+  explicit start/end via :meth:`Tracer.record`;
+* ``"wall"`` — real seconds since the tracer's epoch, recorded by the
+  :meth:`Tracer.span` context manager around live code (planner
+  evaluations, session calls).
+
+The default tracer is :data:`NULL_TRACER` (``enabled = False``), whose
+methods are no-ops — instrumented hot paths gate on ``enabled`` so the
+disabled overhead is one attribute check. Install a real tracer through
+:func:`repro.obs.observed` / :func:`repro.obs.enable`; export collected
+spans with :func:`repro.obs.export.write_chrome_trace`.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from contextlib import contextmanager
+from dataclasses import dataclass
+
+__all__ = ["Span", "Tracer", "NullTracer", "NULL_TRACER"]
+
+CLOCKS = ("virtual", "wall")
+
+
+@dataclass(frozen=True)
+class Span:
+    """One named interval on one track.
+
+    ``attrs`` is a sorted tuple of ``(key, value)`` pairs rather than a
+    dict so spans are hashable and two identical runs produce *equal*
+    span sequences (the determinism tests compare them directly).
+    """
+
+    name: str
+    category: str
+    track: str
+    start: float
+    end: float
+    clock: str = "virtual"
+    attrs: tuple = ()
+
+    def __post_init__(self):
+        if self.clock not in CLOCKS:
+            raise ValueError(f"unknown clock {self.clock!r}; choose from {CLOCKS}")
+        if self.end < self.start:
+            raise ValueError(
+                f"span {self.name!r} ends before it starts "
+                f"({self.end} < {self.start})"
+            )
+
+    @property
+    def duration(self) -> float:
+        return self.end - self.start
+
+
+class Tracer:
+    """Collects spans; thread-safe; deterministic given deterministic input.
+
+    ``group(prefix)`` hands out per-tracer sequence-numbered track
+    prefixes (``"pipeline#0"``, ``"pipeline#1"``, ...) so repeated engine
+    runs inside one trace — e.g. every data-parallel replica's chain —
+    land on distinct tracks instead of overwriting each other's
+    timeline.
+    """
+
+    enabled = True
+
+    def __init__(self):
+        self.spans: list[Span] = []
+        self._lock = threading.Lock()
+        self._groups: dict[str, int] = {}
+        #: wall-clock epoch: :meth:`span` timestamps are relative to this
+        self.epoch = time.perf_counter()
+
+    # ------------------------------------------------------------------
+    def record(
+        self,
+        name: str,
+        start: float,
+        end: float,
+        *,
+        category: str = "",
+        track: str = "main",
+        clock: str = "virtual",
+        **attrs,
+    ) -> Span:
+        """Record a span with explicit timestamps (the virtual-time path)."""
+        span = Span(
+            name=name,
+            category=category,
+            track=track,
+            start=start,
+            end=end,
+            clock=clock,
+            attrs=tuple(sorted(attrs.items())),
+        )
+        with self._lock:
+            self.spans.append(span)
+        return span
+
+    @contextmanager
+    def span(self, name: str, *, category: str = "", track: str = "session", **attrs):
+        """Wall-clock span around a code block (relative to the epoch)."""
+        start = time.perf_counter() - self.epoch
+        try:
+            yield
+        finally:
+            end = time.perf_counter() - self.epoch
+            self.record(
+                name, start, end, category=category, track=track, clock="wall", **attrs
+            )
+
+    def group(self, prefix: str) -> str:
+        """Next sequence-numbered track prefix for ``prefix``."""
+        with self._lock:
+            n = self._groups.get(prefix, 0)
+            self._groups[prefix] = n + 1
+        return f"{prefix}#{n}"
+
+    # ------------------------------------------------------------------
+    def clear(self) -> None:
+        with self._lock:
+            self.spans.clear()
+            self._groups.clear()
+
+    def __len__(self) -> int:
+        return len(self.spans)
+
+    def by_category(self) -> dict[str, int]:
+        """Span counts per category (the CLI summary)."""
+        out: dict[str, int] = {}
+        for s in self.spans:
+            out[s.category] = out.get(s.category, 0) + 1
+        return dict(sorted(out.items()))
+
+    def tracks(self) -> list[str]:
+        """Distinct track names in first-appearance order."""
+        seen: dict[str, None] = {}
+        for s in self.spans:
+            seen.setdefault(s.track)
+        return list(seen)
+
+    def __repr__(self) -> str:
+        return f"Tracer({len(self.spans)} spans, {len(self.tracks())} tracks)"
+
+
+class _NullSpanContext:
+    """Reusable no-op context manager (allocation-free)."""
+
+    __slots__ = ()
+
+    def __enter__(self):
+        return None
+
+    def __exit__(self, *exc):
+        return False
+
+
+_NULL_CTX = _NullSpanContext()
+
+
+class NullTracer:
+    """The disabled default: every method is a no-op.
+
+    ``enabled = False`` is the one attribute hot paths check; nothing
+    else is ever called on the null tracer in a disabled run, so the
+    instrumentation cost is ~zero.
+    """
+
+    enabled = False
+    spans: tuple = ()
+
+    def record(self, name, start, end, **kwargs):
+        return None
+
+    def span(self, name, **kwargs):
+        return _NULL_CTX
+
+    def group(self, prefix: str) -> str:
+        return prefix
+
+    def clear(self) -> None:
+        pass
+
+    def __len__(self) -> int:
+        return 0
+
+    def by_category(self) -> dict:
+        return {}
+
+    def tracks(self) -> list:
+        return []
+
+    def __repr__(self) -> str:
+        return "NullTracer()"
+
+
+#: the process-wide disabled default
+NULL_TRACER = NullTracer()

@@ -24,6 +24,7 @@ from math import ceil, floor
 from typing import Sequence
 
 from ..cluster.events import EventLoop, SerialResource
+from ..obs import OBS
 
 __all__ = ["TaskRecord", "PipelineTrace", "simulate_pipeline"]
 
@@ -58,6 +59,10 @@ class PipelineTrace:
     link_times: list[float] = field(default_factory=list)
     #: per-link seconds the link spent occupied (contended runs only)
     link_busy: list[float] = field(default_factory=list)
+    #: per-link recorded ``(start, end, label)`` transfer windows — the
+    #: one source of truth both :meth:`ascii` (``links=True``) and the
+    #: Chrome exporter render from
+    link_windows: list[list[tuple[float, float, str]]] = field(default_factory=list)
     #: data-parallel replicas whose chains were priced to produce this
     #: trace (``simulate_hetero_pipeline`` keeps the slowest replica's
     #: schedule; a bare ``simulate_pipeline`` call is one chain)
@@ -81,13 +86,16 @@ class PipelineTrace:
     def max_idle_time(self) -> float:
         return max(self.idle_time(g) for g in range(self.g_inter))
 
-    def ascii(self, time_unit: float) -> str:
+    def ascii(self, time_unit: float, links: bool = False) -> str:
         """Render the schedule like the paper's Figure 3.
 
         Each column is ``time_unit`` seconds; forward cells print the
         microbatch id, backward cells print it bracketed. The column
         count rounds the makespan *up* so tasks ending inside a partial
-        final interval still render.
+        final interval still render. ``links=True`` adds one row per
+        stage-boundary link rendered from the same recorded
+        ``link_windows`` the Chrome exporter reads (``###`` marks an
+        occupied column).
         """
         lines = []
         n_cols = max(1, ceil(self.makespan / time_unit - 1e-9))
@@ -100,6 +108,15 @@ class PipelineTrace:
                     cell = f"{t.microbatch:>3}" if t.kind == "F" else f"[{t.microbatch}]".rjust(3)
                     row[c] = cell
             lines.append(f"GPU {g}: " + "".join(row))
+        if links:
+            for i, windows in enumerate(self.link_windows):
+                row = ["  ."] * n_cols
+                for start, end, _label in windows:
+                    c0 = floor(start / time_unit + 1e-9)
+                    c1 = ceil(end / time_unit - 1e-9)
+                    for c in range(c0, min(c1, n_cols)):
+                        row[c] = "###"
+                lines.append(f"LNK {i}: " + "".join(row))
         return "\n".join(lines)
 
 
@@ -177,7 +194,7 @@ def simulate_pipeline(
     t_f = _per_stage(t_f_stage, g_inter, "t_f_stage")
     t_b = _per_stage(t_b_stage, g_inter, "t_b_stage")
     link = _per_stage(msg_time, max(g_inter - 1, 0), "msg_time") if g_inter > 1 else []
-    links = [SerialResource(f"link{i}") for i in range(g_inter - 1)]
+    links = [SerialResource(f"link{i}", record=True) for i in range(g_inter - 1)]
 
     loop = EventLoop()
     trace = PipelineTrace(
@@ -257,11 +274,14 @@ def simulate_pipeline(
                     release(now)
                     return
             # Hand the message to the transport. Contended links book a
-            # FIFO window; otherwise the transfer starts immediately.
+            # FIFO window; otherwise the transfer starts immediately
+            # (full-duplex, so the window is recorded without queueing).
+            label = f"{kind}{mb}"
             if link_contention:
-                _, arrival_t = links[link_id].acquire(now, link[link_id])
+                _, arrival_t = links[link_id].acquire(now, link[link_id], label)
             else:
                 arrival_t = now + link[link_id]
+                links[link_id].book(now, arrival_t, label)
             loop.at(arrival_t, arrive)
             if blocking_sends:
                 # Synchronous send: the GPU stays occupied (and its task
@@ -286,9 +306,42 @@ def simulate_pipeline(
     trace.makespan = loop.run()
     trace.peak_in_flight = peak
     trace.link_busy = [r.busy_time for r in links]
+    trace.link_windows = [r.windows or [] for r in links]
     if len(trace.tasks) != 2 * g_inter * n_microbatches:
         raise RuntimeError(
             f"pipeline deadlock: executed {len(trace.tasks)} of "
             f"{2 * g_inter * n_microbatches} tasks"
         )
+    if OBS.enabled:
+        _emit_pipeline_spans(trace)
     return trace
+
+
+def _emit_pipeline_spans(trace: PipelineTrace) -> None:
+    """Emit the finished schedule as virtual-time spans.
+
+    One track per stage (``pipeline#k/stage0``, ...) and per link
+    (``pipeline#k/link0``) — the ``group`` prefix keeps repeated runs
+    inside one trace (every data-parallel replica profile) on their own
+    tracks. Emission order is deterministic: stages then links, each
+    sorted by start time.
+    """
+    tracer = OBS.tracer
+    grp = tracer.group("pipeline")
+    for g in range(trace.g_inter):
+        track = f"{grp}/stage{g}"
+        for t in trace.gpu_tasks(g):
+            tracer.record(
+                f"{t.kind}{t.microbatch}",
+                t.start,
+                t.end,
+                category="pipeline.forward" if t.kind == "F" else "pipeline.backward",
+                track=track,
+                mb=t.microbatch,
+            )
+    for i, windows in enumerate(trace.link_windows):
+        track = f"{grp}/link{i}"
+        for start, end, label in sorted(windows):
+            tracer.record(
+                label or "msg", start, end, category="link", track=track
+            )

@@ -45,6 +45,7 @@ from ..cluster.events import EventLoop, SerialResource
 from ..cluster.p2p import pipeline_message_bytes
 from ..cluster.topology import Topology
 from ..models.spec import ModelSpec
+from ..obs import OBS
 from .partitioner import PartitionPlan, balanced_partition
 from .perf_model import bubble_time
 from .pipeline import PipelineTrace, simulate_pipeline
@@ -511,19 +512,21 @@ def overlap_exposed_collective(
     loop = EventLoop()
     finish = [0.0] * g
     bucket_cost = comm_time / n_buckets
+    rings: list[SerialResource] = []
     for s in range(g):
         last = last_bwd[s]
         ring = SerialResource(f"dp-ring/stage{s}", record=True)
+        rings.append(ring)
         if s > 0 and trace.link_times:
             # the stage's final activation-gradient send to stage s-1 books
             # the NIC first: buckets queue behind the drain message
-            ring.acquire(0.0, last.end + trace.link_times[s - 1])
+            ring.acquire(0.0, last.end + trace.link_times[s - 1], "drain")
         t_last = last.end - last.start
         for j in range(n_buckets):
             ready = last.end - t_last * (n_buckets - 1 - j) / n_buckets
 
-            def fire(ring=ring, s=s):
-                _, end = ring.acquire(loop.now, bucket_cost)
+            def fire(ring=ring, s=s, j=j):
+                _, end = ring.acquire(loop.now, bucket_cost, f"bucket{j}")
                 finish[s] = max(finish[s], end)
 
             loop.at(ready, fire)
@@ -531,6 +534,8 @@ def overlap_exposed_collective(
 
     per_stage = tuple(max(0.0, f - trace.makespan) for f in finish)
     exposed = max(per_stage)
+    if OBS.enabled:
+        _emit_overlap_spans(rings, trace.makespan)
     return OverlapReport(
         additive=comm_time,
         exposed=exposed,
@@ -540,6 +545,34 @@ def overlap_exposed_collective(
         n_buckets=n_buckets,
         per_stage_exposed=per_stage,
     )
+
+
+def _emit_overlap_spans(rings: "list[SerialResource]", makespan: float) -> None:
+    """Emit each ring's booked windows as virtual-time spans.
+
+    Hidden vs exposed is only known post-hoc (a bucket is *hidden* when
+    its window closes before the pipeline makespan), so spans are built
+    from the recorded windows after the run rather than inside
+    ``acquire``. One track per stage ring, grouped so repeated overlap
+    runs inside a trace stay distinct.
+    """
+    tracer = OBS.tracer
+    grp = tracer.group("allreduce")
+    hidden = exposed = 0
+    for s, ring in enumerate(rings):
+        track = f"{grp}/ring{s}"
+        for start, end, label in ring.windows or ():
+            if label == "drain":
+                category = "allreduce.drain"
+            elif end <= makespan:
+                category = "allreduce.hidden"
+                hidden += 1
+            else:
+                category = "allreduce.exposed"
+                exposed += 1
+            tracer.record(label, start, end, category=category, track=track)
+    OBS.metrics.counter("overlap.buckets.hidden").inc(hidden)
+    OBS.metrics.counter("overlap.buckets.exposed").inc(exposed)
 
 
 def _chain_inputs(

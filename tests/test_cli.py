@@ -82,3 +82,47 @@ class TestSimulateCommand:
         with pytest.raises(SystemExit):
             main(["plan", "--model", "gpt3-xl", "--gpus", "32",
                   "--scenario", "straggler"])
+
+
+class TestTraceCommand:
+    """``repro trace`` + the ``--metrics`` riders (repro.obs wiring)."""
+
+    def test_trace_runs_and_reports_spans(self, capsys):
+        assert main(["trace", "--model", "gpt3-xl", "--gpus", "32"]) == 0
+        out = capsys.readouterr().out
+        assert "Spans by category" in out
+        assert "pipeline.forward" in out and "event" in out
+
+    def test_trace_chrome_export_is_valid(self, tmp_path, capsys):
+        import json
+
+        from repro.obs import validate_chrome_trace
+
+        path = tmp_path / "trace.json"
+        assert main(["trace", "--model", "gpt3-xl", "--gpus", "32",
+                     "--chrome", str(path)]) == 0
+        out = capsys.readouterr().out
+        assert "valid" in out and "INVALID" not in out
+        doc = json.loads(path.read_text())
+        assert validate_chrome_trace(doc) == []
+
+    def test_trace_metrics_flag(self, capsys):
+        assert main(["trace", "--model", "gpt3-xl", "--gpus", "32",
+                     "--metrics"]) == 0
+        out = capsys.readouterr().out
+        assert "events.processed" in out
+
+    def test_simulate_metrics_flag(self, capsys):
+        assert main(["simulate", "--preset", "straggler", "--metrics"]) == 0
+        out = capsys.readouterr().out
+        assert "events.processed" in out
+
+    def test_plan_json_metrics_block(self, capsys):
+        import json
+
+        assert main(["plan", "--model", "gpt3-xl", "--gpus", "32",
+                     "--json", "--metrics"]) == 0
+        doc = json.loads(capsys.readouterr().out)
+        m = doc["metrics"]
+        assert (m["planner.cache.hits"] + m["planner.cache.misses"]
+                == m["planner.candidates"])
