@@ -37,6 +37,8 @@ import os
 import time
 from dataclasses import dataclass, field
 
+import numpy as np
+
 from ..models.registry import get_spec
 from ..models.spec import ModelSpec
 from ..parallel.axonn import (
@@ -529,44 +531,71 @@ class Session:
 
         per_scenario: dict[str, PlanResult] = {}
         with self._op("robust_plan"):
-            for label, (sc, _w) in zip(sset.labels(), sset.items()):
-                per_scenario[label] = self.plan(
-                    job,
-                    scenario=sc,
+            try:
+                probe = make_estimator(
+                    fidelity, spec, self.machine.cal,
+                    partition_mode=job.partition_mode,
+                    overlap=job.overlap, placement=job.placement,
+                )
+            except Exception:
+                # contradictions (e.g. analytic + overlap) surface with
+                # their canonical message from the per-scenario loop below
+                probe = None
+            if probe is not None and getattr(probe, "supports_batch", False):
+                per_scenario = self._robust_matrix(
+                    job, spec, sset, probe,
                     frameworks=frameworks,
                     microbatch_sizes=microbatch_sizes,
                     explore_no_checkpoint=explore_no_checkpoint,
-                    spec=spec,
                 )
+            else:
+                for label, (sc, _w) in zip(sset.labels(), sset.items()):
+                    per_scenario[label] = self.plan(
+                        job,
+                        scenario=sc,
+                        frameworks=frameworks,
+                        microbatch_sizes=microbatch_sizes,
+                        explore_no_checkpoint=explore_no_checkpoint,
+                        spec=spec,
+                    )
 
         entries = []
         labels = list(sset.labels())
-        weights = list(sset.weights)
         first = per_scenario[labels[0]]
         by_config = {
             label: {e.config: e for e in res.evaluations}
             for label, res in per_scenario.items()
         }
-        for ev in first.evaluations:
-            times = {
-                label: by_config[label][ev.config].total_time for label in labels
-            }
-            if len(labels) == 1:
-                # exact degeneration: no float round-trip through the sum
-                expected = times[labels[0]]
-            else:
-                expected = sum(w * times[l] for l, w in zip(labels, weights))
-            worst_label = max(labels, key=lambda l: times[l])
+        # one (config, scenario) time matrix; expected/worst reduce as
+        # array ops regardless of which path priced the cells
+        times = np.array(
+            [
+                [by_config[label][ev.config].total_time for label in labels]
+                for ev in first.evaluations
+            ]
+        )
+        if len(labels) == 1:
+            # exact degeneration: no float round-trip through the dot
+            expected_arr = times[:, 0]
+        else:
+            expected_arr = times @ np.asarray(sset.weights)
+        # argmax picks the first maximum, like max() over labels in order
+        worst_idx = np.argmax(times, axis=1)
+        for r, ev in enumerate(first.evaluations):
+            worst_label = labels[int(worst_idx[r])]
             entries.append(
                 RobustEvaluation(
                     config=ev.config,
-                    expected_time=expected,
-                    worst_time=times[worst_label],
+                    expected_time=float(expected_arr[r]),
+                    worst_time=float(times[r, worst_idx[r]]),
                     worst_scenario=worst_label,
-                    per_scenario=times,
+                    per_scenario={
+                        label: float(times[r, j])
+                        for j, label in enumerate(labels)
+                    },
                     memory_bytes=ev.memory_bytes,
                     feasible=all(
-                        by_config[l][ev.config].feasible for l in labels
+                        by_config[label][ev.config].feasible for label in labels
                     ),
                     batch_size=ev.batch_size,
                 )
@@ -591,6 +620,123 @@ class Session:
                 ),
             },
         )
+
+    def _robust_matrix(
+        self,
+        job: Job,
+        spec: ModelSpec,
+        sset: ScenarioSet,
+        estimator: CostEstimator,
+        *,
+        frameworks: tuple,
+        microbatch_sizes: tuple,
+        explore_no_checkpoint: bool,
+    ) -> dict[str, PlanResult]:
+        """Price the full config × scenario matrix in ONE batch call.
+
+        The scalar path runs one :meth:`plan` per scenario; a
+        batch-capable estimator prices every cache-missing cell of the
+        whole matrix at once instead, then back-fills only the missing
+        cells into the shared cache (hit cells keep their cached
+        evaluations). Per-label :class:`PlanResult`\\ s come out with the
+        same evaluation ordering and accounting a per-scenario loop
+        would produce, so a neutral-only set degenerates to
+        :meth:`plan` bit-identically.
+        """
+        from ..autotune.search import PlannerStats  # deferred: search wraps the api
+
+        t0 = time.perf_counter()
+        fidelity = estimator.fidelity
+        space = SearchSpace(
+            spec=spec,
+            n_gpus=job.n_gpus,
+            frameworks=frameworks,
+            sparsities=(job.sparsity,),
+            microbatch_sizes=microbatch_sizes,
+            explore_no_checkpoint=explore_no_checkpoint,
+            cal=self.machine.cal,
+        )
+        candidates = list(space.candidates())
+        labels = list(sset.labels())
+        columns = list(sset.scenarios)
+
+        evaluations: dict[str, dict[CandidateConfig, Evaluation]] = {
+            label: {} for label in labels
+        }
+        keys: dict[tuple[CandidateConfig, str], tuple] = {}
+        missing: dict[CandidateConfig, set[str]] = {}
+        for config in candidates:
+            for label, col in zip(labels, columns):
+                key = evaluation_cache_key(
+                    self.machine, spec, fidelity, config,
+                    scenario=col, partition_mode=job.partition_mode,
+                )
+                keys[(config, label)] = key
+                cached = self.cache.get(key)
+                if cached is not None:
+                    evaluations[label][config] = cached
+                else:
+                    missing.setdefault(config, set()).add(label)
+
+        metrics = OBS.metrics
+        n_cells = len(candidates) * len(labels)
+        n_misses = sum(len(v) for v in missing.values())
+        metrics.counter("planner.candidates").inc(n_cells)
+        metrics.counter("planner.cache.hits").inc(n_cells - n_misses)
+        metrics.counter("planner.cache.misses").inc(n_misses)
+
+        miss_configs = [c for c in candidates if c in missing]
+        if miss_configs:
+            calls = metrics.counter("estimator.calls", {"fidelity": fidelity})
+            latency = metrics.histogram(
+                "estimator.evaluate_seconds", {"fidelity": fidelity}
+            )
+            t = time.perf_counter()
+            batch = estimator.evaluate_batch(miss_configs, scenarios=columns)
+            dt = time.perf_counter() - t
+            latency.observe(dt)
+            calls.inc()
+            metrics.counter(
+                "estimator.batch_rows", {"fidelity": fidelity}
+            ).inc(len(miss_configs) * len(columns))
+            if OBS.enabled:
+                OBS.tracer.record(
+                    "estimator.evaluate_batch", t, t + dt,
+                    category="robust_plan",
+                    rows=len(miss_configs), scenarios=len(columns),
+                )
+            for i, config in enumerate(miss_configs):
+                for j, label in enumerate(labels):
+                    if label not in missing[config]:
+                        continue
+                    ev = batch.evaluation(i, j)
+                    self.cache.put(keys[(config, label)], ev)
+                    evaluations[label][config] = ev
+
+        wall = (time.perf_counter() - t0) / len(labels)
+        per_scenario: dict[str, PlanResult] = {}
+        for label in labels:
+            stats = PlannerStats()
+            stats.candidates = len(candidates)
+            stats.pruned_memory = space.stats.pruned_memory
+            stats.pruned_branches = space.stats.pruned_branches
+            evaluated = sum(1 for c in miss_configs if label in missing[c])
+            stats.evaluated = evaluated
+            stats.cache_hits = len(candidates) - evaluated
+            stats.wall_seconds = wall
+            # hits land during the candidate scan, misses during
+            # back-fill — both in candidate order, exactly like
+            # _evaluate_space, so orderings agree across the two paths
+            ordered = evaluations[label]
+            per_scenario[label] = PlanResult(
+                model=spec.name,
+                n_gpus=job.n_gpus,
+                fidelity=fidelity,
+                budget_bytes=self.machine.gpu_memory_bytes,
+                evaluations=list(ordered.values()),
+                stats=stats,
+            )
+        return per_scenario
 
     # -- the search loop (shared with the legacy Planner) -------------------
     def _evaluate_space(
@@ -642,21 +788,43 @@ class Session:
                 "estimator.evaluate_seconds", {"fidelity": fidelity}
             )
 
-            def evaluate(config: CandidateConfig) -> Evaluation:
+            if getattr(estimator, "supports_batch", False):
+                # vectorized path: price every miss in ONE call, then
+                # back-fill the shared cache cell-by-cell so a later
+                # scalar run (or the reverse) interconverts freely
                 t = time.perf_counter()
-                ev = estimator.evaluate(config)
-                latency.observe(time.perf_counter() - t)
+                batch = estimator.evaluate_batch(c for _, c in misses)
+                dt = time.perf_counter() - t
+                latency.observe(dt)
                 calls.inc()
-                return ev
-
-            with concurrent.futures.ThreadPoolExecutor(
-                max_workers=self.max_workers
-            ) as pool:
-                for (key, config), ev in zip(
-                    misses, pool.map(evaluate, (c for _, c in misses))
-                ):
+                metrics.counter(
+                    "estimator.batch_rows", {"fidelity": fidelity}
+                ).inc(len(misses))
+                if OBS.enabled:
+                    OBS.tracer.record(
+                        "estimator.evaluate_batch", t, t + dt,
+                        category="plan", rows=len(misses),
+                    )
+                for row, (key, config) in enumerate(misses):
+                    ev = batch.evaluation(row, 0)
                     self.cache.put(key, ev)
                     evaluations[config] = ev
+            else:
+                def evaluate(config: CandidateConfig) -> Evaluation:
+                    t = time.perf_counter()
+                    ev = estimator.evaluate(config)
+                    latency.observe(time.perf_counter() - t)
+                    calls.inc()
+                    return ev
+
+                with concurrent.futures.ThreadPoolExecutor(
+                    max_workers=self.max_workers
+                ) as pool:
+                    for (key, config), ev in zip(
+                        misses, pool.map(evaluate, (c for _, c in misses))
+                    ):
+                        self.cache.put(key, ev)
+                        evaluations[config] = ev
 
         stats.wall_seconds = time.perf_counter() - t0
         return PlanResult(

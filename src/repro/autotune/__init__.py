@@ -20,6 +20,11 @@ memory budget:
 CLI: ``python -m repro plan --model gpt3-2.7b --gpus 512 --sparsity 0.9``.
 """
 
+from .batch import (
+    EvaluationBatch,
+    VectorizedAnalyticEstimator,
+    crosscheck_batch,
+)
 from .cache import (
     GLOBAL_CACHE,
     EvaluationCache,
@@ -52,6 +57,9 @@ __all__ = [
     "CostEstimator",
     "AnalyticEstimator",
     "SimulatorEstimator",
+    "VectorizedAnalyticEstimator",
+    "EvaluationBatch",
+    "crosscheck_batch",
     "make_estimator",
     "register_estimator",
     "available_fidelities",

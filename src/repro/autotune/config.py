@@ -130,9 +130,18 @@ class CandidateConfig:
         )
 
     def canonical_hash(self) -> str:
-        """Short stable digest of :meth:`canonical_key`."""
-        payload = "|".join(str(x) for x in self.canonical_key())
-        return hashlib.sha256(payload.encode()).hexdigest()[:16]
+        """Short stable digest of :meth:`canonical_key`.
+
+        Memoised on the instance (the config is frozen): cache keys
+        recompute it for every candidate on every plan, and the sha256
+        round-trip was a measurable slice of planner overhead.
+        """
+        cached = self.__dict__.get("_canonical_hash")
+        if cached is None:
+            payload = "|".join(str(x) for x in self.canonical_key())
+            cached = hashlib.sha256(payload.encode()).hexdigest()[:16]
+            object.__setattr__(self, "_canonical_hash", cached)
+        return cached
 
     def with_(self, **changes) -> "CandidateConfig":
         """Functional update preserving validation."""

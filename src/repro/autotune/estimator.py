@@ -34,6 +34,7 @@ knobs reach the data-parallel and tensor-parallel ring cost models too.
 
 from __future__ import annotations
 
+import functools
 from collections import Counter
 from dataclasses import dataclass
 
@@ -60,6 +61,7 @@ from ..parallel.scenarios import (
     overlap_exposed_collective,
     resolve_fidelity,
     simulate_hetero_pipeline,
+    stage_payload_fractions,
 )
 from .config import SPARSE_MODES, CandidateConfig
 
@@ -230,6 +232,53 @@ class CostEstimator:
     def evaluate(self, config: CandidateConfig) -> Evaluation:
         raise NotImplementedError
 
+    #: whether :meth:`evaluate_batch` is vectorized (the base fallback
+    #: just loops :meth:`evaluate`, so planners only reroute when True)
+    supports_batch = False
+
+    def with_scenario(self, scenario) -> "CostEstimator":
+        """This estimator re-bound to ``scenario`` (self when unchanged).
+
+        The batch protocol prices a config × scenario matrix; scalar
+        estimators cover the scenario columns by cloning themselves per
+        column. Subclasses with extra costing knobs override this to
+        carry them across.
+        """
+        if get_scenario(scenario) == self.scenario:
+            return self
+        return type(self)(self.spec, self.cal, scenario=scenario)
+
+    def evaluate_batch(self, configs, scenarios=None) -> "EvaluationBatch":
+        """Cost a config grid × scenario set as one structure-of-arrays.
+
+        ``scenarios=None`` prices the single column of the estimator's
+        own scenario; otherwise each entry (a scenario, preset name, or
+        None) becomes one column, overriding the constructor scenario.
+        This base implementation is the scalar-loop fallback — cell
+        ``(i, j)`` is exactly ``with_scenario(scenarios[j])
+        .evaluate(configs[i])`` — so every registered fidelity answers
+        the batch protocol; vectorized subclasses (``supports_batch =
+        True``) replace the loop with array programs that must match it
+        element-wise.
+        """
+        from .batch import EvaluationBatch  # deferred: batch builds on this module
+
+        configs = tuple(configs)
+        if scenarios is None:
+            columns = (self.scenario,)
+        else:
+            columns = tuple(get_scenario(s) for s in scenarios)
+        grid = []
+        for sc in columns:
+            est = self.with_scenario(sc)
+            grid.append([est.evaluate(c) for c in configs])
+        # grid is column-major (scenario, config); transpose to (i, j)
+        rows = [[grid[j][i] for j in range(len(columns))] for i in range(len(configs))]
+        return EvaluationBatch.from_evaluations(
+            configs, columns, rows, fidelity=self.fidelity,
+            batch_size=self.spec.batch_size,
+        )
+
     # -- shared pieces ------------------------------------------------------
     def _compute_kind(self, config: CandidateConfig) -> str:
         if self.spec.family == "cnn":
@@ -238,17 +287,27 @@ class CostEstimator:
             return ComputeKind.SPARSE_SPUTNIK
         return ComputeKind.DENSE_GEMM
 
+    @functools.cached_property
+    def _max_boundary_elems(self) -> int:
+        """Largest inter-layer boundary of the spec, computed once.
+
+        The spec is fixed for the estimator's lifetime but this max used
+        to be recomputed on every ``evaluate`` call — an O(layers) scan
+        on the planner's hot path (see
+        ``benchmarks/results/lru_cache_micro_note.txt``).
+        """
+        spec = self.spec
+        return max(
+            spec.layers[i].activation_out_elems for i in range(spec.num_layers - 1)
+        )
+
     def _boundary_message_time(self, config: CandidateConfig) -> float:
         """Transfer seconds of one pipeline activation/gradient message.
 
         Sized by the largest inter-layer boundary (the conservative
         payload any stage cut might carry), as in the batch simulators.
         """
-        spec = self.spec
-        boundary_elems = max(
-            spec.layers[i].activation_out_elems for i in range(spec.num_layers - 1)
-        )
-        msg_bytes = pipeline_message_bytes(config.mbs, boundary_elems)
+        msg_bytes = pipeline_message_bytes(config.mbs, self._max_boundary_elems)
         return p2p_message_time(msg_bytes, cal=self.cal)
 
     def _tensor_parallel_collective(
@@ -338,8 +397,15 @@ class AnalyticEstimator(CostEstimator):
                 # overlap-aware fidelity: the data-parallel all-reduce hides
                 # behind the drain on the event timeline (the tensor-parallel
                 # collectives below stay additive — they sit inside the
-                # microbatch critical path, not after the flush)
-                report = overlap_exposed_collective(trace, coll, self.n_buckets)
+                # microbatch critical path, not after the flush); each
+                # stage rings its actual parameter share of the payload
+                fractions = stage_payload_fractions(
+                    spec, config.g_inter,
+                    getattr(self, "partition_mode", "flops"), self.scenario,
+                )
+                report = overlap_exposed_collective(
+                    trace, coll, self.n_buckets, stage_fractions=fractions
+                )
                 overlap_notes = {
                     "overlap": True,
                     "collective_additive": report.additive,
@@ -534,6 +600,15 @@ class SimulatorEstimator(AnalyticEstimator):
                 self.fidelity = f"{self.fidelity}[{n_buckets}]"
         if self.placement != "block":
             self.fidelity = f"{self.fidelity}+{self.placement}-placement"
+
+    def with_scenario(self, scenario) -> "SimulatorEstimator":
+        if get_scenario(scenario) == self.scenario:
+            return self
+        return type(self)(
+            self.spec, self.cal, scenario=scenario,
+            partition_mode=self.partition_mode, overlap=self.overlap,
+            placement=self.placement, n_buckets=self.n_buckets,
+        )
 
     def _pipeline_costs(
         self, config: CandidateConfig, m: int, t_f: float, t_b: float

@@ -281,11 +281,79 @@ def run_plan(args) -> str:
         doc = result.to_dict()
         if args.metrics:
             doc["metrics"] = session.metrics()
+        if args.compare_fidelities:
+            doc["fidelity_drift"] = _fidelity_drift(session, args.model, result)
         return json.dumps(doc, indent=2)
     report = result.report(top=args.top)
+    if args.compare_fidelities:
+        report += "\n\n" + _fidelity_drift_table(session, args.model, result)
     if args.metrics:
         report += "\n\nMetrics:\n" + session.metrics_text().rstrip()
     return report
+
+
+#: phase rows of the --compare-fidelities drift table
+_DRIFT_PHASES = ("compute", "p2p", "bubble", "collective", "other", "total")
+
+
+def _fidelity_drift(session, model: str, result) -> dict:
+    """Price the plan winner under every fidelity, keyed per phase.
+
+    ``analytic`` is the ground truth; ``analytic-batch`` goes through
+    :meth:`~repro.autotune.CostEstimator.evaluate_batch` (auditing the
+    actual array program, not its inherited scalar path) and ``sim``
+    through the event engine. Values are seconds; drifts are relative
+    to the analytic row.
+    """
+    from .autotune import make_estimator
+    from .models import get_spec
+
+    spec = get_spec(model)
+    best = result.best.config
+    cal = session.machine.cal
+    breakdowns = {}
+    breakdowns["analytic"] = make_estimator("analytic", spec, cal).evaluate(best)
+    breakdowns["analytic-batch"] = (
+        make_estimator("analytic-batch", spec, cal)
+        .evaluate_batch([best])
+        .evaluation(0, 0)
+    )
+    breakdowns["sim"] = make_estimator("sim", spec, cal).evaluate(best)
+    doc: dict = {"config": list(best.canonical_key()), "phases": {}}
+    for phase in _DRIFT_PHASES:
+        ref = getattr(breakdowns["analytic"].breakdown, phase)
+        entry = {"analytic": ref}
+        for fid in ("analytic-batch", "sim"):
+            v = getattr(breakdowns[fid].breakdown, phase)
+            drift = 0.0 if v == ref else abs(v - ref) / max(abs(ref), 1e-300)
+            entry[fid] = v
+            entry[f"{fid}_rel_drift"] = drift
+        doc["phases"][phase] = entry
+    return doc
+
+
+def _fidelity_drift_table(session, model: str, result) -> str:
+    from .reporting import render_table
+
+    doc = _fidelity_drift(session, model, result)
+    rows = []
+    for phase in _DRIFT_PHASES:
+        e = doc["phases"][phase]
+        rows.append(
+            {
+                "phase": phase,
+                "analytic (s)": f"{e['analytic']:.6f}",
+                "analytic-batch (s)": f"{e['analytic-batch']:.6f}",
+                "batch drift": f"{e['analytic-batch_rel_drift']:.1e}",
+                "sim (s)": f"{e['sim']:.6f}",
+                "sim drift": f"{e['sim_rel_drift']:.1e}",
+            }
+        )
+    title = (
+        "Fidelity drift for the winning config "
+        f"{tuple(doc['config'])} (relative to analytic)"
+    )
+    return render_table(rows, title=title)
 
 
 def run_place(args) -> str:
@@ -541,8 +609,11 @@ def main(argv: list[str] | None = None) -> int:
                 help="per-GPU memory budget in GB (default: the 16 GB V100)",
             )
             p.add_argument(
-                "--fidelity", choices=("analytic", "sim"), default=None,
-                help="closed-form Eqs. 6-11 or event-driven pipeline "
+                "--fidelity", choices=("analytic", "analytic-batch", "sim"),
+                default=None,
+                help="closed-form Eqs. 6-11 (analytic), the same equations "
+                     "vectorized over the whole candidate grid "
+                     "(analytic-batch), or event-driven pipeline "
                      "simulation (default: analytic; sim with --scenarios)",
             )
             p.add_argument("--top", type=int, default=8, help="rows in the summary")
@@ -587,6 +658,14 @@ def main(argv: list[str] | None = None) -> int:
                 "--metrics", action="store_true",
                 help="append the session metrics (cache hit/miss counts, "
                      "per-fidelity evaluation latency) to the output",
+            )
+            p.add_argument(
+                "--compare-fidelities", action="store_true",
+                dest="compare_fidelities",
+                help="append a per-phase drift table of the winning config "
+                     "priced under analytic, analytic-batch (the vectorized "
+                     "array program), and sim — the from-the-CLI audit of "
+                     "the batch engine",
             )
         if name == "place":
             p.add_argument("--model", default="gpt3-2.7b", help="Table I model name")

@@ -14,6 +14,7 @@ networks used for the functional experiments (Figure 4).
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from functools import cached_property
 
 __all__ = ["LayerSpec", "ModelSpec"]
 
@@ -76,12 +77,16 @@ class ModelSpec:
     efficiency_hint: dict = field(default_factory=dict)
 
     # ------------------------------------------------------------------
-    @property
+    # Layer sums are cached: nothing mutates ``layers`` after
+    # construction, and the memory/gradient models read these once per
+    # candidate, which made the O(layers) re-sum the planner's hottest
+    # line.
+    @cached_property
     def param_count(self) -> int:
         """Total parameters (``phi`` in the paper's Eq. 1-5)."""
         return sum(l.param_count for l in self.layers)
 
-    @property
+    @cached_property
     def prunable_count(self) -> int:
         """Parameters the pruning algorithm may zero."""
         return sum(l.prunable_count for l in self.layers)

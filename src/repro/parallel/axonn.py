@@ -33,7 +33,11 @@ from .perf_model import (
     microbatches_per_gpu,
     transmission_time,
 )
-from .scenarios import overlap_exposed_collective, simulate_hetero_pipeline
+from .scenarios import (
+    overlap_exposed_collective,
+    simulate_hetero_pipeline,
+    stage_payload_fractions,
+)
 
 __all__ = ["FRAMEWORKS", "simulate_batch", "strong_scaling"]
 
@@ -319,8 +323,14 @@ def _breakdown_engine(
     if overlap and trace is not None and traits["async_pipeline"]:
         # Overlap-aware fidelity: the bucketed data-parallel all-reduce
         # contends with the drain on the event timeline instead of being
-        # charged additively after it.
-        report = overlap_exposed_collective(trace, coll)
+        # charged additively after it; each stage rings its actual
+        # parameter share of the payload, not the uniform 1/G shard.
+        report = overlap_exposed_collective(
+            trace, coll,
+            stage_fractions=stage_payload_fractions(
+                spec, g_inter, partition_mode, scenario
+            ),
+        )
         notes["overlap"] = True
         notes["collective_additive"] = report.additive
         notes["collective_hidden"] = report.hidden

@@ -163,6 +163,9 @@ class PartitionPlan:
     #: per-stage slowdown rates the "time" objective balanced against
     #: (None for flops balancing / uniform rates)
     stage_rates: tuple[float, ...] | None = None
+    #: parameters assigned to each stage (None on hand-built plans that
+    #: predate the field; fractions then fall back to uniform)
+    stage_params: list[int] | None = None
 
     @property
     def n_stages(self) -> int:
@@ -186,6 +189,19 @@ class PartitionPlan:
         if total <= 0:
             return [1.0 / self.n_stages] * self.n_stages
         return [f / total for f in self.stage_flops]
+
+    @property
+    def param_fractions(self) -> list[float]:
+        """Each stage's share of the model's parameters (sums to 1).
+
+        This is the stage's share of the data-parallel gradient payload:
+        stage ``s`` all-reduces the gradients of *its* layers' parameters
+        among the replicas, not a uniform ``1/G_inter`` shard.
+        """
+        if self.stage_params is None or sum(self.stage_params) <= 0:
+            return [1.0 / self.n_stages] * self.n_stages
+        total = sum(self.stage_params)
+        return [p / total for p in self.stage_params]
 
     def stage_times(self, t_f_model: float, t_b_model: float) -> tuple[list[float], list[float]]:
         """Split whole-model fwd/bwd times into per-stage times by flops.
@@ -266,9 +282,14 @@ def balanced_partition(
     stage_flops = [
         sum(flops[boundaries[i] : boundaries[i + 1]]) for i in range(g_inter)
     ]
+    stage_params = [
+        sum(l.param_count for l in spec.layers[boundaries[i] : boundaries[i + 1]])
+        for i in range(g_inter)
+    ]
     return PartitionPlan(
         boundaries=boundaries,
         stage_flops=stage_flops,
         mode=mode,
         stage_rates=stage_rates,
+        stage_params=stage_params,
     )

@@ -58,6 +58,7 @@ __all__ = [
     "resolve_fidelity",
     "OverlapReport",
     "overlap_exposed_collective",
+    "stage_payload_fractions",
     "simulate_hetero_pipeline",
     "compare_partition_modes",
     "run_scenario",
@@ -217,6 +218,23 @@ class ClusterScenario:
         )
 
     @property
+    def degrades_pipeline(self) -> bool:
+        """True when any pipeline-phase knob is non-neutral.
+
+        The closed-form analytic estimators cannot price these knobs
+        (they need the event engine's per-stage schedule), so the batch
+        estimator consults this to reject scenarios it would silently
+        under-price — the collective knobs alone stay fair game for the
+        closed form.
+        """
+        return (
+            (self.straggler_stage is not None and self.straggler_factor != 1.0)
+            or (self.slow_link is not None and self.slow_link_factor != 1.0)
+            or self.compute_skew != 0.0
+            or self.link_contention
+        )
+
+    @property
     def is_neutral(self) -> bool:
         """True when every knob is the identity transform.
 
@@ -226,13 +244,7 @@ class ClusterScenario:
         does, which is what makes a neutral-only robust plan bit-identical
         to a plain one.
         """
-        return (
-            (self.straggler_stage is None or self.straggler_factor == 1.0)
-            and (self.slow_link is None or self.slow_link_factor == 1.0)
-            and self.compute_skew == 0.0
-            and not self.link_contention
-            and not self.degrades_collectives
-        )
+        return not self.degrades_pipeline and not self.degrades_collectives
 
     def to_dict(self) -> dict:
         """JSON-ready mapping; inverse of :meth:`from_dict`."""
@@ -430,6 +442,29 @@ def _partition(
     return plan
 
 
+def stage_payload_fractions(
+    spec: ModelSpec,
+    g_inter: int,
+    partition_mode: str = "flops",
+    scenario: "ClusterScenario | None" = None,
+) -> tuple[float, ...]:
+    """Each stage's share of the data-parallel gradient payload.
+
+    Resolved from the same memoised :class:`PartitionPlan` the pipeline
+    engines run on (including the time-balanced plan under a scenario),
+    so the overlap model's per-stage all-reduce payloads can never
+    disagree with the schedule that produced the trace. Stage ``s``'s
+    share is its raw parameter fraction — sparse modes prune every stage
+    at the same rate in this model, so parameter shares and compressed
+    payload shares coincide.
+    """
+    stage_rates = None
+    if partition_mode == "time" and scenario is not None:
+        stage_rates = tuple(scenario.scale_stage_times([1.0] * g_inter))
+    plan = _partition(spec, g_inter, partition_mode, stage_rates)
+    return tuple(plan.param_fractions)
+
+
 # ---------------------------------------------------------------------------
 # allreduce/drain overlap
 # ---------------------------------------------------------------------------
@@ -448,9 +483,13 @@ class OverlapReport:
     their difference. ``hideable_window`` is the engine's hiding budget
     ``D`` — the span from the earliest moment any gradient bucket can be
     final (the start of the earliest stage's last backward task) to the
-    pipeline makespan — so ``max(0, additive - hideable_window) <=
-    exposed < additive`` always holds (with >= 2 buckets and non-zero
-    backward time; one bucket degenerates to the additive sum).
+    pipeline makespan — so with uniform stage payloads ``max(0, additive
+    - hideable_window) <= exposed < additive`` always holds (with >= 2
+    buckets and non-zero backward time; one bucket degenerates to the
+    additive sum). With per-stage payload fractions a param-heavy stage
+    can push ``exposed`` past the uniform ``additive`` charge (``hidden``
+    goes negative) — the accounting identity ``exposed + hidden ==
+    additive`` holds either way.
     """
 
     additive: float
@@ -466,6 +505,7 @@ def overlap_exposed_collective(
     trace: PipelineTrace,
     comm_time: float,
     n_buckets: int = OVERLAP_BUCKETS,
+    stage_fractions: "tuple[float, ...] | None" = None,
 ) -> OverlapReport:
     """Exposed data-parallel all-reduce time when overlapped with the drain.
 
@@ -493,12 +533,35 @@ def overlap_exposed_collective(
     only final at the very end, sent as one message) reproduces the
     additive sum exactly; more buckets hide more, but never more than the
     ``hideable_window`` documented on :class:`OverlapReport`.
+
+    ``stage_fractions`` refines the uniform-shard assumption: stage
+    ``s``'s all-reduce busy time scales to ``comm_time * fractions[s] *
+    g`` (each stage rings its *own* gradient payload — ``comm_time`` is
+    priced for the uniform ``φ/G_inter`` shard, so the uniform fraction
+    ``1/g`` reproduces the default exactly). Pass
+    :func:`stage_payload_fractions` to weight each stage by its actual
+    parameter share from the partition plan. ``additive`` keeps the
+    uniform-shard charge (what the non-overlapped model bills), so a
+    heavily skewed partition can in principle expose more than
+    ``additive`` — the uniform additive model under-charges the heavy
+    stage.
     """
     if n_buckets < 1:
         raise ValueError(f"n_buckets must be >= 1, got {n_buckets}")
     if comm_time < 0:
         raise ValueError(f"comm_time must be non-negative, got {comm_time}")
     g = trace.g_inter
+    if stage_fractions is None:
+        stage_comm = [comm_time] * g
+    else:
+        if len(stage_fractions) != g:
+            raise ValueError(
+                f"stage_fractions has {len(stage_fractions)} entries "
+                f"for a {g}-stage trace"
+            )
+        if any(f < 0 for f in stage_fractions):
+            raise ValueError(f"stage_fractions must be non-negative, got {stage_fractions}")
+        stage_comm = [comm_time * f * g for f in stage_fractions]
     last_bwd = []
     for s in range(g):
         bwd = [t for t in trace.gpu_tasks(s) if t.kind == "B"]
@@ -511,7 +574,6 @@ def overlap_exposed_collective(
 
     loop = EventLoop()
     finish = [0.0] * g
-    bucket_cost = comm_time / n_buckets
     rings: list[SerialResource] = []
     for s in range(g):
         last = last_bwd[s]
@@ -522,10 +584,11 @@ def overlap_exposed_collective(
             # the NIC first: buckets queue behind the drain message
             ring.acquire(0.0, last.end + trace.link_times[s - 1], "drain")
         t_last = last.end - last.start
+        bucket_cost = stage_comm[s] / n_buckets
         for j in range(n_buckets):
             ready = last.end - t_last * (n_buckets - 1 - j) / n_buckets
 
-            def fire(ring=ring, s=s, j=j):
+            def fire(ring=ring, s=s, j=j, bucket_cost=bucket_cost):
                 _, end = ring.acquire(loop.now, bucket_cost, f"bucket{j}")
                 finish[s] = max(finish[s], end)
 

@@ -80,16 +80,25 @@ class TestOverlapEngine:
 
 
 class TestOverlapBreakdown:
-    def test_exposed_less_than_additive_under_scenario(self, session):
+    def test_overlap_accounting_under_scenario(self, session):
         job = Job(model="gpt3-2.7b", n_gpus=128, fidelity="sim")
         add = session.breakdown(job, scenario="degraded-ring")
         ov = session.breakdown(job.with_(overlap=True), scenario="degraded-ring")
-        assert 0.0 < ov.collective < add.collective
+        assert ov.collective > 0.0
         # accounting: exposed + hidden == additive, and the notes carry it
+        # (hidden may be negative: each stage rings its actual parameter
+        # share, and the embedding-heavy stage 0 carries ~1.6x the
+        # uniform shard the additive model charges)
         assert ov.collective_additive == pytest.approx(add.collective, abs=1e-15)
         assert ov.collective + ov.collective_hidden == pytest.approx(
             add.collective, abs=1e-12
         )
+        # the heaviest stage's payload bounds how far past the additive
+        # charge the exposure can grow
+        from repro.parallel.scenarios import stage_payload_fractions
+
+        fractions = stage_payload_fractions(get_spec("gpt3-2.7b"), ov.config.g_inter)
+        assert ov.collective <= add.collective * max(fractions) * len(fractions) + 1e-12
         # only the collective phase moved
         assert ov.compute == add.compute
         assert ov.bubble == add.bubble
@@ -140,10 +149,19 @@ class TestOverlapBreakdown:
         p1 = s.plan(job.with_(overlap=True), microbatch_sizes=(1,))
         assert p0.fidelity == "sim"
         assert p1.fidelity == "sim+overlap"
-        # overlap can only shrink a candidate's exposed collective
-        best0 = {e.config: e.total_time for e in p0.evaluations}
+        # overlap re-prices only the collective phase: every other phase
+        # of every candidate matches the additive plan byte-for-byte
+        # (totals may move either way — a param-heavy stage can expose
+        # more than the uniform additive charge)
+        add = {e.config: e.breakdown for e in p0.evaluations}
         for e in p1.evaluations:
-            assert e.total_time <= best0[e.config] + 1e-12
+            b = add[e.config]
+            assert e.breakdown.compute == b.compute
+            # approx: at g_inter == 1 the additive path short-circuits the
+            # trace while overlap must run it, leaving a ~1e-16 residue
+            assert e.breakdown.bubble == pytest.approx(b.bubble, abs=1e-12)
+            assert e.breakdown.p2p == b.p2p
+            assert e.breakdown.other == b.other
 
 
 class TestPlacementOptimizer:
