@@ -248,7 +248,12 @@ class Session:
     ):
         self.machine = machine if machine is not None else Machine()
         self.cache = GLOBAL_CACHE if cache is None else cache
-        self.max_workers = max_workers or min(8, (os.cpu_count() or 2))
+        if max_workers is None:
+            max_workers = min(8, (os.cpu_count() or 2))
+        elif max_workers < 1:
+            # 0 used to fall through `max_workers or ...` to the default
+            raise ValueError(f"max_workers must be >= 1, got {max_workers}")
+        self.max_workers = max_workers
         self.trace_to = trace_to
         self.registry = MetricsRegistry()
         self.tracer: Tracer | None = Tracer() if trace_to else None
@@ -685,33 +690,77 @@ class Session:
         metrics.counter("planner.cache.hits").inc(n_cells - n_misses)
         metrics.counter("planner.cache.misses").inc(n_misses)
 
-        miss_configs = [c for c in candidates if c in missing]
+        # single-flight stores coalesce cells another request is already
+        # pricing: we evaluate only the cells we own, then collect the
+        # rest from their owners' flights
+        single_flight = getattr(self.cache, "supports_single_flight", False)
+        flights: dict = {}
+        missing_owned = missing
+        if missing and single_flight:
+            flat = [
+                keys[(config, label)]
+                for config in candidates
+                if config in missing
+                for label in labels
+                if label in missing[config]
+            ]
+            owned_keys, flights, ready = self.cache.acquire(flat)
+            if flights:
+                metrics.counter("serve.inflight_coalesced").inc(len(flights))
+            owned_set = set(owned_keys)
+            missing_owned = {}
+            for config, labs in missing.items():
+                owned_labs = {
+                    lab for lab in labs if keys[(config, lab)] in owned_set
+                }
+                if owned_labs:
+                    missing_owned[config] = owned_labs
+            by_key = {key: cl for cl, key in keys.items()}
+            for key, ev in ready.items():
+                config, label = by_key[key]
+                evaluations[label][config] = ev
+
+        miss_configs = [c for c in candidates if c in missing_owned]
         if miss_configs:
             calls = metrics.counter("estimator.calls", {"fidelity": fidelity})
             latency = metrics.histogram(
                 "estimator.evaluate_seconds", {"fidelity": fidelity}
             )
-            t = time.perf_counter()
-            batch = estimator.evaluate_batch(miss_configs, scenarios=columns)
-            dt = time.perf_counter() - t
-            latency.observe(dt)
-            calls.inc()
-            metrics.counter(
-                "estimator.batch_rows", {"fidelity": fidelity}
-            ).inc(len(miss_configs) * len(columns))
-            if OBS.enabled:
-                OBS.tracer.record(
-                    "estimator.evaluate_batch", t, t + dt,
-                    category="robust_plan",
-                    rows=len(miss_configs), scenarios=len(columns),
-                )
-            for i, config in enumerate(miss_configs):
-                for j, label in enumerate(labels):
-                    if label not in missing[config]:
-                        continue
-                    ev = batch.evaluation(i, j)
-                    self.cache.put(keys[(config, label)], ev)
-                    evaluations[label][config] = ev
+            try:
+                t = time.perf_counter()
+                batch = estimator.evaluate_batch(miss_configs, scenarios=columns)
+                dt = time.perf_counter() - t
+                latency.observe(dt)
+                calls.inc()
+                metrics.counter(
+                    "estimator.batch_rows", {"fidelity": fidelity}
+                ).inc(len(miss_configs) * len(columns))
+                if OBS.enabled:
+                    OBS.tracer.record(
+                        "estimator.evaluate_batch", t, t + dt,
+                        category="robust_plan",
+                        rows=len(miss_configs), scenarios=len(columns),
+                    )
+                for i, config in enumerate(miss_configs):
+                    for j, label in enumerate(labels):
+                        if label not in missing_owned[config]:
+                            continue
+                        ev = batch.evaluation(i, j)
+                        key = keys[(config, label)]
+                        if single_flight:
+                            self.cache.fulfil(key, ev)
+                        else:
+                            self.cache.put(key, ev)
+                        evaluations[label][config] = ev
+            except BaseException as err:
+                if single_flight:
+                    for config, labs in missing_owned.items():
+                        for lab in labs:
+                            self.cache.abandon(keys[(config, lab)], err)
+                raise
+        for key, flight in flights.items():
+            config, label = by_key[key]
+            evaluations[label][config] = flight.result()
 
         wall = (time.perf_counter() - t0) / len(labels)
         per_scenario: dict[str, PlanResult] = {}
@@ -720,7 +769,9 @@ class Session:
             stats.candidates = len(candidates)
             stats.pruned_memory = space.stats.pruned_memory
             stats.pruned_branches = space.stats.pruned_branches
-            evaluated = sum(1 for c in miss_configs if label in missing[c])
+            evaluated = sum(
+                1 for c in miss_configs if label in missing_owned[c]
+            )
             stats.evaluated = evaluated
             stats.cache_hits = len(candidates) - evaluated
             stats.wall_seconds = wall
@@ -782,49 +833,84 @@ class Session:
         metrics.counter("planner.cache.misses").inc(len(misses))
 
         if misses:
-            stats.evaluated = len(misses)
-            calls = metrics.counter("estimator.calls", {"fidelity": fidelity})
-            latency = metrics.histogram(
-                "estimator.evaluate_seconds", {"fidelity": fidelity}
-            )
-
-            if getattr(estimator, "supports_batch", False):
-                # vectorized path: price every miss in ONE call, then
-                # back-fill the shared cache cell-by-cell so a later
-                # scalar run (or the reverse) interconverts freely
-                t = time.perf_counter()
-                batch = estimator.evaluate_batch(c for _, c in misses)
-                dt = time.perf_counter() - t
-                latency.observe(dt)
-                calls.inc()
-                metrics.counter(
-                    "estimator.batch_rows", {"fidelity": fidelity}
-                ).inc(len(misses))
-                if OBS.enabled:
-                    OBS.tracer.record(
-                        "estimator.evaluate_batch", t, t + dt,
-                        category="plan", rows=len(misses),
-                    )
-                for row, (key, config) in enumerate(misses):
-                    ev = batch.evaluation(row, 0)
-                    self.cache.put(key, ev)
-                    evaluations[config] = ev
+            # single-flight stores (repro.serve) hand each missing key to
+            # exactly one concurrent request; everyone else waits on the
+            # owner's in-flight evaluation instead of re-pricing it
+            single_flight = getattr(self.cache, "supports_single_flight", False)
+            if single_flight:
+                owned_keys, flights, ready = self.cache.acquire(
+                    [k for k, _ in misses]
+                )
+                if flights:
+                    metrics.counter("serve.inflight_coalesced").inc(len(flights))
             else:
-                def evaluate(config: CandidateConfig) -> Evaluation:
-                    t = time.perf_counter()
-                    ev = estimator.evaluate(config)
-                    latency.observe(time.perf_counter() - t)
-                    calls.inc()
-                    return ev
+                owned_keys, flights, ready = [k for k, _ in misses], {}, {}
+            results: dict[tuple, Evaluation] = dict(ready)
+            owned_set = set(owned_keys)
+            owned = [(k, c) for k, c in misses if k in owned_set]
+            stats.evaluated = len(owned)
+            stats.cache_hits += len(misses) - len(owned)
 
-                with concurrent.futures.ThreadPoolExecutor(
-                    max_workers=self.max_workers
-                ) as pool:
-                    for (key, config), ev in zip(
-                        misses, pool.map(evaluate, (c for _, c in misses))
-                    ):
-                        self.cache.put(key, ev)
-                        evaluations[config] = ev
+            def publish(key: tuple, ev: Evaluation) -> None:
+                if single_flight:
+                    self.cache.fulfil(key, ev)
+                else:
+                    self.cache.put(key, ev)
+                results[key] = ev
+
+            if owned:
+                calls = metrics.counter("estimator.calls", {"fidelity": fidelity})
+                latency = metrics.histogram(
+                    "estimator.evaluate_seconds", {"fidelity": fidelity}
+                )
+                try:
+                    if getattr(estimator, "supports_batch", False):
+                        # vectorized path: price every miss in ONE call,
+                        # then back-fill the shared cache cell-by-cell so a
+                        # later scalar run (or the reverse) interconverts
+                        t = time.perf_counter()
+                        batch = estimator.evaluate_batch(c for _, c in owned)
+                        dt = time.perf_counter() - t
+                        latency.observe(dt)
+                        calls.inc()
+                        metrics.counter(
+                            "estimator.batch_rows", {"fidelity": fidelity}
+                        ).inc(len(owned))
+                        if OBS.enabled:
+                            OBS.tracer.record(
+                                "estimator.evaluate_batch", t, t + dt,
+                                category="plan", rows=len(owned),
+                            )
+                        for row, (key, _config) in enumerate(owned):
+                            publish(key, batch.evaluation(row, 0))
+                    else:
+                        def evaluate(config: CandidateConfig) -> Evaluation:
+                            t = time.perf_counter()
+                            ev = estimator.evaluate(config)
+                            latency.observe(time.perf_counter() - t)
+                            calls.inc()
+                            return ev
+
+                        with concurrent.futures.ThreadPoolExecutor(
+                            max_workers=self.max_workers
+                        ) as pool:
+                            for (key, _config), ev in zip(
+                                owned, pool.map(evaluate, (c for _, c in owned))
+                            ):
+                                publish(key, ev)
+                except BaseException as err:
+                    if single_flight:
+                        # wake coalesced waiters instead of hanging them
+                        for key, _config in owned:
+                            self.cache.abandon(key, err)
+                    raise
+            for key, flight in flights.items():
+                results[key] = flight.result()
+            # hits landed during the candidate scan; misses back-fill here
+            # in candidate order regardless of who priced them, so the
+            # ordering matches the legacy single-owner path exactly
+            for key, config in misses:
+                evaluations[config] = results[key]
 
         stats.wall_seconds = time.perf_counter() - t0
         return PlanResult(

@@ -124,18 +124,27 @@ class EvaluationCache:
             self.dedup = 0
 
     def __len__(self) -> int:
-        return len(self._entries)
+        with self._lock:
+            return len(self._entries)
 
     def __contains__(self, key: tuple) -> bool:
-        return key in self._entries
+        with self._lock:
+            return key in self._entries
 
     def stats(self) -> dict:
-        return {
-            "entries": len(self._entries),
-            "hits": self.hits,
-            "misses": self.misses,
-            "dedup": self.dedup,
-        }
+        """One consistent snapshot of entry count and counters.
+
+        Taken under the lock so a concurrent ``get``/``put`` can never
+        produce a torn read (e.g. a hit counted but its entry not yet
+        visible).
+        """
+        with self._lock:
+            return {
+                "entries": len(self._entries),
+                "hits": self.hits,
+                "misses": self.misses,
+                "dedup": self.dedup,
+            }
 
 
 #: Process-wide default cache shared by all planners.

@@ -566,6 +566,47 @@ def run_simulate(args) -> str:
     return "\n".join(lines)
 
 
+def run_serve(args) -> int:
+    """Long-lived planning server (printing nothing of its own: stdout
+    is the stdio transport's response stream)."""
+    from .api import Machine
+    from .serve import PersistentEvaluationStore, PlanningServer, serve_http, serve_stdio
+
+    try:
+        store = PersistentEvaluationStore(
+            path=args.store,
+            max_entries=args.max_entries,
+            autosave_every=args.autosave_every,
+        )
+        server = PlanningServer(
+            machine=Machine.summit(budget_gb=args.budget_gb),
+            store=store,
+            max_workers=args.session_workers,
+        )
+    except (KeyError, ValueError) as err:
+        msg = err.args[0] if err.args else str(err)
+        raise SystemExit(f"repro serve: error: {msg}")
+    if store.quarantined:
+        print(
+            f"repro serve: warning: corrupt snapshot quarantined to "
+            f"{store.quarantined} ({store.loaded} valid entries kept)",
+            file=sys.stderr,
+        )
+    elif store.loaded:
+        print(
+            f"repro serve: warm-started {store.loaded} evaluations from {args.store}",
+            file=sys.stderr,
+        )
+    if args.http is not None:
+        print(
+            f"repro serve: listening on http://{args.host}:{args.http} "
+            "(POST JSON-RPC to /, GET /metrics, /healthz)",
+            file=sys.stderr,
+        )
+        return serve_http(server, host=args.host, port=args.http)
+    return serve_stdio(server, sys.stdin, sys.stdout, request_workers=args.workers)
+
+
 EXPERIMENTS = {
     "fig1": (run_fig1, "sparse libraries vs cuBLAS (FC layer microbenchmark)"),
     "fig2": (run_fig2, "analytical memory savings of SAMO vs sparsity"),
@@ -582,6 +623,7 @@ EXPERIMENTS = {
     "simulate": (run_simulate, "cluster scenarios (straggler, slow-link, degraded-ring, ...)"),
     "place": (run_place, "optimize the data-parallel replica placement (vs the block layout)"),
     "trace": (run_trace, "span-trace one batch; --chrome exports a Perfetto-loadable timeline"),
+    "serve": (run_serve, "planning server: JSON-RPC over stdio (or --http) on a persistent shared store"),
 }
 
 
@@ -726,6 +768,41 @@ def main(argv: list[str] | None = None) -> int:
                 help="append engine metrics (events processed, overlap "
                      "bucket counts) to the output",
             )
+        if name == "serve":
+            p.add_argument(
+                "--store", default=None, metavar="PATH",
+                help="JSON-lines snapshot for the evaluation store: "
+                     "warm-started at boot, flushed at shutdown",
+            )
+            p.add_argument(
+                "--max-entries", type=int, default=0, dest="max_entries",
+                help="evaluation-store capacity; least-recently-used "
+                     "entries are evicted beyond it (0 = unbounded)",
+            )
+            p.add_argument(
+                "--autosave-every", type=int, default=0, dest="autosave_every",
+                help="snapshot the store to --store after every N puts "
+                     "(0 = only at shutdown / on a 'save' request)",
+            )
+            p.add_argument(
+                "--http", type=int, default=None, metavar="PORT",
+                help="serve HTTP on this port instead of stdio JSON-RPC",
+            )
+            p.add_argument("--host", default="127.0.0.1", help="HTTP bind address")
+            p.add_argument(
+                "--workers", type=int, default=8,
+                help="concurrent stdio requests (identical in-flight "
+                     "requests coalesce through the store)",
+            )
+            p.add_argument(
+                "--session-workers", type=int, default=None, dest="session_workers",
+                help="threads per evaluation batch inside the session "
+                     "(default: min(8, cpu count))",
+            )
+            p.add_argument(
+                "--budget-gb", type=float, default=None, dest="budget_gb",
+                help="per-GPU memory budget in GB (default: the 16 GB V100)",
+            )
         if name == "trace":
             p.add_argument("--model", default="gpt3-2.7b", help="Table I model name")
             p.add_argument("--gpus", type=int, default=128, help="total GPU count")
@@ -762,6 +839,9 @@ def main(argv: list[str] | None = None) -> int:
         for name, (_, help_text) in EXPERIMENTS.items():
             print(f"  {name:8s} {help_text}")
         return 0 if args.cmd == "list" else 2
+    if args.cmd == "serve":
+        # long-lived; stdout belongs to the stdio transport, not a report
+        return run_serve(args)
     runner, _ = EXPERIMENTS[args.cmd]
     print(runner(args))
     return 0

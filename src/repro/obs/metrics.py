@@ -27,15 +27,34 @@ __all__ = [
     "MetricsRegistry",
     "NullRegistry",
     "NULL_REGISTRY",
+    "escape_label_value",
     "render_label_key",
 ]
 
 
+def escape_label_value(value: str) -> str:
+    """Escape a label value per the Prometheus text exposition format.
+
+    Backslash, double-quote and newline are the three characters the
+    format requires escaping inside ``k="v"``; anything else (including
+    a scenario name like ``ring"straggler``) passes through. Escaping
+    here — where the instrument key is built — keeps the key canonical
+    *and* directly emittable, and makes raw-vs-escaped values that
+    would collide into distinct instruments.
+    """
+    return (
+        str(value)
+        .replace("\\", "\\\\")
+        .replace('"', '\\"')
+        .replace("\n", "\\n")
+    )
+
+
 def render_label_key(name: str, labels: dict | None) -> str:
-    """Canonical ``name{k="v",...}`` rendering (sorted keys)."""
+    """Canonical ``name{k="v",...}`` rendering (sorted keys, escaped values)."""
     if not labels:
         return name
-    inner = ",".join(f'{k}="{labels[k]}"' for k in sorted(labels))
+    inner = ",".join(f'{k}="{escape_label_value(labels[k])}"' for k in sorted(labels))
     return f"{name}{{{inner}}}"
 
 

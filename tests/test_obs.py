@@ -358,6 +358,24 @@ class TestMetricsReconciliation:
         assert "lat_count 1" in text
         assert 'lat{quantile="50"} 0.5' in text
 
+    def test_prometheus_label_values_escaped(self):
+        # Prometheus text format: label values must escape backslash,
+        # double-quote, and newline. Pin the exact exposition bytes.
+        from repro.obs.metrics import escape_label_value
+
+        assert escape_label_value('say "hi"') == 'say \\"hi\\"'
+        assert escape_label_value("a\\b") == "a\\\\b"
+        assert escape_label_value("line1\nline2") == "line1\\nline2"
+
+        reg = MetricsRegistry()
+        reg.counter("req", {"path": 'a"b\\c\nd'}).inc()
+        text = reg.render_prometheus()
+        assert 'req{path="a\\"b\\\\c\\nd"} 1' in text
+        assert "\nd" not in text  # no raw newline leaks into the exposition
+        # escaped and raw-identical values land on the same series
+        reg.counter("req", {"path": 'a"b\\c\nd'}).inc()
+        assert 'req{path="a\\"b\\\\c\\nd"} 2' in reg.render_prometheus()
+
     def test_enable_disable_process_wide(self):
         tracer, metrics = enable()
         try:
