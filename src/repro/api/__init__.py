@@ -36,6 +36,14 @@ from ..autotune.estimator import (
     register_estimator,
 )
 from ..parallel.placement import Placement, PlacementResult
+from ..stochastic import (
+    PROCESSES,
+    MCCandidate,
+    MCRobustResult,
+    ReplanDecision,
+    ScenarioProcess,
+    get_process,
+)
 from ..parallel.scenarios import SCENARIOS, ClusterScenario, get_scenario
 from .job import Job
 from .machine import Machine
@@ -54,6 +62,12 @@ __all__ = [
     "Session",
     "RobustEvaluation",
     "RobustPlanResult",
+    "ScenarioProcess",
+    "PROCESSES",
+    "get_process",
+    "MCCandidate",
+    "MCRobustResult",
+    "ReplanDecision",
     "Placement",
     "PlacementResult",
     "register_estimator",

@@ -11,6 +11,7 @@ CLI exposes (``repro plan --scenarios mixed-degraded``).
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass
 
 from ..parallel.scenarios import SCENARIOS, ClusterScenario, get_scenario
@@ -48,9 +49,14 @@ class ScenarioSet:
         canon = []
         for scenario, weight in self.members:
             scenario = get_scenario(scenario)
-            if not (isinstance(weight, (int, float)) and weight > 0):
+            if not (
+                isinstance(weight, (int, float))
+                and math.isfinite(weight)
+                and weight > 0
+            ):
                 raise ValueError(
-                    f"scenario weights must be positive numbers, got {weight!r}"
+                    f"scenario weights must be positive finite numbers, "
+                    f"got {weight!r}"
                 )
             if scenario is not None and scenario.is_neutral:
                 scenario = None

@@ -17,7 +17,12 @@ and answers the questions the legacy surface scattered over
   through the same cache, and a neutral-only set degenerates to
   :meth:`Session.plan` bit-identically;
 * :meth:`Session.place` — optimize the data-parallel replica placement
-  of the job's pipeline (never worse than the default block layout).
+  of the job's pipeline (never worse than the default block layout);
+* :meth:`Session.mc_robust_plan` — Monte-Carlo robust ranking over a
+  sampled failure process (:mod:`repro.stochastic`): N timelines,
+  common random numbers across candidates, 95% confidence intervals;
+* :meth:`Session.replan` — ride-vs-repair break-even pricing when a
+  degradation arrives mid-job.
 
 The job-level ``overlap``/``placement`` knobs thread through every
 question: ``overlap=True`` prices the data-parallel all-reduce at its
@@ -548,7 +553,7 @@ class Session:
                 probe = None
             if probe is not None and getattr(probe, "supports_batch", False):
                 per_scenario = self._robust_matrix(
-                    job, spec, sset, probe,
+                    job, spec, list(sset.labels()), list(sset.scenarios), probe,
                     frameworks=frameworks,
                     microbatch_sizes=microbatch_sizes,
                     explore_no_checkpoint=explore_no_checkpoint,
@@ -630,7 +635,8 @@ class Session:
         self,
         job: Job,
         spec: ModelSpec,
-        sset: ScenarioSet,
+        labels: list,
+        columns: list,
         estimator: CostEstimator,
         *,
         frameworks: tuple,
@@ -639,14 +645,18 @@ class Session:
     ) -> dict[str, PlanResult]:
         """Price the full config × scenario matrix in ONE batch call.
 
-        The scalar path runs one :meth:`plan` per scenario; a
-        batch-capable estimator prices every cache-missing cell of the
-        whole matrix at once instead, then back-fills only the missing
-        cells into the shared cache (hit cells keep their cached
-        evaluations). Per-label :class:`PlanResult`\\ s come out with the
-        same evaluation ordering and accounting a per-scenario loop
-        would produce, so a neutral-only set degenerates to
-        :meth:`plan` bit-identically.
+        ``labels``/``columns`` name the scenario columns (a
+        :class:`ScenarioSet`'s members for :meth:`robust_plan`, a
+        :class:`~repro.stochastic.ScenarioProcess`'s reachable scenarios
+        for :meth:`mc_robust_plan`). The scalar path runs one
+        :meth:`plan` per scenario; a batch-capable estimator prices
+        every cache-missing cell of the whole matrix at once instead,
+        then back-fills only the missing cells into the shared cache
+        (hit cells keep their cached evaluations). Per-label
+        :class:`PlanResult`\\ s come out with the same evaluation
+        ordering and accounting a per-scenario loop would produce, so a
+        neutral-only column list degenerates to :meth:`plan`
+        bit-identically.
         """
         from ..autotune.search import PlannerStats  # deferred: search wraps the api
 
@@ -662,8 +672,6 @@ class Session:
             cal=self.machine.cal,
         )
         candidates = list(space.candidates())
-        labels = list(sset.labels())
-        columns = list(sset.scenarios)
 
         evaluations: dict[str, dict[CandidateConfig, Evaluation]] = {
             label: {} for label in labels
@@ -788,6 +796,92 @@ class Session:
                 stats=stats,
             )
         return per_scenario
+
+    # -- stochastic questions -----------------------------------------------
+    def mc_robust_plan(
+        self,
+        job: Job,
+        process,
+        *,
+        samples: int = 32,
+        seed: int = 0,
+        crn: bool = True,
+        frameworks: tuple = FRAMEWORKS,
+        microbatch_sizes: tuple = (1, 2, 4),
+        explore_no_checkpoint: bool = True,
+        spec: ModelSpec | None = None,
+    ):
+        """Monte-Carlo robust plan over a sampled failure process.
+
+        Draws ``samples`` degradation timelines from ``process`` (a
+        :class:`~repro.stochastic.ScenarioProcess` or a name from
+        :data:`~repro.stochastic.PROCESSES`), prices every candidate on
+        every draw — by common random numbers across candidates unless
+        ``crn=False`` — and ranks by mean cost with 95% confidence
+        intervals; statistically tied leaders are flagged. A process
+        that can never fire degenerates to :meth:`plan` bit-identically.
+
+        >>> from repro.api import Job, Machine, Session
+        >>> res = Session(Machine.summit()).mc_robust_plan(
+        ...     Job(model="gpt3-xl", n_gpus=16), "calm", samples=4, seed=7)
+        >>> res.best.std_time == 0.0
+        True
+        >>> res.fidelity
+        'analytic'
+        """
+        from ..stochastic.monte_carlo import run_mc_robust_plan
+
+        spec = self._resolve_spec(job, spec)
+        with self._op("mc_robust_plan"):
+            return run_mc_robust_plan(
+                self, job, process,
+                samples=samples, seed=seed, crn=crn,
+                frameworks=frameworks,
+                microbatch_sizes=microbatch_sizes,
+                explore_no_checkpoint=explore_no_checkpoint,
+                spec=spec,
+            )
+
+    def replan(
+        self,
+        job: Job,
+        failure,
+        *,
+        at: float = 0.5,
+        horizon_batches: float = 500.0,
+        migration_seconds: float | None = None,
+        spec: ModelSpec | None = None,
+    ):
+        """Ride out a mid-job failure, or pay a migration to repair?
+
+        ``failure`` is a scenario (name or instance) — or a sampled
+        :class:`~repro.stochastic.ScenarioEvent`, which carries its own
+        arrival time. Prices "keep the configuration" against
+        time-balanced re-partitioning, optimized re-placement, and both,
+        each charged ``migration_seconds`` (default: one stage's fp16
+        parameter shard over the calibrated inter-node link), and
+        returns the break-even :class:`~repro.stochastic.ReplanDecision`.
+
+        >>> from repro.api import Job, Machine, Session
+        >>> d = Session(Machine.summit()).replan(
+        ...     Job(model="gpt3-2.7b", n_gpus=16), "straggler", at=0.5)
+        >>> d.remaining_batches
+        250.0
+        >>> d.ride_seconds >= min(o.total_seconds for o in d.options) \\
+        ...     or d.decision == "ride"
+        True
+        """
+        from ..stochastic.replan import run_replan
+
+        spec = self._resolve_spec(job, spec)
+        with self._op("replan"):
+            return run_replan(
+                self, job, failure,
+                at=at,
+                horizon_batches=horizon_batches,
+                migration_seconds=migration_seconds,
+                spec=spec,
+            )
 
     # -- the search loop (shared with the legacy Planner) -------------------
     def _evaluate_space(

@@ -356,6 +356,49 @@ def _fidelity_drift_table(session, model: str, result) -> str:
     return render_table(rows, title=title)
 
 
+def run_mc_plan(args) -> str:
+    import json
+
+    from .api import Job, Machine, Session
+
+    try:
+        session = Session(Machine.summit(budget_gb=args.budget_gb))
+        job = Job(
+            model=args.model,
+            n_gpus=args.gpus,
+            sparsity=args.sparsity,
+            fidelity=args.fidelity,
+        )
+        result = session.mc_robust_plan(
+            job,
+            args.process,
+            samples=args.samples,
+            seed=args.seed,
+            crn=not args.no_crn,
+        )
+        decision = None
+        if args.replan:
+            decision = session.replan(job, args.replan, at=args.replan_at)
+    except (KeyError, ValueError) as err:
+        msg = err.args[0] if err.args else str(err)
+        raise SystemExit(f"repro mc-plan: error: {msg}")
+    if args.json:
+        # wall time is excluded from to_dict, so two same-seed runs emit
+        # byte-identical JSON (the CI smoke pins this)
+        doc = result.to_dict()
+        if decision is not None:
+            doc["replan"] = decision.to_dict()
+        if args.metrics:
+            doc["metrics"] = session.metrics()
+        return json.dumps(doc, indent=2)
+    report = result.report(top=args.top)
+    if decision is not None:
+        report += "\n\n" + decision.report()
+    if args.metrics:
+        report += "\n\nMetrics:\n" + session.metrics_text().rstrip()
+    return report
+
+
 def run_place(args) -> str:
     import json
 
@@ -620,6 +663,7 @@ EXPERIMENTS = {
     "table2": (run_table2, "% of peak fp16 throughput, GPT-3 13B"),
     "memory": (run_memory, "the Section I/VI memory-saving claim"),
     "plan": (run_plan, "autotune: best hybrid-parallel config (--scenarios for robust plans)"),
+    "mc-plan": (run_mc_plan, "Monte-Carlo robust plan over a sampled failure process (CRN + 95% CIs)"),
     "simulate": (run_simulate, "cluster scenarios (straggler, slow-link, degraded-ring, ...)"),
     "place": (run_place, "optimize the data-parallel replica placement (vs the block layout)"),
     "trace": (run_trace, "span-trace one batch; --chrome exports a Perfetto-loadable timeline"),
@@ -708,6 +752,60 @@ def main(argv: list[str] | None = None) -> int:
                      "priced under analytic, analytic-batch (the vectorized "
                      "array program), and sim — the from-the-CLI audit of "
                      "the batch engine",
+            )
+        if name == "mc-plan":
+            from .stochastic import PROCESSES
+
+            p.add_argument("--model", default="gpt3-xl", help="Table I model name")
+            p.add_argument("--gpus", type=int, default=16, help="total GPU count")
+            p.add_argument("--sparsity", type=float, default=0.9)
+            p.add_argument(
+                "--budget-gb", type=float, default=None, dest="budget_gb",
+                help="per-GPU memory budget in GB (default: the 16 GB V100)",
+            )
+            p.add_argument(
+                "--process", default="flaky-links", choices=sorted(PROCESSES),
+                help="failure process to sample degradation timelines from",
+            )
+            p.add_argument(
+                "--samples", type=int, default=32,
+                help="sampled timelines to price every candidate against",
+            )
+            p.add_argument(
+                "--seed", type=int, default=0,
+                help="seed of the SeedSequence the per-sample streams spawn from",
+            )
+            p.add_argument(
+                "--no-crn", action="store_true", dest="no_crn",
+                help="independent draws per candidate instead of common "
+                     "random numbers (wider difference CIs; for comparison)",
+            )
+            p.add_argument(
+                "--fidelity", choices=("analytic", "analytic-batch", "sim"),
+                default=None,
+                help="override the automatic choice (analytic for a "
+                     "degenerate process, analytic-batch for collective-only "
+                     "kinds, sim when any kind degrades the pipeline)",
+            )
+            p.add_argument("--top", type=int, default=8, help="rows in the summary")
+            p.add_argument(
+                "--replan", default=None, metavar="SCENARIO",
+                help="also price the mid-job ride-vs-repair decision for "
+                     "this failure scenario (any 'repro simulate' preset)",
+            )
+            p.add_argument(
+                "--replan-at", type=float, default=0.5, dest="replan_at",
+                help="normalised job progress at which the --replan failure arrives",
+            )
+            p.add_argument(
+                "--json", action="store_true",
+                help="emit the full result as JSON — byte-identical across "
+                     "same-seed runs (a diffable artifact)",
+            )
+            p.add_argument(
+                "--metrics", action="store_true",
+                help="append the session metrics (mc.samples, "
+                     "mc.replan_evaluations, per-sample histograms)",
             )
         if name == "place":
             p.add_argument("--model", default="gpt3-2.7b", help="Table I model name")

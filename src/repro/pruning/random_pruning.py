@@ -10,6 +10,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from ..rng import resolve_rng
 from ..tensor.module import Module
 from .masks import MaskSet, prunable_parameters
 
@@ -17,10 +18,16 @@ __all__ = ["random_prune", "random_mask_for_shapes"]
 
 
 def random_prune(
-    model: Module, sparsity: float, rng: np.random.Generator | None = None
+    model: Module,
+    sparsity: float,
+    rng: np.random.Generator | int | None = None,
 ) -> MaskSet:
-    """Uniform random keep-mask at the target sparsity over a model."""
-    rng = rng or np.random.default_rng()
+    """Uniform random keep-mask at the target sparsity over a model.
+
+    ``rng`` is a generator, an integer seed, or ``None`` (fresh
+    entropy); two calls with the same seed draw identical masks.
+    """
+    rng = resolve_rng(rng)
     shapes = {name: p.data.shape for name, p in prunable_parameters(model).items()}
     return random_mask_for_shapes(shapes, sparsity, rng)
 
@@ -28,17 +35,17 @@ def random_prune(
 def random_mask_for_shapes(
     shapes: dict[str, tuple[int, ...]],
     sparsity: float,
-    rng: np.random.Generator | None = None,
+    rng: np.random.Generator | int | None = None,
 ) -> MaskSet:
     """Uniform random keep-mask for arbitrary named shapes.
 
     Each layer keeps exactly ``round((1-p) * size)`` elements, so the global
     sparsity is within one element per layer of the request — the guarantee
-    the property tests pin down.
+    the property tests pin down. ``rng`` accepts a generator or a seed.
     """
     if not 0.0 <= sparsity < 1.0:
         raise ValueError(f"sparsity must be in [0,1), got {sparsity}")
-    rng = rng or np.random.default_rng()
+    rng = resolve_rng(rng)
     indices = {}
     for name, shape in shapes.items():
         size = int(np.prod(shape))

@@ -11,8 +11,9 @@ value objects the Python API already takes::
     {"jsonrpc": "2.0", "id": 1, "method": "plan",
      "params": {"job": {"model": "gpt3-xl", "n_gpus": 64}}}
 
-Methods: ``plan``, ``robust_plan``, ``place``, ``breakdown``,
-``metrics``, ``stats``, ``save``, ``ping``, ``shutdown``. Errors follow
+Methods: ``plan``, ``robust_plan``, ``mc_robust_plan``, ``replan``,
+``place``, ``breakdown``, ``metrics``, ``stats``, ``save``, ``ping``,
+``shutdown``. Errors follow
 JSON-RPC codes (-32700 parse, -32601 unknown method, -32602 invalid
 params, -32000 internal).
 
@@ -44,6 +45,7 @@ from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 
 from ..api import Job, Machine, ScenarioSet, Session
 from ..parallel.scenarios import ClusterScenario
+from ..stochastic import ScenarioProcess
 from .store import PersistentEvaluationStore
 
 __all__ = ["PlanningServer", "serve_stdio", "serve_http"]
@@ -142,6 +144,43 @@ class PlanningServer:
         # the aggregated ranking only
         doc.pop("per_scenario", None)
         return doc
+
+    def do_mc_robust_plan(self, params: dict) -> dict:
+        process = params.get("process")
+        if process is None:
+            raise ValueError("missing required param 'process'")
+        if isinstance(process, dict):
+            process = ScenarioProcess.from_dict(process)
+        result = self.session.mc_robust_plan(
+            self._job(params),
+            process,
+            samples=int(params.get("samples", 32)),
+            seed=int(params.get("seed", 0)),
+            crn=bool(params.get("crn", True)),
+            **_search_kwargs(params),
+        )
+        doc = result.to_dict()
+        # per-candidate sample vectors are derivable from the seed and
+        # heavy on the wire; keep them for the best entry only
+        for entry in doc["entries"]:
+            entry.pop("sample_costs", None)
+        return doc
+
+    def do_replan(self, params: dict) -> dict:
+        failure = params.get("failure")
+        if failure is None:
+            raise ValueError("missing required param 'failure'")
+        kwargs = {}
+        if "at" in params:
+            kwargs["at"] = float(params["at"])
+        if "horizon_batches" in params:
+            kwargs["horizon_batches"] = float(params["horizon_batches"])
+        if "migration_seconds" in params:
+            kwargs["migration_seconds"] = float(params["migration_seconds"])
+        result = self.session.replan(
+            self._job(params), _resolve_scenario(failure), **kwargs
+        )
+        return result.to_dict()
 
     def do_place(self, params: dict) -> dict:
         result = self.session.place(

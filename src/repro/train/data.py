@@ -11,6 +11,8 @@ from __future__ import annotations
 
 import numpy as np
 
+from ..rng import resolve_rng
+
 __all__ = ["CharCorpus", "BlobImages", "batch_iterator"]
 
 
@@ -45,9 +47,18 @@ class CharCorpus:
         self.val_data = self.data[-n_val:]
 
     def sample_batch(
-        self, batch_size: int, seq_len: int, rng: np.random.Generator, split: str = "train"
+        self,
+        batch_size: int,
+        seq_len: int,
+        rng: np.random.Generator | int | None = None,
+        split: str = "train",
     ) -> tuple[np.ndarray, np.ndarray]:
-        """Random (inputs, targets) windows: targets are inputs shifted by 1."""
+        """Random (inputs, targets) windows: targets are inputs shifted by 1.
+
+        ``rng`` is a generator (threads one stream through many draws),
+        an integer seed, or ``None`` for fresh entropy.
+        """
+        rng = resolve_rng(rng)
         src = self.train_data if split == "train" else self.val_data
         if len(src) <= seq_len + 1:
             raise ValueError("corpus too short for the requested sequence length")
@@ -89,13 +100,16 @@ class BlobImages:
             + noise * rng.standard_normal((n, 3, image_size, image_size))
         ).astype(np.float32)
 
-    def sample_batch(self, batch_size: int, rng: np.random.Generator) -> tuple[np.ndarray, np.ndarray]:
+    def sample_batch(
+        self, batch_size: int, rng: np.random.Generator | int | None = None
+    ) -> tuple[np.ndarray, np.ndarray]:
+        rng = resolve_rng(rng)
         idx = rng.integers(0, len(self.labels), size=batch_size)
         return self.images[idx], self.labels[idx]
 
 
-def batch_iterator(corpus: CharCorpus, batch_size: int, seq_len: int, n_batches: int, seed: int = 0):
-    """Deterministic stream of training batches."""
-    rng = np.random.default_rng(seed)
+def batch_iterator(corpus: CharCorpus, batch_size: int, seq_len: int, n_batches: int, seed=0):
+    """Deterministic stream of training batches (``seed``: int or Generator)."""
+    rng = resolve_rng(seed)
     for _ in range(n_batches):
         yield corpus.sample_batch(batch_size, seq_len, rng)

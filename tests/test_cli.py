@@ -126,3 +126,51 @@ class TestTraceCommand:
         m = doc["metrics"]
         assert (m["planner.cache.hits"] + m["planner.cache.misses"]
                 == m["planner.candidates"])
+
+
+class TestMCPlanCommand:
+    ARGS = ["mc-plan", "--process", "flaky-links",
+            "--samples", "8", "--seed", "7"]
+
+    def test_report_runs(self, capsys):
+        assert main(self.ARGS) == 0
+        out = capsys.readouterr().out
+        assert "MC robust plan" in out
+        assert "flaky-links" in out
+
+    def test_json_byte_identical_across_invocations(self, capsys):
+        assert main(self.ARGS + ["--json"]) == 0
+        first = capsys.readouterr().out
+        assert main(self.ARGS + ["--json"]) == 0
+        second = capsys.readouterr().out
+        assert first == second  # same seed, fresh session: same bytes
+        import json as _json
+
+        doc = _json.loads(first)
+        assert doc["seed"] == 7 and doc["samples"] == 8
+        assert doc["best"] is not None
+
+    def test_replan_rider(self, capsys):
+        assert main(["mc-plan", "--model", "gpt3-2.7b", "--process", "calm",
+                     "--samples", "2", "--replan", "skewed",
+                     "--replan-at", "0.3"]) == 0
+        out = capsys.readouterr().out
+        assert "Re-plan decision" in out
+
+    def test_bad_process_exits_cleanly(self):
+        # argparse guards --process via choices; --replan is free-form
+        # and exercises the runner's own error path
+        with pytest.raises(SystemExit) as exc:
+            main(["mc-plan", "--process", "definitely-not-a-process"])
+        assert exc.value.code == 2
+        with pytest.raises(SystemExit, match="mc-plan: error"):
+            main(["mc-plan", "--model", "gpt3-2.7b", "--process", "calm",
+                  "--samples", "2", "--replan", "not-a-scenario"])
+
+    def test_metrics_flag(self, capsys):
+        assert main(self.ARGS + ["--samples", "4", "--json",
+                                 "--metrics"]) == 0
+        import json as _json
+
+        doc = _json.loads(capsys.readouterr().out)
+        assert doc["metrics"]["mc.samples"] == 4

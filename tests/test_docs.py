@@ -26,6 +26,11 @@ API_MODULES = [
     "repro.api.machine",
     "repro.api.scenario_set",
     "repro.api.session",
+    "repro.rng",
+    "repro.stochastic",
+    "repro.stochastic.process",
+    "repro.stochastic.monte_carlo",
+    "repro.stochastic.replan",
 ]
 
 

@@ -560,6 +560,118 @@ class TestPlanningServer:
 
 
 # ---------------------------------------------------------------------------
+# Monte-Carlo planning over the wire
+# ---------------------------------------------------------------------------
+
+class TestServeStochastic:
+    MC_PARAMS = {
+        "job": {"model": "gpt3-xl", "n_gpus": 16},
+        "process": "flaky-links",
+        "samples": 8,
+        "seed": 7,
+    }
+
+    def test_mc_robust_plan_answers_and_slims_the_wire(self):
+        srv = PlanningServer()
+        result = srv.handle(_rpc("mc_robust_plan", self.MC_PARAMS))["result"]
+        assert result["process"]["name"] == "flaky-links"
+        assert result["fidelity"] == "analytic-batch"
+        assert result["best"] is not None
+        # per-candidate sample vectors stay server-side; the best entry
+        # keeps its vector (nested under "best") for CI re-derivation
+        assert all("sample_costs" not in e for e in result["entries"])
+        assert len(result["best"]["sample_costs"]) == 8
+
+    def test_replan_answers(self):
+        srv = PlanningServer()
+        result = srv.handle(_rpc("replan", {
+            "job": {"model": "gpt3-2.7b", "n_gpus": 16},
+            "failure": "skewed",
+            "at": 0.3,
+        }))["result"]
+        assert result["decision"] == "re-partition"
+        assert result["remaining_batches"] == pytest.approx(350.0)
+
+    def test_missing_params_are_invalid_params(self):
+        srv = PlanningServer()
+        job = {"job": {"model": "gpt3-xl", "n_gpus": 16}}
+        assert srv.handle(_rpc("mc_robust_plan", job))["error"]["code"] == -32602
+        assert srv.handle(_rpc("replan", job))["error"]["code"] == -32602
+        bad = srv.handle(_rpc("mc_robust_plan", {**self.MC_PARAMS, "process": "nope"}))
+        assert bad["error"]["code"] == -32602
+
+    def test_inline_process_document_accepted(self):
+        from repro.stochastic import get_process
+
+        srv = PlanningServer()
+        inline = {**self.MC_PARAMS,
+                  "process": get_process("flaky-links").to_dict()}
+        by_doc = srv.handle(_rpc("mc_robust_plan", inline))["result"]
+        by_name = srv.handle(_rpc("mc_robust_plan", self.MC_PARAMS))["result"]
+        by_doc.pop("stats"), by_name.pop("stats")
+        assert json.dumps(by_doc, sort_keys=True) == json.dumps(
+            by_name, sort_keys=True
+        )
+
+    def test_sampled_scenario_cache_keys_round_trip_the_codec(self):
+        srv = PlanningServer()
+        srv.handle(_rpc("mc_robust_plan", self.MC_PARAMS))
+        keys = list(srv.store._entries)
+        assert keys
+        for key in keys:
+            decoded = decode_key(encode_key(key))
+            assert decoded == key
+            assert hash(decoded) == hash(key)
+        # the matrix priced real scenario columns, not just the neutral one
+        assert any("slow-ring-link" in json.dumps(encode_key(k)) for k in keys)
+
+    def test_mc_warm_restart_serves_byte_identical_answers(self, tmp_path):
+        path = tmp_path / "evals.jsonl"
+        requests = [
+            _rpc("mc_robust_plan", self.MC_PARAMS, rid=1),
+            _rpc("replan", {
+                "job": {"model": "gpt3-2.7b", "n_gpus": 16},
+                "failure": "skewed", "at": 0.3,
+            }, rid=2),
+        ]
+
+        def answers(server):
+            docs = []
+            for req in requests:
+                result = server.handle(req)["result"]
+                result.pop("stats", None)  # hit counts are volatile
+                docs.append(json.dumps(result, sort_keys=True))
+            return docs
+
+        cold_srv = PlanningServer(store=PersistentEvaluationStore(path=path))
+        cold = answers(cold_srv)
+        cold_srv.close()
+
+        warm_srv = PlanningServer(store=PersistentEvaluationStore(path=path))
+        assert warm_srv.store.loaded > 0
+        warm = answers(warm_srv)
+        assert warm == cold  # byte-identical across the restart
+        assert warm_srv.store.stats()["misses"] == 0
+
+    def test_mc_over_stdio_transport(self):
+        srv = PlanningServer()
+        lines = [
+            json.dumps(_rpc("mc_robust_plan",
+                            {**self.MC_PARAMS, "samples": 4}, rid=1)),
+            json.dumps(_rpc("shutdown", rid=2)),
+        ]
+        stdout = io.StringIO()
+        rc = serve_stdio(srv, io.StringIO("\n".join(lines) + "\n"), stdout,
+                         request_workers=2)
+        assert rc == 0
+        responses = [json.loads(l) for l in stdout.getvalue().splitlines()]
+        by_id = {r["id"]: r for r in responses}
+        assert by_id[1]["result"]["samples"] == 4
+        assert by_id[1]["result"]["best"] is not None
+        assert by_id[2]["result"]["stopping"]
+
+
+# ---------------------------------------------------------------------------
 # the max_workers satellite
 # ---------------------------------------------------------------------------
 
