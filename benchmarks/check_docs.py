@@ -49,10 +49,14 @@ def check_citations(path: Path) -> list[str]:
         if not cited.exists():
             errors.append(f"{path.relative_to(REPO)}: cited file missing -> {file_part}")
             continue
-        # Class.method cites the method; bare names cite a def or class
+        # Class.method cites the method; bare names cite a def, class, or
+        # module-level assignment (constants like FIG_TEMPLATES)
         leaf = name.split(".")[-1]
         text = cited.read_text()
-        if not re.search(rf"^\s*(def|class)\s+{re.escape(leaf)}\b", text, re.M):
+        defined = re.search(
+            rf"^\s*(def|class)\s+{re.escape(leaf)}\b", text, re.M
+        ) or re.search(rf"^{re.escape(leaf)}\s*[:=]", text, re.M)
+        if not defined:
             errors.append(
                 f"{path.relative_to(REPO)}: {file_part} no longer defines {name!r}"
             )

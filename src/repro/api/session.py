@@ -320,19 +320,44 @@ class Session:
             job.fidelity, scenario, overlap=job.overlap, placement=job.placement
         )
         with self._op("breakdown"):
-            return _breakdown_engine(
+            if fidelity in ("analytic", "sim"):
+                return _breakdown_engine(
+                    spec,
+                    n_gpus=job.n_gpus,
+                    framework=job.framework,
+                    sparsity=job.sparsity,
+                    mbs=job.mbs,
+                    cal=self.machine.cal,
+                    fidelity=fidelity,
+                    scenario=scenario,
+                    partition_mode=job.partition_mode,
+                    overlap=job.overlap,
+                    placement=job.placement,
+                )
+            # registry fidelities (measured, analytic-batch, plugins):
+            # price the job's paper-protocol decomposition through the
+            # registered estimator instead of the legacy engine switch
+            from ..autotune.drift import candidate_for_workload
+            from ..autotune.estimator import make_estimator
+
+            estimator = make_estimator(
+                fidelity,
                 spec,
-                n_gpus=job.n_gpus,
-                framework=job.framework,
-                sparsity=job.sparsity,
-                mbs=job.mbs,
-                cal=self.machine.cal,
-                fidelity=fidelity,
+                self.machine.cal,
                 scenario=scenario,
                 partition_mode=job.partition_mode,
                 overlap=job.overlap,
                 placement=job.placement,
             )
+            config = candidate_for_workload(
+                spec,
+                job.framework,
+                job.n_gpus,
+                sparsity=job.sparsity,
+                mbs=job.mbs,
+                cal=self.machine.cal,
+            )
+            return estimator.evaluate(config).breakdown
 
     def trace(
         self, job: Job, scenario=None, *, spec: ModelSpec | None = None

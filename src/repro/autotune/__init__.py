@@ -44,6 +44,14 @@ from .estimator import (
     make_estimator,
     register_estimator,
 )
+from .drift import DRIFT_TOLERANCES, FIG_TEMPLATES, drift_report, render_drift_report
+from .measured import (
+    MeasuredEstimator,
+    execute_grad_sync,
+    execute_pipeline,
+    measure_comm_samples,
+    replay_events,
+)
 from .result import PlanResult
 from .search import Planner, PlannerStats, plan
 from .space import SearchSpace, SpaceStats
@@ -57,6 +65,15 @@ __all__ = [
     "CostEstimator",
     "AnalyticEstimator",
     "SimulatorEstimator",
+    "MeasuredEstimator",
+    "execute_pipeline",
+    "execute_grad_sync",
+    "replay_events",
+    "measure_comm_samples",
+    "drift_report",
+    "render_drift_report",
+    "DRIFT_TOLERANCES",
+    "FIG_TEMPLATES",
     "VectorizedAnalyticEstimator",
     "EvaluationBatch",
     "crosscheck_batch",

@@ -690,13 +690,15 @@ def make_estimator(
     partition_mode: str = "flops",
     overlap: bool = False,
     placement: str = "block",
+    seed: int = 0,
 ) -> CostEstimator:
     """Instantiate the registered estimator for ``fidelity``.
 
-    ``overlap``/``placement`` are forwarded only when non-default, so
-    registered factories that predate those knobs keep working; a
-    factory that cannot honour them fails loudly (TypeError) instead of
-    silently pricing the additive block layout.
+    ``overlap``/``placement``/``seed`` are forwarded only when
+    non-default, so registered factories that predate those knobs keep
+    working; a factory that cannot honour them fails loudly (TypeError)
+    instead of silently pricing the additive block layout (``seed``
+    pins the measured fidelity's synthetic execution).
     """
     try:
         factory = _ESTIMATOR_REGISTRY[fidelity]
@@ -710,6 +712,8 @@ def make_estimator(
         extras["overlap"] = True
     if placement != "block":
         extras["placement"] = placement
+    if seed != 0:
+        extras["seed"] = seed
     estimator = factory(
         spec, cal, scenario=scenario, partition_mode=partition_mode, **extras
     )

@@ -301,9 +301,10 @@ def _fidelity_drift(session, model: str, result) -> dict:
 
     ``analytic`` is the ground truth; ``analytic-batch`` goes through
     :meth:`~repro.autotune.CostEstimator.evaluate_batch` (auditing the
-    actual array program, not its inherited scalar path) and ``sim``
-    through the event engine. Values are seconds; drifts are relative
-    to the analytic row.
+    actual array program, not its inherited scalar path), ``sim``
+    through the event engine, and ``measured`` through the executed
+    proxy schedule. Values are seconds; drifts are relative to the
+    analytic row.
     """
     from .autotune import make_estimator
     from .models import get_spec
@@ -319,11 +320,12 @@ def _fidelity_drift(session, model: str, result) -> dict:
         .evaluation(0, 0)
     )
     breakdowns["sim"] = make_estimator("sim", spec, cal).evaluate(best)
+    breakdowns["measured"] = make_estimator("measured", spec, cal).evaluate(best)
     doc: dict = {"config": list(best.canonical_key()), "phases": {}}
     for phase in _DRIFT_PHASES:
         ref = getattr(breakdowns["analytic"].breakdown, phase)
         entry = {"analytic": ref}
-        for fid in ("analytic-batch", "sim"):
+        for fid in ("analytic-batch", "sim", "measured"):
             v = getattr(breakdowns[fid].breakdown, phase)
             drift = 0.0 if v == ref else abs(v - ref) / max(abs(ref), 1e-300)
             entry[fid] = v
@@ -347,6 +349,8 @@ def _fidelity_drift_table(session, model: str, result) -> str:
                 "batch drift": f"{e['analytic-batch_rel_drift']:.1e}",
                 "sim (s)": f"{e['sim']:.6f}",
                 "sim drift": f"{e['sim_rel_drift']:.1e}",
+                "measured (s)": f"{e['measured']:.6f}",
+                "meas drift": f"{e['measured_rel_drift']:.1e}",
             }
         )
     title = (
@@ -650,6 +654,25 @@ def run_serve(args) -> int:
     return serve_stdio(server, sys.stdin, sys.stdout, request_workers=args.workers)
 
 
+def run_drift(args) -> str:
+    """Cross-fidelity drift report (analytic vs sim vs measured).
+
+    Exits nonzero when any measured phase drifts past its
+    :data:`~repro.autotune.DRIFT_TOLERANCES` floor — the CI smoke runs
+    ``repro drift --quick`` and relies on that exit code.
+    """
+    from .autotune.drift import drift_report, drift_report_json, render_drift_report
+
+    report = drift_report(seed=args.seed, quick=args.quick)
+    out = drift_report_json(report) if args.json else render_drift_report(report)
+    if not report["ok"]:
+        print(out)
+        raise SystemExit(
+            "repro drift: error: " + "; ".join(report["violations"])
+        )
+    return out
+
+
 EXPERIMENTS = {
     "fig1": (run_fig1, "sparse libraries vs cuBLAS (FC layer microbenchmark)"),
     "fig2": (run_fig2, "analytical memory savings of SAMO vs sparsity"),
@@ -668,6 +691,7 @@ EXPERIMENTS = {
     "place": (run_place, "optimize the data-parallel replica placement (vs the block layout)"),
     "trace": (run_trace, "span-trace one batch; --chrome exports a Perfetto-loadable timeline"),
     "serve": (run_serve, "planning server: JSON-RPC over stdio (or --http) on a persistent shared store"),
+    "drift": (run_drift, "analytic-vs-sim-vs-measured drift over the Fig. 6-8 templates (nonzero exit past tolerance)"),
 }
 
 
@@ -695,12 +719,14 @@ def main(argv: list[str] | None = None) -> int:
                 help="per-GPU memory budget in GB (default: the 16 GB V100)",
             )
             p.add_argument(
-                "--fidelity", choices=("analytic", "analytic-batch", "sim"),
+                "--fidelity",
+                choices=("analytic", "analytic-batch", "sim", "measured"),
                 default=None,
                 help="closed-form Eqs. 6-11 (analytic), the same equations "
                      "vectorized over the whole candidate grid "
-                     "(analytic-batch), or event-driven pipeline "
-                     "simulation (default: analytic; sim with --scenarios)",
+                     "(analytic-batch), event-driven pipeline simulation "
+                     "(sim), or executed-schedule pricing (measured) "
+                     "(default: analytic; sim with --scenarios)",
             )
             p.add_argument("--top", type=int, default=8, help="rows in the summary")
             p.add_argument(
@@ -750,8 +776,8 @@ def main(argv: list[str] | None = None) -> int:
                 dest="compare_fidelities",
                 help="append a per-phase drift table of the winning config "
                      "priced under analytic, analytic-batch (the vectorized "
-                     "array program), and sim — the from-the-CLI audit of "
-                     "the batch engine",
+                     "array program), sim, and measured (the executed "
+                     "schedule) — the from-the-CLI audit of every backend",
             )
         if name == "mc-plan":
             from .stochastic import PROCESSES
@@ -900,6 +926,22 @@ def main(argv: list[str] | None = None) -> int:
             p.add_argument(
                 "--budget-gb", type=float, default=None, dest="budget_gb",
                 help="per-GPU memory budget in GB (default: the 16 GB V100)",
+            )
+        if name == "drift":
+            p.add_argument(
+                "--quick", action="store_true",
+                help="first template only (the CI smoke)",
+            )
+            p.add_argument(
+                "--seed", type=int, default=0,
+                help="seed of the measured executions and the synthetic "
+                     "calibration samples (same seed => byte-identical "
+                     "--json output)",
+            )
+            p.add_argument(
+                "--json", action="store_true",
+                help="emit the full report as canonical JSON (sorted keys; "
+                     "a diffable artifact) instead of the tables",
             )
         if name == "trace":
             p.add_argument("--model", default="gpt3-2.7b", help="Table I model name")

@@ -5,7 +5,14 @@ This substrate replaces the paper's 16 GB V100 nodes (NVLink 50 GB/s, IB
 provenance live in :mod:`repro.cluster.calibration`.
 """
 
-from .calibration import SUMMIT, SummitCalibration
+from .calibration import (
+    SUMMIT,
+    CommSample,
+    SummitCalibration,
+    fit_calibration,
+    synthetic_comm_samples,
+    with_memory_budget,
+)
 from .collectives import (
     allreduce_algos,
     allreduce_time,
@@ -29,6 +36,10 @@ from .topology import LinkClass, Topology
 __all__ = [
     "SUMMIT",
     "SummitCalibration",
+    "CommSample",
+    "fit_calibration",
+    "synthetic_comm_samples",
+    "with_memory_budget",
     "Topology",
     "LinkClass",
     "DeviceModel",

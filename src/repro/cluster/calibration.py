@@ -14,14 +14,37 @@ Provenance of every constant:
 
 We claim shape fidelity (framework ordering, speedup bands, trends with
 GPU count), not absolute seconds — see EXPERIMENTS.md.
+
+:func:`fit_calibration` closes the loop in the other direction: given
+timed ``(size, seconds)`` communication runs — wall-clock measurements
+from the executable stack, or seeded synthetic draws from
+:func:`synthetic_comm_samples` — it least-squares-fits the alpha/beta
+constants of the p2p and collective channels and returns a new
+:class:`SummitCalibration`, which is what the ``measured`` fidelity
+(:mod:`repro.autotune.measured`) feeds from executed schedules.
 """
 
 from __future__ import annotations
 
 import functools
-from dataclasses import dataclass, replace
+import math
+from dataclasses import dataclass, fields, replace
 
-__all__ = ["SummitCalibration", "SUMMIT", "with_memory_budget"]
+import numpy as np
+
+__all__ = [
+    "SummitCalibration",
+    "SUMMIT",
+    "with_memory_budget",
+    "CommSample",
+    "fit_calibration",
+    "synthetic_comm_samples",
+]
+
+#: calibration fields that may legitimately be zero (pure fractions);
+#: every other constant is a physical rate, latency, or size and must be
+#: strictly positive
+_ZERO_OK_FIELDS = frozenset({"dp_overlap_fraction", "other_fraction"})
 
 
 @dataclass(frozen=True)
@@ -93,6 +116,33 @@ class SummitCalibration:
     deepspeed_p2p_penalty: float = 1.30
     deepspeed_bubble_penalty: float = 1.00
 
+    def __post_init__(self):
+        # Every constant is a rate, latency, size, or fraction: NaN, inf,
+        # and non-positive values would propagate silently into negative
+        # batch times and divide-by-zero bandwidths (a NaN here poisons
+        # every cache key downstream, since the calibration *is* the
+        # machine's cache identity).
+        for f in fields(self):
+            v = getattr(self, f.name)
+            if isinstance(v, bool) or not isinstance(v, (int, float)):
+                raise ValueError(
+                    f"SummitCalibration.{f.name} must be a number, got {v!r}"
+                )
+            if not math.isfinite(v):
+                raise ValueError(
+                    f"SummitCalibration.{f.name} must be finite, got {v!r}"
+                )
+            if v < 0 or (v == 0 and f.name not in _ZERO_OK_FIELDS):
+                bound = ">= 0" if f.name in _ZERO_OK_FIELDS else "> 0"
+                raise ValueError(
+                    f"SummitCalibration.{f.name} must be {bound}, got {v!r}"
+                )
+        if self.dp_overlap_fraction > 1.0:
+            raise ValueError(
+                "SummitCalibration.dp_overlap_fraction must be <= 1, "
+                f"got {self.dp_overlap_fraction!r}"
+            )
+
 
 #: The default simulated machine.
 SUMMIT = SummitCalibration()
@@ -108,6 +158,155 @@ def with_memory_budget(
     config, and a cached identical ``SummitCalibration`` instance keeps
     downstream memoisation keys (which include the calibration) stable.
     """
-    if budget_gb <= 0:
-        raise ValueError(f"budget_gb must be positive, got {budget_gb}")
+    if not isinstance(budget_gb, (int, float)) or isinstance(budget_gb, bool):
+        raise ValueError(f"budget_gb must be a number, got {budget_gb!r}")
+    if not math.isfinite(budget_gb) or budget_gb <= 0:
+        raise ValueError(f"budget_gb must be positive and finite, got {budget_gb}")
     return replace(base, gpu_memory_bytes=int(budget_gb * 1024**3))
+
+
+# ---------------------------------------------------------------------------
+# alpha/beta calibration fit
+# ---------------------------------------------------------------------------
+
+#: communication channels the fit understands, and the calibration
+#: fields each one updates
+_FIT_CHANNELS = {
+    "p2p": ("p2p_alpha", "p2p_beta"),
+    "collective": ("coll_alpha", "coll_beta"),
+}
+
+
+@dataclass(frozen=True)
+class CommSample:
+    """One timed communication run: ``seconds`` to move ``nbytes``.
+
+    ``channel`` is ``"p2p"`` (one pipeline message; ``group_size`` is
+    ignored) or ``"collective"`` (one ring all-reduce of ``nbytes`` per
+    rank across ``group_size`` ranks).
+    """
+
+    channel: str
+    nbytes: int
+    seconds: float
+    group_size: int = 2
+
+    def __post_init__(self):
+        if self.channel not in _FIT_CHANNELS:
+            raise ValueError(
+                f"unknown channel {self.channel!r}; "
+                f"choose from {tuple(sorted(_FIT_CHANNELS))}"
+            )
+        if self.nbytes <= 0:
+            raise ValueError(f"nbytes must be > 0, got {self.nbytes}")
+        if not math.isfinite(self.seconds) or self.seconds <= 0:
+            raise ValueError(f"seconds must be positive, got {self.seconds!r}")
+        if self.group_size < 2:
+            raise ValueError(f"group_size must be >= 2, got {self.group_size}")
+
+
+def _design_row(s: CommSample) -> tuple[float, float]:
+    """Coefficients ``(x_alpha, x_beta)`` so the channel's cost model is
+    ``seconds = alpha * x_alpha + (1/beta) * x_beta`` — the linear form
+    the least-squares fit inverts.
+
+    * p2p message (:func:`repro.cluster.p2p.p2p_message_time`):
+      ``t = alpha + nbytes/beta``.
+    * ring all-reduce (:func:`repro.cluster.collectives.ring_allreduce_time`):
+      ``t = 2(g-1) alpha + (2(g-1)/g) nbytes / beta``.
+    """
+    if s.channel == "p2p":
+        return 1.0, float(s.nbytes)
+    g = s.group_size
+    return 2.0 * (g - 1), 2.0 * (g - 1) / g * s.nbytes
+
+
+def fit_calibration(samples, base: SummitCalibration = SUMMIT) -> SummitCalibration:
+    """Least-squares alpha/beta fit from timed communication runs.
+
+    For each channel present in ``samples`` ("p2p", "collective"), solve
+    the least-squares problem for that channel's latency/bandwidth pair
+    and return ``base`` with the fitted constants swapped in; channels
+    with no samples keep ``base``'s values. Residuals are *relative*
+    (each equation is scaled by ``1/seconds``): timing noise is
+    multiplicative, and an absolute fit would let the big-message
+    samples drown out the small-message ones that pin alpha. At least
+    two samples with distinct sizes per fitted channel are required (one
+    equation cannot pin two constants), and a fit that lands on
+    non-positive alpha or beta — timings inconsistent with the cost
+    model's form — raises instead of returning an unusable calibration.
+    """
+    samples = list(samples)
+    if not samples:
+        raise ValueError("fit_calibration needs at least one CommSample")
+    for s in samples:
+        if not isinstance(s, CommSample):
+            raise ValueError(f"expected CommSample, got {type(s).__name__}")
+    updates: dict[str, float] = {}
+    for channel, (alpha_field, beta_field) in sorted(_FIT_CHANNELS.items()):
+        chan = [s for s in samples if s.channel == channel]
+        if not chan:
+            continue
+        if len({(s.nbytes, s.group_size) for s in chan}) < 2:
+            raise ValueError(
+                f"channel {channel!r} needs >= 2 samples with distinct "
+                f"sizes to fit alpha and beta, got {len(chan)}"
+            )
+        design = np.array([_design_row(s) for s in chan], dtype=np.float64)
+        times = np.array([s.seconds for s in chan], dtype=np.float64)
+        design /= times[:, None]  # relative residuals: rows scaled by 1/t
+        (alpha, inv_beta), *_ = np.linalg.lstsq(
+            design, np.ones_like(times), rcond=None
+        )
+        if not (math.isfinite(alpha) and alpha > 0 and inv_beta > 0):
+            raise ValueError(
+                f"channel {channel!r} fit produced non-physical constants "
+                f"(alpha={alpha:.3e}, 1/beta={inv_beta:.3e}); the timings "
+                "are inconsistent with the alpha-beta cost model"
+            )
+        updates[alpha_field] = float(alpha)
+        updates[beta_field] = float(1.0 / inv_beta)
+    return replace(base, **updates)
+
+
+def synthetic_comm_samples(
+    cal: SummitCalibration = SUMMIT,
+    *,
+    seed: int = 0,
+    n: int = 24,
+    noise: float = 0.02,
+    group_size: int = 4,
+) -> list[CommSample]:
+    """Seeded synthetic timing draws from ``cal``'s own cost models.
+
+    Message sizes are log-uniform over 64 KiB – 64 MiB and each timing
+    is the ground-truth channel model times ``(1 + noise * N(0, 1))``
+    (clamped positive), so :func:`fit_calibration` on these samples
+    recovers ``cal``'s alpha/beta up to the noise level — and exactly,
+    at ``noise=0``. Deterministic per ``seed`` (via
+    :func:`repro.rng.resolve_rng`), which is what makes the drift
+    report's calibration block byte-reproducible.
+    """
+    from ..rng import resolve_rng  # late: rng is a leaf, avoid import-order ties
+
+    if n < 4:
+        raise ValueError(f"need n >= 4 samples (2 per channel), got {n}")
+    rng = resolve_rng(seed)
+    sizes = np.exp(
+        rng.uniform(np.log(64 * 1024), np.log(64 * 1024**2), size=n)
+    ).astype(np.int64)
+    jitter = 1.0 + noise * rng.standard_normal(n)
+    samples: list[CommSample] = []
+    for i, (nbytes, j) in enumerate(zip(sizes.tolist(), jitter.tolist())):
+        if i % 2 == 0:
+            t = cal.p2p_alpha + nbytes / cal.p2p_beta
+            samples.append(
+                CommSample("p2p", nbytes, max(t * j, 1e-12))
+            )
+        else:
+            g = group_size
+            t = 2 * (g - 1) * cal.coll_alpha + (2 * (g - 1) / g) * nbytes / cal.coll_beta
+            samples.append(
+                CommSample("collective", nbytes, max(t * j, 1e-12), group_size=g)
+            )
+    return samples

@@ -17,9 +17,12 @@ local backward pass.
 
 from __future__ import annotations
 
+import time
+
 import numpy as np
 
 from ..comm.backend import Communicator
+from ..obs import OBS
 from ..core.config import SAMOConfig
 from ..core.samo_optimizer import SAMOOptimizer
 from ..pruning.masks import MaskSet
@@ -112,6 +115,12 @@ class BucketedGradSync:
         self.average = average
         self.bytes_communicated = 0
         self.buckets_sent = 0
+        #: per-bucket fp16 payload sizes, in reduction order — the
+        #: measured fidelity prices each bucket's ring from these
+        self.bucket_bytes: list[int] = []
+        #: wall seconds spent inside all-reduce calls (includes the
+        #: rendezvous wait of the bulk-synchronous backend)
+        self.seconds = 0.0
 
     @staticmethod
     def _gradient_views(state) -> list[np.ndarray]:
@@ -153,14 +162,25 @@ class BucketedGradSync:
             return
         for bucket in self._buckets(views):
             flat = np.concatenate([v.astype(np.float32).ravel() for v in bucket])
-            total = self.comm.allreduce(flat)
+            nbytes = sum(v.nbytes for v in bucket)
+            t0 = time.perf_counter()
+            if OBS.enabled:
+                with OBS.tracer.span(
+                    "allreduce", category="exec.collective",
+                    track=f"rank{self.comm.rank}", nbytes=nbytes,
+                ):
+                    total = self.comm.allreduce(flat)
+            else:
+                total = self.comm.allreduce(flat)
+            self.seconds += time.perf_counter() - t0
             if self.average:
                 total = total / self.comm.size
             offset = 0
             for v in bucket:
                 v[...] = total[offset : offset + v.size].reshape(v.shape).astype(v.dtype)
                 offset += v.size
-            self.bytes_communicated += sum(v.nbytes for v in bucket)
+            self.bytes_communicated += nbytes
+            self.bucket_bytes.append(nbytes)
             self.buckets_sent += 1
 
 
@@ -187,6 +207,19 @@ class PipelineStageTrainer:
     checkpoint_segments:
         When > 0, run the stage's blocks under activation checkpointing
         with that many segments (see :class:`StageModule`).
+    record_events:
+        When True, every compute step and message this rank executes is
+        appended to ``self.events`` in program order —
+        ``("fwd",)``/``("bwd",)`` for microbatch compute and
+        ``("send", peer, tag, nbytes)``/``("recv", peer, tag, nbytes)``
+        for boundary messages. The measured fidelity replays this ledger
+        under model-scale per-op costs
+        (:func:`repro.autotune.measured.replay_events`).
+
+    Per-phase wall clock accumulates in ``self.phase_seconds``
+    (``forward``/``backward``/``p2p``), and each phase also emits a
+    wall-clock span (categories ``exec.forward``, ``exec.backward``,
+    ``exec.p2p``) when the process-wide tracer is enabled.
     """
 
     def __init__(
@@ -199,6 +232,7 @@ class PipelineStageTrainer:
         samo_sparsity: float | None = None,
         config: SAMOConfig | None = None,
         checkpoint_segments: int = 0,
+        record_events: bool = False,
     ):
         self.comm = comm
         self.stage = comm.rank
@@ -222,6 +256,11 @@ class PipelineStageTrainer:
         #: before the optimizer step — the data-parallel all-reduce hook
         #: (AxoNN synchronises gradients exactly at this point).
         self.grad_sync = None
+        self.record_events = record_events
+        #: per-rank event ledger (only appended to when ``record_events``)
+        self.events: list[tuple] = []
+        #: wall seconds per phase, accumulated across train steps
+        self.phase_seconds = {"forward": 0.0, "backward": 0.0, "p2p": 0.0}
 
     @property
     def is_first(self) -> bool:
@@ -232,6 +271,35 @@ class PipelineStageTrainer:
         return self.stage == self.n_stages - 1
 
     # ------------------------------------------------------------------
+    def _send(self, peer: int, payload: np.ndarray, tag: int) -> None:
+        t0 = time.perf_counter()
+        if OBS.enabled:
+            with OBS.tracer.span(
+                "send", category="exec.p2p", track=f"rank{self.stage}",
+                peer=peer, tag=tag,
+            ):
+                self.comm.send(peer, payload, tag=tag)
+        else:
+            self.comm.send(peer, payload, tag=tag)
+        self.phase_seconds["p2p"] += time.perf_counter() - t0
+        if self.record_events:
+            self.events.append(("send", peer, tag, payload.nbytes))
+
+    def _recv(self, peer: int, tag: int) -> np.ndarray:
+        t0 = time.perf_counter()
+        if OBS.enabled:
+            with OBS.tracer.span(
+                "recv", category="exec.p2p", track=f"rank{self.stage}",
+                peer=peer, tag=tag,
+            ):
+                payload = self.comm.recv(peer, tag=tag)
+        else:
+            payload = self.comm.recv(peer, tag=tag)
+        self.phase_seconds["p2p"] += time.perf_counter() - t0
+        if self.record_events:
+            self.events.append(("recv", peer, tag, payload.nbytes))
+        return payload
+
     def _forward_microbatch(self, batch_input) -> tuple[Tensor, Tensor]:
         """Run this stage's forward; returns (stage_input, stage_output)."""
         if self.is_first:
@@ -239,28 +307,55 @@ class PipelineStageTrainer:
             if not isinstance(x, Tensor):
                 x = Tensor(np.asarray(x, dtype=np.float32))
         else:
-            act = self.comm.recv(self.stage - 1, tag=TAG_ACT)
+            act = self._recv(self.stage - 1, tag=TAG_ACT)
             x = Tensor(act, requires_grad=True)
-        out = self.module(x)
+        t0 = time.perf_counter()
+        if OBS.enabled:
+            with OBS.tracer.span(
+                "forward", category="exec.forward", track=f"rank{self.stage}"
+            ):
+                out = self.module(x)
+        else:
+            out = self.module(x)
+        self.phase_seconds["forward"] += time.perf_counter() - t0
+        if self.record_events:
+            self.events.append(("fwd",))
         if not self.is_last:
-            self.comm.send(self.stage + 1, out.data, tag=TAG_ACT)
+            self._send(self.stage + 1, out.data, tag=TAG_ACT)
         return x, out
 
     def _backward_microbatch(self, x: Tensor, out: Tensor, targets) -> float | None:
         """Run this stage's backward; returns the loss on the last stage."""
         loss_val = None
+        upstream = None
+        if not self.is_last:
+            upstream = self._recv(self.stage + 1, tag=TAG_GRAD)
+        t0 = time.perf_counter()
+        if OBS.enabled:
+            with OBS.tracer.span(
+                "backward", category="exec.backward", track=f"rank{self.stage}"
+            ):
+                loss_val = self._run_backward(x, out, targets, upstream)
+        else:
+            loss_val = self._run_backward(x, out, targets, upstream)
+        self.phase_seconds["backward"] += time.perf_counter() - t0
+        if self.record_events:
+            self.events.append(("bwd",))
+        if not self.is_first:
+            self._send(self.stage - 1, x.grad, tag=TAG_GRAD)
+        return loss_val
+
+    def _run_backward(self, x, out, targets, upstream) -> float | None:
         if self.is_last:
             loss = self.loss_head(out, targets) if self.loss_head is not None else out
             loss.backward()
-            loss_val = loss.item()
-        else:
-            upstream = self.comm.recv(self.stage + 1, tag=TAG_GRAD)
-            out.backward(upstream)
-        if not self.is_first:
-            self.comm.send(self.stage - 1, x.grad, tag=TAG_GRAD)
-        return loss_val
+            return loss.item()
+        out.backward(upstream)
+        return None
 
-    def train_step(self, microbatches: list, targets: list) -> float | None:
+    def train_step(
+        self, microbatches: list, targets: list, schedule: str = "sequential"
+    ) -> float | None:
         """One batch = forward+backward over every microbatch, then step.
 
         ``microbatches[i]`` is the stage-0 input of microbatch ``i`` (only
@@ -269,16 +364,41 @@ class PipelineStageTrainer:
 
         Gradients accumulate across microbatches (compressed, for SAMO
         stages) before one optimizer step — AxoNN's execution order.
+
+        ``schedule`` picks the microbatch interleaving; both orders are
+        numerically identical (same per-microbatch graphs, same gradient
+        accumulation), they differ only in pipeline concurrency:
+
+        * ``"sequential"`` — microbatch ``i`` completes its full
+          forward *and* backward before ``i+1`` starts (the historical
+          order; no inter-stage concurrency, every stage but one idles).
+        * ``"gpipe"`` — all forwards first, then all backwards: stage
+          ``s`` starts forward ``i+1`` as soon as it has sent forward
+          ``i`` downstream, so the per-rank busy/idle structure realizes
+          Eq. 7's ``(g-1)(t_f + t_b)`` warmup/drain bubble — the order
+          the measured fidelity executes.
         """
         if len(microbatches) != len(targets):
             raise ValueError("microbatches and targets must align")
+        if schedule not in ("sequential", "gpipe"):
+            raise ValueError(
+                f"unknown schedule {schedule!r}; choose 'sequential' or 'gpipe'"
+            )
         vals = []
-        for mb, tgt in zip(microbatches, targets):
-            x, out = self._forward_microbatch(mb)
-            v = self._backward_microbatch(x, out, tgt)
-            if v is not None:
-                vals.append(v)
-            self._state.compress_gradients()
+        if schedule == "gpipe":
+            saved = [self._forward_microbatch(mb) for mb in microbatches]
+            for (x, out), tgt in zip(saved, targets):
+                v = self._backward_microbatch(x, out, tgt)
+                if v is not None:
+                    vals.append(v)
+                self._state.compress_gradients()
+        else:
+            for mb, tgt in zip(microbatches, targets):
+                x, out = self._forward_microbatch(mb)
+                v = self._backward_microbatch(x, out, tgt)
+                if v is not None:
+                    vals.append(v)
+                self._state.compress_gradients()
         if self.grad_sync is not None:
             self.grad_sync(self._state)
         self._state.step()

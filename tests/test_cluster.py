@@ -1,20 +1,26 @@
 """Cluster substrate: topology, device model, events, collectives, p2p."""
 
+import dataclasses
+
 import numpy as np
 import pytest
 
 from repro.cluster import (
     SUMMIT,
+    CommSample,
     ComputeKind,
     DeviceModel,
     EventLoop,
     Topology,
     broadcast_time,
+    fit_calibration,
     p2p_message_time,
     pipeline_message_bytes,
     ring_allgather_time,
     ring_allreduce_time,
     ring_reduce_scatter_time,
+    synthetic_comm_samples,
+    with_memory_budget,
 )
 
 
@@ -199,3 +205,105 @@ class TestP2P:
     def test_pipeline_message_bytes(self):
         # mbs=2, 2048x2560 activation, fp16
         assert pipeline_message_bytes(2, 2048 * 2560) == 2 * 2048 * 2560 * 2
+
+
+class TestCalibrationValidation:
+    """NaN/inf/non-positive constants must fail loudly at construction.
+
+    The calibration is the machine's cache identity: a silently accepted
+    NaN poisons every downstream memoisation key and every batch time.
+    Follows the ScenarioSet weight-hardening pattern (test_api.py).
+    """
+
+    def test_default_is_valid(self):
+        assert dataclasses.replace(SUMMIT) == SUMMIT
+
+    @pytest.mark.parametrize("bad", [float("nan"), float("inf"), 0.0, -1.5])
+    def test_physical_constant_rejected(self, bad):
+        with pytest.raises(ValueError, match="p2p_beta"):
+            dataclasses.replace(SUMMIT, p2p_beta=bad)
+
+    @pytest.mark.parametrize("bad", [float("nan"), -0.1, 1.5])
+    def test_fraction_bounds(self, bad):
+        with pytest.raises(ValueError, match="dp_overlap_fraction"):
+            dataclasses.replace(SUMMIT, dp_overlap_fraction=bad)
+
+    def test_fractions_may_be_zero(self):
+        cal = dataclasses.replace(SUMMIT, dp_overlap_fraction=0.0, other_fraction=0.0)
+        assert cal.dp_overlap_fraction == 0.0
+
+    def test_non_numbers_rejected(self):
+        with pytest.raises(ValueError, match="must be a number"):
+            dataclasses.replace(SUMMIT, coll_alpha="fast")
+        with pytest.raises(ValueError, match="must be a number"):
+            dataclasses.replace(SUMMIT, coll_alpha=True)
+
+    @pytest.mark.parametrize("bad", [float("nan"), float("inf"), 0.0, -16.0, "16", None])
+    def test_memory_budget_rejected(self, bad):
+        with pytest.raises(ValueError, match="budget_gb"):
+            with_memory_budget(bad)
+
+    def test_memory_budget_accepts_positive(self):
+        assert with_memory_budget(32.0).gpu_memory_bytes == 32 * 1024**3
+        # cached: identical instance for identical budget (stable cache keys)
+        assert with_memory_budget(32.0) is with_memory_budget(32.0)
+
+
+class TestCalibrationFit:
+    def test_comm_sample_validation(self):
+        with pytest.raises(ValueError, match="unknown channel"):
+            CommSample("broadcast", 1024, 1e-3)
+        with pytest.raises(ValueError, match="nbytes"):
+            CommSample("p2p", 0, 1e-3)
+        with pytest.raises(ValueError, match="seconds"):
+            CommSample("p2p", 1024, 0.0)
+        with pytest.raises(ValueError, match="seconds"):
+            CommSample("p2p", 1024, float("nan"))
+        with pytest.raises(ValueError, match="group_size"):
+            CommSample("collective", 1024, 1e-3, group_size=1)
+
+    def test_fit_needs_samples(self):
+        with pytest.raises(ValueError, match="at least one"):
+            fit_calibration([])
+        with pytest.raises(ValueError, match="CommSample"):
+            fit_calibration([(1024, 1e-3)])
+
+    def test_fit_needs_two_distinct_sizes_per_channel(self):
+        same = [CommSample("p2p", 1024, 1e-3), CommSample("p2p", 1024, 1.1e-3)]
+        with pytest.raises(ValueError, match="distinct"):
+            fit_calibration(same)
+
+    def test_noiseless_fit_is_exact(self):
+        fitted = fit_calibration(synthetic_comm_samples(SUMMIT, seed=7, noise=0.0))
+        assert fitted.p2p_alpha == pytest.approx(SUMMIT.p2p_alpha, rel=1e-9)
+        assert fitted.p2p_beta == pytest.approx(SUMMIT.p2p_beta, rel=1e-9)
+        assert fitted.coll_alpha == pytest.approx(SUMMIT.coll_alpha, rel=1e-9)
+        assert fitted.coll_beta == pytest.approx(SUMMIT.coll_beta, rel=1e-9)
+
+    def test_noisy_fit_recovers_within_noise(self):
+        fitted = fit_calibration(synthetic_comm_samples(SUMMIT, seed=0, noise=0.02))
+        for name in ("p2p_alpha", "p2p_beta", "coll_alpha", "coll_beta"):
+            rel = abs(getattr(fitted, name) / getattr(SUMMIT, name) - 1.0)
+            assert rel < 0.05, (name, rel)
+
+    def test_channel_without_samples_keeps_base(self):
+        only_p2p = [s for s in synthetic_comm_samples(SUMMIT, seed=1) if s.channel == "p2p"]
+        fitted = fit_calibration(only_p2p)
+        assert fitted.coll_alpha == SUMMIT.coll_alpha
+        assert fitted.coll_beta == SUMMIT.coll_beta
+        assert fitted.p2p_alpha != SUMMIT.p2p_alpha
+
+    def test_inconsistent_timings_raise(self):
+        # decreasing time with increasing size => negative 1/beta
+        bad = [
+            CommSample("p2p", 1024, 1.0),
+            CommSample("p2p", 64 * 1024**2, 1e-6),
+        ]
+        with pytest.raises(ValueError, match="non-physical"):
+            fit_calibration(bad)
+
+    def test_deterministic_per_seed(self):
+        a = fit_calibration(synthetic_comm_samples(SUMMIT, seed=5))
+        b = fit_calibration(synthetic_comm_samples(SUMMIT, seed=5))
+        assert a == b
+        assert a != fit_calibration(synthetic_comm_samples(SUMMIT, seed=6))

@@ -8,9 +8,14 @@ counterpart of the AxoNN schedule whose *timing* the simulator models.
 import numpy as np
 import pytest
 
-from repro.comm import run_parallel
+from repro.comm import CommError, run_parallel
 from repro.core import SAMOConfig
-from repro.parallel import PipelineStageTrainer, StageModule, partition_module_list
+from repro.parallel import (
+    BucketedGradSync,
+    PipelineStageTrainer,
+    StageModule,
+    partition_module_list,
+)
 from repro.pruning import magnitude_prune
 from repro.tensor import GELU, Linear, Sequential, Tensor, functional as F
 from repro.train import DenseMixedPrecisionState
@@ -208,3 +213,243 @@ class TestCheckpointedStages:
     def test_invalid_segment_count(self):
         with pytest.raises(ValueError, match="checkpoint_segments"):
             StageModule(make_blocks()[:2], checkpoint_segments=3)
+
+
+class TestDenseCheckpointedStages:
+    """checkpoint_segments=0 vs >0 must also agree for the *dense* state
+    (TestCheckpointedStages pins the SAMO flavour)."""
+
+    def _run(self, checkpoint_segments, steps=3):
+        x, y = make_batch()
+        mbs = [x[:3], x[3:]]
+        tgts = [y[:3], y[3:]]
+
+        def worker(comm):
+            blocks = make_blocks(0)
+            stages = partition_module_list(blocks, comm.size)
+            tr = PipelineStageTrainer(
+                comm,
+                stages[comm.rank],
+                head=(lambda b: Tensor(b)) if comm.rank == 0 else None,
+                loss_head=loss_head if comm.rank == comm.size - 1 else None,
+                config=SAMOConfig(optimizer="adam", lr=1e-2),
+                checkpoint_segments=checkpoint_segments,
+            )
+            out = [tr.train_step(mbs, tgts) for _ in range(steps)]
+            params = {n: p.data.copy() for n, p in tr.module.named_parameters()}
+            return out, params
+
+        return run_parallel(2, worker)
+
+    def test_dense_checkpointed_matches_plain(self):
+        plain = self._run(checkpoint_segments=0)
+        ckpt = self._run(checkpoint_segments=2)
+        assert plain[-1][0] == pytest.approx(ckpt[-1][0], rel=1e-6)
+        for (_, pp), (_, cp) in zip(plain, ckpt):
+            for name in pp:
+                assert np.allclose(pp[name], cp[name], atol=1e-6), name
+
+
+class TestGPipeSchedule:
+    """The all-forwards-then-all-backwards order is numerically identical
+    to the sequential order — same graphs, same gradient accumulation."""
+
+    def _run(self, schedule, n_stages=2, steps=3):
+        x, y = make_batch()
+        mbs = [x[:3], x[3:]]
+        tgts = [y[:3], y[3:]]
+
+        def worker(comm):
+            blocks = make_blocks(0)
+            stages = partition_module_list(blocks, comm.size)
+            tr = PipelineStageTrainer(
+                comm,
+                stages[comm.rank],
+                head=(lambda b: Tensor(b)) if comm.rank == 0 else None,
+                loss_head=loss_head if comm.rank == comm.size - 1 else None,
+                config=SAMOConfig(optimizer="adam", lr=1e-2),
+            )
+            out = [tr.train_step(mbs, tgts, schedule=schedule) for _ in range(steps)]
+            params = {n: p.data.copy() for n, p in tr.module.named_parameters()}
+            return out, params
+
+        return run_parallel(n_stages, worker)
+
+    def test_gpipe_matches_sequential(self):
+        seq = self._run("sequential")
+        gp = self._run("gpipe")
+        assert seq[-1][0] == pytest.approx(gp[-1][0], rel=1e-6)
+        for (_, sp), (_, gpp) in zip(seq, gp):
+            for name in sp:
+                assert np.allclose(sp[name], gpp[name], atol=1e-6), name
+
+    def test_gpipe_matches_single_process(self):
+        gp = self._run("gpipe", n_stages=4)
+        ref_losses, _ = run_single_process()
+        assert gp[-1][0] == pytest.approx(ref_losses, rel=1e-5)
+
+    def test_unknown_schedule_rejected(self):
+        def worker(comm):
+            tr = PipelineStageTrainer(
+                comm, make_blocks()[:1],
+                head=lambda b: Tensor(b), loss_head=loss_head,
+            )
+            tr.train_step([np.zeros((2, HID), np.float32)], [np.zeros(2, np.int64)],
+                          schedule="1f1b")
+
+        with pytest.raises(CommError, match="schedule"):
+            run_parallel(1, worker)
+
+    def test_event_ledger_shape(self):
+        """record_events captures program order: m forwards (each followed
+        by the downstream send), then m (recv, backward) pairs on stage 0."""
+        x, y = make_batch()
+        mbs = [x[:3], x[3:]]
+        tgts = [y[:3], y[3:]]
+
+        def worker(comm):
+            blocks = make_blocks(0)
+            stages = partition_module_list(blocks, comm.size)
+            tr = PipelineStageTrainer(
+                comm,
+                stages[comm.rank],
+                head=(lambda b: Tensor(b)) if comm.rank == 0 else None,
+                loss_head=loss_head if comm.rank == comm.size - 1 else None,
+                record_events=True,
+            )
+            tr.train_step(mbs, tgts, schedule="gpipe")
+            return tr.events, dict(tr.phase_seconds)
+
+        results = run_parallel(2, worker)
+        m = len(mbs)
+        ev0, wall0 = results[0]
+        kinds0 = [e[0] for e in ev0]
+        # stage 0: fwd+send per microbatch, then recv+bwd per microbatch
+        assert kinds0 == ["fwd", "send"] * m + ["recv", "bwd"] * m
+        ev1, _ = results[1]
+        kinds1 = [e[0] for e in ev1]
+        # last stage: recv+fwd per microbatch, then bwd+send per microbatch
+        assert kinds1 == ["recv", "fwd"] * m + ["bwd", "send"] * m
+        # sends carry (peer, tag, nbytes) with a positive payload size
+        for e in ev0 + ev1:
+            if e[0] in ("send", "recv"):
+                assert len(e) == 4 and e[3] > 0
+        # wall clock accumulated in every phase it executed
+        assert wall0["forward"] > 0 and wall0["backward"] > 0 and wall0["p2p"] > 0
+
+
+class TestBucketedGradSync:
+    """Bucketing must be a pure transport choice: any bucket count gives
+    bit-identical gradients to the per-tensor backend all-reduce."""
+
+    N_REPLICAS = 2
+
+    def _replica_grads(self, grad_sync_factory):
+        """Train one data-parallel step per rank; returns each rank's
+        post-sync fp16 gradient buffers plus the sync object's counters."""
+
+        def worker(comm):
+            rng = np.random.default_rng(0)
+            blocks = [Sequential(Linear(HID, HID, rng=rng), GELU()) for _ in range(3)]
+            model = StageModule(blocks)
+            state = DenseMixedPrecisionState(model, SAMOConfig(optimizer="adam"))
+            data_rng = np.random.default_rng(100 + comm.rank)
+            x = data_rng.normal(size=(4, HID)).astype(np.float32)
+            y = data_rng.integers(0, HID, size=4)
+            loss = F.cross_entropy(model(Tensor(x)), y)
+            loss.backward()
+            state.compress_gradients()
+            sync = grad_sync_factory(comm)
+            sync(state)
+            grads = [g.copy() for g in state.grad16 if g is not None]
+            stats = (
+                (sync.buckets_sent, sync.bytes_communicated, list(sync.bucket_bytes))
+                if isinstance(sync, BucketedGradSync) else None
+            )
+            return grads, stats
+
+        return run_parallel(self.N_REPLICAS, worker)
+
+    @staticmethod
+    def _per_tensor_reference(comm):
+        """The unbucketed baseline: one backend all-reduce per tensor."""
+
+        def sync(state):
+            for g in state.grad16:
+                if g is None:
+                    continue
+                total = comm.allreduce(g.astype(np.float32).ravel())
+                g[...] = (total / comm.size).reshape(g.shape).astype(g.dtype)
+
+        return sync
+
+    def test_single_bucket_bit_exact_vs_per_tensor(self):
+        ref = self._replica_grads(self._per_tensor_reference)
+        one = self._replica_grads(lambda comm: BucketedGradSync(comm, n_buckets=1))
+        for (rg, _), (og, stats) in zip(ref, one):
+            assert stats[0] == 1  # exactly one bucket on the wire
+            for r, o in zip(rg, og):
+                assert np.array_equal(r, o)
+
+    def test_more_buckets_than_tensors(self):
+        """n_buckets past the tensor count degrades to per-tensor buckets —
+        never empty messages, still bit-exact."""
+        ref = self._replica_grads(self._per_tensor_reference)
+        many = self._replica_grads(lambda comm: BucketedGradSync(comm, n_buckets=64))
+        n_tensors = len(ref[0][0])
+        for (rg, _), (mg, stats) in zip(ref, many):
+            buckets_sent, nbytes, bucket_bytes = stats
+            assert buckets_sent <= n_tensors
+            assert all(b > 0 for b in bucket_bytes)
+            assert sum(bucket_bytes) == nbytes == sum(g.nbytes for g in rg)
+            for r, m in zip(rg, mg):
+                assert np.array_equal(r, m)
+
+    def test_replicas_agree_after_sync(self):
+        results = self._replica_grads(lambda comm: BucketedGradSync(comm, n_buckets=3))
+        (g0, _), (g1, _) = results
+        for a, b in zip(g0, g1):
+            assert np.array_equal(a, b)
+
+    def test_bucket_count_validated(self):
+        def worker(comm):
+            BucketedGradSync(comm, n_buckets=0)
+
+        with pytest.raises(CommError, match="n_buckets"):
+            run_parallel(1, worker)
+
+
+class TestExecutionSpans:
+    """With the process-wide tracer enabled, the executed pipeline and
+    the bucketed sync emit wall-clock spans per phase — the raw material
+    of the measured fidelity's profiles."""
+
+    def test_spans_cover_every_phase(self):
+        from repro.obs import Tracer, observed
+
+        x, y = make_batch()
+        mbs = [x[:3], x[3:]]
+        tgts = [y[:3], y[3:]]
+
+        def worker(comm):
+            blocks = make_blocks(0)
+            stages = partition_module_list(blocks, comm.size)
+            tr = PipelineStageTrainer(
+                comm,
+                stages[comm.rank],
+                head=(lambda b: Tensor(b)) if comm.rank == 0 else None,
+                loss_head=loss_head if comm.rank == comm.size - 1 else None,
+            )
+            tr.grad_sync = BucketedGradSync(comm, n_buckets=2)
+            tr.train_step(mbs, tgts, schedule="gpipe")
+            return tr.grad_sync.seconds
+
+        tracer = Tracer()
+        with observed(tracer=tracer):
+            sync_seconds = run_parallel(2, worker)
+        cats = {s.category for s in tracer.spans}
+        assert {"exec.forward", "exec.backward", "exec.p2p", "exec.collective"} <= cats
+        # both ranks emitted onto their own tracks
+        assert {"rank0", "rank1"} <= set(tracer.tracks())
+        # the sync's own wall clock accumulated on every rank
+        assert all(s > 0 for s in sync_seconds)
